@@ -1,0 +1,120 @@
+// Command cobench runs the complex object benchmark (paper §2) against one
+// or all storage models and prints the measured I/O statistics.
+//
+// Usage:
+//
+//	cobench [-model all|dsm|ddsm|nsm|nsmx|dnsm] [-query all|1a|1b|1c|2a|2b|3a|3b]
+//	        [-n 1500] [-buffer 1200] [-loops 300] [-samples 40] [-seed 1993]
+//	        [-skew] [-maxseeing 15] [-metric pages|calls|fixes|writes]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"complexobj"
+	"complexobj/cobench"
+	"complexobj/report"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "all", "storage model: all, dsm, ddsm, nsm, nsmx, dnsm")
+		query     = flag.String("query", "all", "benchmark query: all, 1a, 1b, 1c, 2a, 2b, 3a, 3b")
+		n         = flag.Int("n", 1500, "number of stations")
+		buffer    = flag.Int("buffer", 1200, "buffer pool pages")
+		loops     = flag.Int("loops", 300, "loops for queries 2b/3b")
+		samples   = flag.Int("samples", 40, "samples for single-shot queries")
+		seed      = flag.Uint64("seed", 1993, "generator seed")
+		skew      = flag.Bool("skew", false, "use the data-skew extension (prob 0.2, fanout 8)")
+		maxSeeing = flag.Int("maxseeing", 15, "maximum sightseeings per station")
+		metric    = flag.String("metric", "pages", "reported metric: pages, calls, fixes or writes")
+	)
+	flag.Parse()
+
+	gen := cobench.DefaultConfig().WithN(*n).WithMaxSeeing(*maxSeeing)
+	gen.Seed = *seed
+	if *skew {
+		gen = gen.Skewed()
+	}
+	w := cobench.Workload{Loops: *loops, Samples: *samples, Seed: *seed}
+
+	models := complexobj.AllModels()
+	if *model != "all" {
+		k, err := complexobj.ModelByName(*model)
+		if err != nil {
+			fatal(err)
+		}
+		models = []complexobj.ModelKind{k}
+	}
+	queries := cobench.AllQueries()
+	if *query != "all" {
+		q, ok := queryByName(*query)
+		if !ok {
+			fatal(fmt.Errorf("unknown query %q", *query))
+		}
+		queries = []cobench.Query{q}
+	}
+	get, ok := metricFn(*metric)
+	if !ok {
+		fatal(fmt.Errorf("unknown metric %q", *metric))
+	}
+
+	t := &report.Table{
+		Title:  fmt.Sprintf("measured %s per object/loop (N=%d, buffer=%d pages, loops=%d)", *metric, *n, *buffer, *loops),
+		Header: []string{"MODEL"},
+	}
+	for _, q := range queries {
+		t.Header = append(t.Header, q.String())
+	}
+	for _, k := range models {
+		db, err := complexobj.OpenLoaded(k, complexobj.Options{BufferPages: *buffer}, gen)
+		if err != nil {
+			fatal(err)
+		}
+		row := []string{k.String()}
+		for _, q := range queries {
+			res, err := db.Run(q, w)
+			if err != nil {
+				fatal(err)
+			}
+			if !res.Supported {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, report.Num(get(res)))
+		}
+		t.AddRow(row...)
+	}
+	fmt.Println(t.Text())
+}
+
+func queryByName(name string) (cobench.Query, bool) {
+	for _, q := range cobench.AllQueries() {
+		if q.String() == name {
+			return q, true
+		}
+	}
+	return 0, false
+}
+
+func metricFn(name string) (func(complexobj.QueryResult) float64, bool) {
+	switch name {
+	case "pages":
+		return func(r complexobj.QueryResult) float64 { return r.Pages }, true
+	case "calls":
+		return func(r complexobj.QueryResult) float64 { return r.Calls }, true
+	case "fixes":
+		return func(r complexobj.QueryResult) float64 { return r.Fixes }, true
+	case "writes":
+		return func(r complexobj.QueryResult) float64 { return r.PagesWritten }, true
+	default:
+		return nil, false
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cobench:", err)
+	os.Exit(1)
+}

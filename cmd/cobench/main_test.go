@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"complexobj"
+	"complexobj/cobench"
+)
+
+func TestQueryByName(t *testing.T) {
+	for _, q := range cobench.AllQueries() {
+		got, ok := queryByName(q.String())
+		if !ok || got != q {
+			t.Errorf("queryByName(%q) = %v, %v", q.String(), got, ok)
+		}
+	}
+	if _, ok := queryByName("9z"); ok {
+		t.Error("bogus query accepted")
+	}
+}
+
+func TestMetricFn(t *testing.T) {
+	res := complexobj.QueryResult{
+		Pages: 1, Calls: 2, Fixes: 3, PagesWritten: 4,
+	}
+	for name, want := range map[string]float64{
+		"pages": 1, "calls": 2, "fixes": 3, "writes": 4,
+	} {
+		fn, ok := metricFn(name)
+		if !ok {
+			t.Fatalf("metricFn(%q) missing", name)
+		}
+		if got := fn(res); got != want {
+			t.Errorf("metric %q = %f, want %f", name, got, want)
+		}
+	}
+	if _, ok := metricFn("bogus"); ok {
+		t.Error("bogus metric accepted")
+	}
+}

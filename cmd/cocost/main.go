@@ -1,0 +1,80 @@
+// Command cocost explores the analytical cost model (paper §3-4): it
+// prints the Table 3 estimates for the paper's layout constants and any
+// workload variation, plus individual equation evaluations.
+//
+// Usage:
+//
+//	cocost [-n 1500] [-loops 300] [-children 4.096]
+//	cocost -eq bernstein -t 21.7 -m 116
+//	cocost -eq distinct  -t 6519 -m 1500
+//	cocost -eq cluster   -g 4.1  -k 11
+//	cocost -eq yao       -t 100  -ntuples 1500 -k 13
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"complexobj/costmodel"
+	"complexobj/experiments"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 1500, "database size (objects)")
+		loops    = flag.Int("loops", 300, "loops for queries 2b/3b")
+		children = flag.Float64("children", 4.096, "average children per object")
+		eq       = flag.String("eq", "", "evaluate one equation: bernstein, distinct, cluster, clusters, yao")
+		tParam   = flag.Float64("t", 0, "tuple/draw count (bernstein, distinct, yao)")
+		mParam   = flag.Float64("m", 0, "page/object count (bernstein, distinct, clusters)")
+		gParam   = flag.Float64("g", 0, "cluster size (cluster, clusters)")
+		kParam   = flag.Float64("k", 0, "tuples per page (cluster, clusters, yao)")
+		iParam   = flag.Float64("i", 1, "number of clusters (clusters)")
+		ntuples  = flag.Int("ntuples", 0, "relation tuple count (yao)")
+		calls    = flag.Bool("calls", false, "also print the analytical I/O-call estimates")
+	)
+	flag.Parse()
+
+	if *eq != "" {
+		evalEquation(*eq, *tParam, *mParam, *gParam, *kParam, *iParam, *ntuples)
+		return
+	}
+
+	w := costmodel.PaperWorkload()
+	w.N = float64(*n)
+	w.Loops = float64(*loops)
+	w.Children = *children
+	w.Grand = *children * *children
+	params := costmodel.PaperParams().Scaled(w.N, costmodel.PaperWorkload().N)
+	rows := costmodel.EstimateAll(params, w)
+	title := fmt.Sprintf("Table 3 (paper layout constants, N=%d, loops=%d): estimated page I/Os", *n, *loops)
+	fmt.Println(experiments.RenderTable3(title, rows).Text())
+	if *calls {
+		crows := costmodel.EstimateAllCalls(params, w)
+		fmt.Println(experiments.RenderTable3("Analytical I/O calls (Equation 1's X_calls)", crows).Text())
+	}
+}
+
+func evalEquation(eq string, t, m, g, k, i float64, ntuples int) {
+	switch eq {
+	case "bernstein":
+		fmt.Printf("Eq. 4 (Bernstein): %g tuples over %g pages -> %.4f pages\n",
+			t, m, costmodel.Bernstein(t, m))
+	case "distinct":
+		fmt.Printf("Eq. 8 (cache): %g draws from %g objects -> %.4f distinct\n",
+			t, m, costmodel.Distinct(m, t))
+	case "cluster":
+		fmt.Printf("Eq. 6 (cluster span): %g tuples at k=%g -> %.4f pages\n",
+			g, k, costmodel.ClusterSpan(g, k))
+	case "clusters":
+		fmt.Printf("Eq. 7 (clusters): %g clusters of %g tuples on %g pages (k=%g) -> %.4f pages\n",
+			i, g, m, k, costmodel.Clusters(i, g, m, k))
+	case "yao":
+		fmt.Printf("Yao: %d of %d tuples at k=%d -> %.4f pages\n",
+			int(t), ntuples, int(k), costmodel.Yao(int(t), ntuples, int(k)))
+	default:
+		fmt.Fprintf(os.Stderr, "cocost: unknown equation %q\n", eq)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,99 @@
+// Command cogen generates a benchmark extension (paper §2.1) and reports
+// its distribution statistics, optionally dumping individual objects.
+//
+// Usage:
+//
+//	cogen [-n 1500] [-seed 1993] [-prob 0.8] [-fanout 2] [-maxseeing 15] [-skew]
+//	      [-dump 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"complexobj/cobench"
+	"complexobj/report"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 1500, "number of stations")
+		seed      = flag.Uint64("seed", 1993, "generator seed")
+		prob      = flag.Float64("prob", 0.8, "sub-object generation probability")
+		fanout    = flag.Int("fanout", 2, "slots per nesting level")
+		maxSeeing = flag.Int("maxseeing", 15, "maximum sightseeings per station")
+		skew      = flag.Bool("skew", false, "data-skew preset (prob 0.2, fanout 8)")
+		dump      = flag.Int("dump", -1, "print this station in full")
+		hist      = flag.Bool("hist", false, "print the object-size histogram (pages per object)")
+	)
+	flag.Parse()
+
+	cfg := cobench.Config{N: *n, Prob: *prob, Fanout: *fanout, MaxSeeing: *maxSeeing, Seed: *seed}
+	if *skew {
+		cfg = cfg.Skewed()
+	}
+	stations, err := cobench.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cogen:", err)
+		os.Exit(1)
+	}
+	st := cobench.Describe(stations)
+
+	t := &report.Table{
+		Title:  fmt.Sprintf("benchmark extension (N=%d, prob=%.2f, fanout=%d, maxSeeing=%d, seed=%d)", cfg.N, cfg.Prob, cfg.Fanout, cfg.MaxSeeing, cfg.Seed),
+		Header: []string{"STATISTIC", "VALUE", "PAPER EXPECTATION"},
+	}
+	t.AddRow("avg platforms/station", report.Num(st.AvgPlatforms), report.Num(cfg.ExpectedPlatforms()))
+	t.AddRow("avg connections/station", report.Num(st.AvgConnections), report.Num(cfg.ExpectedChildren()))
+	t.AddRow("avg sightseeings/station", report.Num(st.AvgSeeings), report.Num(cfg.ExpectedSeeings()))
+	t.AddRow("avg grand-children", report.Num(st.AvgGrand), report.Num(cfg.ExpectedGrandChildren()))
+	t.AddRow("max platforms", report.Int(st.MaxPlatforms), "")
+	t.AddRow("max connections/station", report.Int(st.MaxConnections), "")
+	t.AddRow("max sightseeings", report.Int(st.MaxSeeings), "")
+	t.AddRow("avg encoded bytes/object", report.Num(st.AvgEncodedBytes), "")
+	fmt.Println(t.Text())
+
+	if *hist {
+		fmt.Println("object size histogram (direct-storage pages per object):")
+		buckets := cobench.SizeHistogram(stations)
+		maxCount := 0
+		for _, b := range buckets {
+			if b.Count > maxCount {
+				maxCount = b.Count
+			}
+		}
+		for _, b := range buckets {
+			bar := ""
+			if maxCount > 0 {
+				bar = strings.Repeat("#", b.Count*50/maxCount)
+			}
+			fmt.Printf("%3d page(s) | %-50s %d\n", b.Pages, bar, b.Count)
+		}
+		fmt.Println()
+	}
+
+	if *dump >= 0 {
+		if *dump >= len(stations) {
+			fmt.Fprintf(os.Stderr, "cogen: station %d out of range\n", *dump)
+			os.Exit(1)
+		}
+		printStation(stations[*dump])
+	}
+}
+
+func printStation(s *cobench.Station) {
+	fmt.Printf("Station key=%d name=%q platforms=%d sightseeings=%d\n",
+		s.Key, s.Name, s.NoPlatform, s.NoSeeing)
+	for _, p := range s.Platforms {
+		fmt.Printf("  Platform %d (lines=%d, ticket=%d) %q\n", p.Nr, p.NoLine, p.TicketCode, p.Information)
+		for _, c := range p.Conns {
+			fmt.Printf("    Connection line=%d -> station %d (key %d) at %q\n",
+				c.LineNr, c.OidConnection, c.KeyConnection, c.DepartureTimes)
+		}
+	}
+	for _, g := range s.Seeings {
+		fmt.Printf("  Sightseeing %d: %q at %q (%s; %s)\n", g.Nr, g.Description, g.Location, g.History, g.Remarks)
+	}
+}

@@ -1,0 +1,139 @@
+// Command cotables regenerates every table and figure of the paper's
+// evaluation section and prints them to stdout or writes them to a
+// directory, in plain text, Markdown or CSV.
+//
+// Usage:
+//
+//	cotables [-format text|markdown|csv] [-out DIR]
+//	         [-n 1500] [-buffer 1200] [-loops 300] [-seed 1993] [-clock]
+//	         [-only table4,fig6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"complexobj/experiments"
+	"complexobj/report"
+)
+
+func main() {
+	var (
+		format = flag.String("format", "text", "output format: text, markdown or csv")
+		outDir = flag.String("out", "", "write one file per table into this directory instead of stdout")
+		n      = flag.Int("n", 1500, "number of stations in the benchmark extension")
+		buffer = flag.Int("buffer", 1200, "buffer pool size in pages")
+		loops  = flag.Int("loops", 300, "navigation loops for queries 2b/3b")
+		seed   = flag.Uint64("seed", 1993, "generator seed")
+		clock  = flag.Bool("clock", false, "use Clock replacement instead of LRU (ablation)")
+		only   = flag.String("only", "", "comma-separated filter over table titles (e.g. 'table 4,figure 6')")
+		charts = flag.Bool("charts", false, "append ASCII charts of Figures 5 and 6")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Gen.N = *n
+	cfg.Gen.Seed = *seed
+	cfg.BufferPages = *buffer
+	cfg.Workload.Loops = *loops
+	cfg.UseClock = *clock
+
+	suite := experiments.New(cfg)
+	tables, err := suite.All()
+	if err != nil {
+		fatal(err)
+	}
+	tables = filterTables(tables, *only)
+	if len(tables) == 0 {
+		fatal(fmt.Errorf("no table matches filter %q", *only))
+	}
+
+	render := renderer(*format)
+	if *outDir == "" {
+		for _, t := range tables {
+			fmt.Println(render(t))
+		}
+		if *charts {
+			printCharts(suite)
+		}
+		return
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	ext := map[string]string{"text": "txt", "markdown": "md", "csv": "csv"}[*format]
+	for _, t := range tables {
+		name := slug(t.Title) + "." + ext
+		path := filepath.Join(*outDir, name)
+		if err := os.WriteFile(path, []byte(render(t)+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+func printCharts(suite *experiments.Suite) {
+	f5, err := suite.ChartFigure5()
+	if err != nil {
+		fatal(err)
+	}
+	f6, err := suite.ChartFigure6()
+	if err != nil {
+		fatal(err)
+	}
+	for _, c := range append(f5, f6...) {
+		fmt.Println(c)
+	}
+}
+
+func renderer(format string) func(*report.Table) string {
+	switch format {
+	case "text":
+		return (*report.Table).Text
+	case "markdown":
+		return (*report.Table).Markdown
+	case "csv":
+		return (*report.Table).CSV
+	default:
+		fatal(fmt.Errorf("unknown format %q", format))
+		return nil
+	}
+}
+
+func filterTables(tables []*report.Table, only string) []*report.Table {
+	if only == "" {
+		return tables
+	}
+	var keep []*report.Table
+	for _, t := range tables {
+		title := strings.ToLower(t.Title)
+		for _, f := range strings.Split(strings.ToLower(only), ",") {
+			if f = strings.TrimSpace(f); f != "" && strings.Contains(title, f) {
+				keep = append(keep, t)
+				break
+			}
+		}
+	}
+	return keep
+}
+
+func slug(title string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case b.Len() > 0 && !strings.HasSuffix(b.String(), "-"):
+			b.WriteRune('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cotables:", err)
+	os.Exit(1)
+}

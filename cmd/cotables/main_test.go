@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+
+	"complexobj/report"
+)
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Table 4: measured physical page I/Os (pages per object/loop)": "table-4-measured-physical-page-i-os-pages-per-object-loop",
+		"Figure 6 (DSM): query 2b":                                     "figure-6-dsm-query-2b",
+		"---":                                                          "",
+		"A  B":                                                         "a-b",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFilterTables(t *testing.T) {
+	tables := []*report.Table{
+		{Title: "Table 4: measured"},
+		{Title: "Table 5: calls"},
+		{Title: "Figure 6 (DSM)"},
+	}
+	if got := filterTables(tables, ""); len(got) != 3 {
+		t.Errorf("empty filter kept %d", len(got))
+	}
+	if got := filterTables(tables, "table 4"); len(got) != 1 || got[0].Title != "Table 4: measured" {
+		t.Errorf("single filter: %v", titles(got))
+	}
+	if got := filterTables(tables, "table 5, figure"); len(got) != 2 {
+		t.Errorf("multi filter kept %d", len(got))
+	}
+	if got := filterTables(tables, "nonexistent"); len(got) != 0 {
+		t.Errorf("bogus filter kept %d", len(got))
+	}
+	// Whitespace and case insensitivity.
+	if got := filterTables(tables, "  TABLE 4  "); len(got) != 1 {
+		t.Errorf("trimmed filter kept %d", len(got))
+	}
+}
+
+func titles(ts []*report.Table) []string {
+	var out []string
+	for _, t := range ts {
+		out = append(out, t.Title)
+	}
+	return out
+}
+
+func TestRendererSelection(t *testing.T) {
+	tbl := &report.Table{Title: "t", Header: []string{"a"}}
+	tbl.AddRow("1")
+	for _, format := range []string{"text", "markdown", "csv"} {
+		fn := renderer(format)
+		if fn == nil || fn(tbl) == "" {
+			t.Errorf("renderer(%q) unusable", format)
+		}
+	}
+}

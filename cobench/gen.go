@@ -1,0 +1,280 @@
+package cobench
+
+import (
+	"errors"
+	"fmt"
+
+	"complexobj/internal/xrand"
+)
+
+// Config parameterizes the benchmark extension generator (paper §2.1 and
+// the variations of §5.3 and §5.5).
+type Config struct {
+	// N is the number of Station objects (paper default: 1500).
+	N int
+	// Prob is the independent generation probability of each platform,
+	// railroad and connection slot (paper default: 0.80).
+	Prob float64
+	// Fanout is the number of slots per level: platforms per station,
+	// railroads per platform and connections per railroad (paper default:
+	// 2; the data-skew experiment uses 8).
+	Fanout int
+	// MaxSeeing is the maximum number of sightseeing sub-objects; the
+	// actual count is uniform in [0, MaxSeeing] (paper default: 15; the
+	// object-size experiment of Figure 5 uses 0 and 30).
+	MaxSeeing int
+	// Seed drives the deterministic generator.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's standard benchmark extension.
+func DefaultConfig() Config {
+	return Config{N: 1500, Prob: 0.80, Fanout: 2, MaxSeeing: 15, Seed: 1993}
+}
+
+// WithN returns a copy with a different database size (Figure 6 sweep).
+func (c Config) WithN(n int) Config { c.N = n; return c }
+
+// WithMaxSeeing returns a copy with a different sightseeing bound
+// (Figure 5 sweep).
+func (c Config) WithMaxSeeing(m int) Config { c.MaxSeeing = m; return c }
+
+// Skewed returns the paper's §5.5 data-skew configuration: generation
+// probability 20% and fanout 8, which keeps the sub-object means but makes
+// the tails much heavier.
+func (c Config) Skewed() Config { c.Prob = 0.20; c.Fanout = 8; return c }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.N <= 0:
+		return errors.New("cobench: N must be positive")
+	case c.Prob < 0 || c.Prob > 1:
+		return errors.New("cobench: Prob must be in [0,1]")
+	case c.Fanout < 1:
+		return errors.New("cobench: Fanout must be at least 1")
+	case c.MaxSeeing < 0:
+		return errors.New("cobench: MaxSeeing must be non-negative")
+	}
+	return nil
+}
+
+// ExpectedPlatforms returns the expected number of platforms per station:
+// Fanout slots, each generated with probability Prob (paper: 2·0.8 = 1.6).
+func (c Config) ExpectedPlatforms() float64 { return float64(c.Fanout) * c.Prob }
+
+// ExpectedChildren returns the expected number of connections (children)
+// per station: (Fanout·Prob)³, i.e. platforms × railroads × connections
+// (paper: 1.6·2.56 = 4.10 children on average).
+func (c Config) ExpectedChildren() float64 {
+	fp := float64(c.Fanout) * c.Prob
+	return fp * fp * fp
+}
+
+// ExpectedGrandChildren returns ExpectedChildren squared (paper: 16.7 on
+// average).
+func (c Config) ExpectedGrandChildren() float64 {
+	ch := c.ExpectedChildren()
+	return ch * ch
+}
+
+// ExpectedSeeings returns MaxSeeing/2 (uniform draw over [0, MaxSeeing]).
+func (c Config) ExpectedSeeings() float64 { return float64(c.MaxSeeing) / 2 }
+
+// KeyBase is the key of station index 0; station i has key KeyBase+i, so
+// keys are unique and disjoint from indices (catching index/key mixups in
+// tests).
+const KeyBase = 10000
+
+// KeyOf returns the station key for a station index.
+func KeyOf(index int) int32 { return int32(KeyBase + index) }
+
+// IndexOf inverts KeyOf; it returns -1 for keys outside the extension.
+func IndexOf(key int32, n int) int {
+	i := int(key) - KeyBase
+	if i < 0 || i >= n {
+		return -1
+	}
+	return i
+}
+
+var cityNames = []string{
+	"Enschede", "Zurich", "Ulm", "Hengelo", "Almelo", "Deventer", "Apeldoorn",
+	"Amersfoort", "Utrecht", "Gouda", "Delft", "Rotterdam", "Basel", "Bern",
+	"Chur", "Geneva", "Lausanne", "Lugano", "Luzern", "Winterthur",
+}
+
+var words = []string{
+	"express", "local", "regional", "museum", "cathedral", "bridge", "tower",
+	"garden", "market", "harbour", "castle", "gallery", "fountain", "abbey",
+	"theatre", "arcade", "panorama", "monument", "quarter", "terrace",
+}
+
+func pick(rng *xrand.Source, list []string) string { return list[rng.Intn(len(list))] }
+
+// Generate produces a benchmark extension. The same Config always yields
+// the same database, bit for bit. Each station draws from two independent
+// streams keyed by (Seed, index): one for the platform/connection
+// structure, one for the sightseeings. Consequently the object graph is
+// identical across MaxSeeing settings, which lets the Figure 5 experiment
+// isolate the pure object-size effect.
+func Generate(c Config) ([]*Station, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	stations := make([]*Station, c.N)
+	for i := range stations {
+		st, err := genStation(c, i)
+		if err != nil {
+			return nil, err
+		}
+		stations[i] = st
+	}
+	return stations, nil
+}
+
+func genStation(c Config, index int) (*Station, error) {
+	rng := xrand.New(xrand.Mix(c.Seed, uint64(index)*2))
+	seeRng := xrand.New(xrand.Mix(c.Seed, uint64(index)*2+1))
+	s := &Station{
+		Key:  KeyOf(index),
+		Name: truncate(fmt.Sprintf("%s Centraal %d (%s line)", pick(rng, cityNames), index, pick(rng, words)), StrSize),
+	}
+	for slot := 0; slot < c.Fanout; slot++ {
+		if !rng.Bool(c.Prob) {
+			continue
+		}
+		p := Platform{
+			Nr:          int32(slot + 1),
+			TicketCode:  int32(rng.Intn(9000) + 1000),
+			Information: truncate(fmt.Sprintf("platform %d: %s services, %s side", slot+1, pick(rng, words), pick(rng, words)), StrSize),
+		}
+		// Each of Fanout railroads exists with probability Prob; each
+		// existing railroad establishes Fanout connections, each again with
+		// probability Prob (paper: at most 4 connections per platform, each
+		// effectively with probability 0.8² = 0.64).
+		for rail := 0; rail < c.Fanout; rail++ {
+			if !rng.Bool(c.Prob) {
+				continue
+			}
+			p.NoLine++
+			for conn := 0; conn < c.Fanout; conn++ {
+				if !rng.Bool(c.Prob) {
+					continue
+				}
+				target := rng.Intn(c.N)
+				p.Conns = append(p.Conns, Connection{
+					LineNr:         int32(rail + 1),
+					KeyConnection:  KeyOf(target),
+					OidConnection:  int32(target),
+					DepartureTimes: truncate(fmt.Sprintf("%02d:%02d %02d:%02d %02d:%02d", rng.Intn(24), rng.Intn(60), rng.Intn(24), rng.Intn(60), rng.Intn(24), rng.Intn(60)), StrSize),
+				})
+			}
+		}
+		s.Platforms = append(s.Platforms, p)
+	}
+	nsee := seeRng.Intn(c.MaxSeeing + 1)
+	for j := 0; j < nsee; j++ {
+		s.Seeings = append(s.Seeings, Sightseeing{
+			Nr:          int32(j + 1),
+			Description: truncate(fmt.Sprintf("the old %s of %s", pick(seeRng, words), pick(seeRng, cityNames)), StrSize),
+			Location:    truncate(fmt.Sprintf("%s street %d", pick(seeRng, words), seeRng.Intn(200)+1), StrSize),
+			History:     truncate(fmt.Sprintf("built %d, restored %d", 1500+seeRng.Intn(400), 1900+seeRng.Intn(90)), StrSize),
+			Remarks:     truncate(fmt.Sprintf("open %d-%d, %s", 8+seeRng.Intn(3), 16+seeRng.Intn(6), pick(seeRng, words)), StrSize),
+		})
+	}
+	s.NoPlatform = int32(len(s.Platforms))
+	s.NoSeeing = int32(len(s.Seeings))
+	if enc := StationType.EncodedSize(s.Tuple()); enc > 60000 {
+		return nil, fmt.Errorf("cobench: station %d encodes to %d bytes, too large for the engine", index, enc)
+	}
+	return s, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+// Stats summarizes a generated extension; the paper reports the realised
+// averages of its extension in §5.1 (1.59 platforms, 4.04 connections,
+// 7.64 sightseeings).
+type Stats struct {
+	N               int
+	AvgPlatforms    float64
+	AvgConnections  float64
+	AvgSeeings      float64
+	AvgGrand        float64 // realised average grand-children per station
+	MaxPlatforms    int
+	MaxConnections  int // per station
+	MaxSeeings      int
+	AvgEncodedBytes float64 // average encoded NF² object size
+}
+
+// Describe computes extension statistics.
+func Describe(stations []*Station) Stats {
+	st := Stats{N: len(stations)}
+	if st.N == 0 {
+		return st
+	}
+	var plat, conn, see, grand, bytes float64
+	for _, s := range stations {
+		nc := s.NumConnections()
+		plat += float64(len(s.Platforms))
+		conn += float64(nc)
+		see += float64(len(s.Seeings))
+		bytes += float64(StationType.EncodedSize(s.Tuple()))
+		for _, child := range s.Children() {
+			grand += float64(stations[child].NumConnections())
+		}
+		if len(s.Platforms) > st.MaxPlatforms {
+			st.MaxPlatforms = len(s.Platforms)
+		}
+		if nc > st.MaxConnections {
+			st.MaxConnections = nc
+		}
+		if len(s.Seeings) > st.MaxSeeings {
+			st.MaxSeeings = len(s.Seeings)
+		}
+	}
+	n := float64(st.N)
+	st.AvgPlatforms = plat / n
+	st.AvgConnections = conn / n
+	st.AvgSeeings = see / n
+	st.AvgGrand = grand / n
+	st.AvgEncodedBytes = bytes / n
+	return st
+}
+
+// SizeBucket is one bar of an object-size histogram.
+type SizeBucket struct {
+	// Pages is the object footprint under direct storage, approximated as
+	// ceil(encoded/effectivePage) with a 2012-byte effective page.
+	Pages int
+	Count int
+}
+
+// SizeHistogram buckets the extension's objects by their direct-storage
+// page footprint. The shape explains the Figure 5/6 behaviour: the wider
+// the distribution, the more the ceiling effects and cache misses of the
+// direct models hurt.
+func SizeHistogram(stations []*Station) []SizeBucket {
+	const effPage = 2012
+	counts := map[int]int{}
+	maxPages := 0
+	for _, s := range stations {
+		enc := StationType.EncodedSize(s.Tuple())
+		pages := (enc + effPage - 1) / effPage
+		counts[pages]++
+		if pages > maxPages {
+			maxPages = pages
+		}
+	}
+	var out []SizeBucket
+	for p := 1; p <= maxPages; p++ {
+		out = append(out, SizeBucket{Pages: p, Count: counts[p]})
+	}
+	return out
+}

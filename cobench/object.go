@@ -1,0 +1,264 @@
+// Package cobench implements the complex object benchmark of the paper's
+// §2: a revised version of the Altair complex object benchmark. The
+// database extension consists of Station complex objects with nested
+// Platform/Connection and Sightseeing sub-relations; connections carry
+// references to other stations, which queries 2 and 3 navigate.
+//
+// The package provides the domain types, their NF² schema, the seeded data
+// generator (§2.1) and the benchmark workload constants (§2.2).
+package cobench
+
+import (
+	"fmt"
+
+	"complexobj/nf2"
+)
+
+// Station is the benchmark complex object (paper Figure 1). Field sizes
+// follow the paper: INT attributes are 4 bytes, STR attributes have a
+// fixed 100-byte capacity.
+type Station struct {
+	Key        int32
+	NoPlatform int32
+	NoSeeing   int32
+	Name       string
+	Platforms  []Platform
+	Seeings    []Sightseeing
+}
+
+// Platform is a nested sub-object of Station; its Connection sub-relation
+// nests one level deeper.
+type Platform struct {
+	Nr          int32
+	NoLine      int32
+	TicketCode  int32
+	Information string
+	Conns       []Connection
+}
+
+// Connection links a platform to a neighbouring station. OidConnection is
+// the paper's LINK attribute: a reference to the target Station, stored
+// here as the logical station index (the storage models resolve it through
+// their zero-cost address tables, the paper's convention in §5.1).
+type Connection struct {
+	LineNr         int32
+	KeyConnection  int32
+	OidConnection  int32
+	DepartureTimes string
+}
+
+// Sightseeing describes a tourist attraction near the station; it is dead
+// weight for queries 2 and 3, which is exactly what makes the DASDBS-DSM
+// partial reads pay off (paper §5.3, Figure 5).
+type Sightseeing struct {
+	Nr          int32
+	Description string
+	Location    string
+	History     string
+	Remarks     string
+}
+
+// RootRecord is the atomic root part of a Station: what query 2 reads for
+// the grand-children and what query 3 updates ("We update atomic
+// attributes, that is, the object structure is not changed").
+type RootRecord struct {
+	Key        int32
+	NoPlatform int32
+	NoSeeing   int32
+	Name       string
+}
+
+// Root extracts the station's root record.
+func (s *Station) Root() RootRecord {
+	return RootRecord{Key: s.Key, NoPlatform: s.NoPlatform, NoSeeing: s.NoSeeing, Name: s.Name}
+}
+
+// SetRoot applies a root record to the station's atomic attributes.
+func (s *Station) SetRoot(r RootRecord) {
+	s.Key, s.NoPlatform, s.NoSeeing, s.Name = r.Key, r.NoPlatform, r.NoSeeing, r.Name
+}
+
+// Children returns the station indices referenced by the station's
+// connections, in platform/connection order (the paper's "find the
+// identifiers of the objects it refers to").
+func (s *Station) Children() []int32 {
+	var out []int32
+	for _, p := range s.Platforms {
+		for _, c := range p.Conns {
+			out = append(out, c.OidConnection)
+		}
+	}
+	return out
+}
+
+// NumConnections returns the total connection count across platforms.
+func (s *Station) NumConnections() int {
+	n := 0
+	for _, p := range s.Platforms {
+		n += len(p.Conns)
+	}
+	return n
+}
+
+// Attribute positions in the schemas below; storage models use them for
+// partial decoding.
+const (
+	StKey = iota
+	StNoPlatform
+	StNoSeeing
+	StName
+	StPlatforms
+	StSeeings
+)
+
+const (
+	PlNr = iota
+	PlNoLine
+	PlTicketCode
+	PlInformation
+	PlConns
+)
+
+const (
+	CoLineNr = iota
+	CoKeyConnection
+	CoOid
+	CoDepartureTimes
+)
+
+const (
+	SeNr = iota
+	SeDescription
+	SeLocation
+	SeHistory
+	SeRemarks
+)
+
+// StrSize is the fixed capacity of every STR attribute in the benchmark
+// (100 bytes, paper Figure 1).
+const StrSize = 100
+
+// The benchmark NF² schemas (paper Figure 1).
+var (
+	// ConnectionType is the innermost subtuple schema.
+	ConnectionType = nf2.MustTupleType("Connection",
+		nf2.Attr{Name: "LineNr", Type: nf2.IntType()},
+		nf2.Attr{Name: "KeyConnection", Type: nf2.IntType()},
+		nf2.Attr{Name: "OidConnection", Type: nf2.LinkType()},
+		nf2.Attr{Name: "DepartureTimes", Type: nf2.StringType(StrSize)},
+	)
+	// PlatformType nests ConnectionType.
+	PlatformType = nf2.MustTupleType("Platform",
+		nf2.Attr{Name: "PlatformNr", Type: nf2.IntType()},
+		nf2.Attr{Name: "NoLine", Type: nf2.IntType()},
+		nf2.Attr{Name: "TicketCode", Type: nf2.IntType()},
+		nf2.Attr{Name: "Information", Type: nf2.StringType(StrSize)},
+		nf2.Attr{Name: "Connection", Type: nf2.RelType(ConnectionType)},
+	)
+	// SightseeingType is the second, navigation-irrelevant sub-relation.
+	SightseeingType = nf2.MustTupleType("Sightseeing",
+		nf2.Attr{Name: "SeeingNr", Type: nf2.IntType()},
+		nf2.Attr{Name: "Description", Type: nf2.StringType(StrSize)},
+		nf2.Attr{Name: "Location", Type: nf2.StringType(StrSize)},
+		nf2.Attr{Name: "History", Type: nf2.StringType(StrSize)},
+		nf2.Attr{Name: "Remarks", Type: nf2.StringType(StrSize)},
+	)
+	// StationType is the complete benchmark complex object.
+	StationType = nf2.MustTupleType("Station",
+		nf2.Attr{Name: "Key", Type: nf2.IntType()},
+		nf2.Attr{Name: "NoPlatform", Type: nf2.IntType()},
+		nf2.Attr{Name: "NoSeeing", Type: nf2.IntType()},
+		nf2.Attr{Name: "Name", Type: nf2.StringType(StrSize)},
+		nf2.Attr{Name: "Platform", Type: nf2.RelType(PlatformType)},
+		nf2.Attr{Name: "Sightseeing", Type: nf2.RelType(SightseeingType)},
+	)
+)
+
+// Tuple converts the station to its NF² representation.
+func (s *Station) Tuple() nf2.Tuple {
+	plats := make([]nf2.Tuple, len(s.Platforms))
+	for i, p := range s.Platforms {
+		conns := make([]nf2.Tuple, len(p.Conns))
+		for j, c := range p.Conns {
+			conns[j] = nf2.NewTuple(
+				nf2.IntValue(c.LineNr),
+				nf2.IntValue(c.KeyConnection),
+				nf2.LinkValue(c.OidConnection),
+				nf2.StringValue(c.DepartureTimes),
+			)
+		}
+		plats[i] = nf2.NewTuple(
+			nf2.IntValue(p.Nr),
+			nf2.IntValue(p.NoLine),
+			nf2.IntValue(p.TicketCode),
+			nf2.StringValue(p.Information),
+			nf2.RelValue(conns),
+		)
+	}
+	sees := make([]nf2.Tuple, len(s.Seeings))
+	for i, g := range s.Seeings {
+		sees[i] = nf2.NewTuple(
+			nf2.IntValue(g.Nr),
+			nf2.StringValue(g.Description),
+			nf2.StringValue(g.Location),
+			nf2.StringValue(g.History),
+			nf2.StringValue(g.Remarks),
+		)
+	}
+	return nf2.NewTuple(
+		nf2.IntValue(s.Key),
+		nf2.IntValue(s.NoPlatform),
+		nf2.IntValue(s.NoSeeing),
+		nf2.StringValue(s.Name),
+		nf2.RelValue(plats),
+		nf2.RelValue(sees),
+	)
+}
+
+// StationFromTuple converts an NF² tuple back into a Station.
+func StationFromTuple(t nf2.Tuple) (*Station, error) {
+	if err := StationType.Validate(t); err != nil {
+		return nil, fmt.Errorf("cobench: %w", err)
+	}
+	s := &Station{
+		Key:        t.Vals[StKey].Int(),
+		NoPlatform: t.Vals[StNoPlatform].Int(),
+		NoSeeing:   t.Vals[StNoSeeing].Int(),
+		Name:       t.Vals[StName].Str(),
+	}
+	for _, pt := range t.Vals[StPlatforms].Tuples() {
+		p := Platform{
+			Nr:          pt.Vals[PlNr].Int(),
+			NoLine:      pt.Vals[PlNoLine].Int(),
+			TicketCode:  pt.Vals[PlTicketCode].Int(),
+			Information: pt.Vals[PlInformation].Str(),
+		}
+		for _, ct := range pt.Vals[PlConns].Tuples() {
+			p.Conns = append(p.Conns, Connection{
+				LineNr:         ct.Vals[CoLineNr].Int(),
+				KeyConnection:  ct.Vals[CoKeyConnection].Int(),
+				OidConnection:  ct.Vals[CoOid].Int(),
+				DepartureTimes: ct.Vals[CoDepartureTimes].Str(),
+			})
+		}
+		s.Platforms = append(s.Platforms, p)
+	}
+	for _, gt := range t.Vals[StSeeings].Tuples() {
+		s.Seeings = append(s.Seeings, Sightseeing{
+			Nr:          gt.Vals[SeNr].Int(),
+			Description: gt.Vals[SeDescription].Str(),
+			Location:    gt.Vals[SeLocation].Str(),
+			History:     gt.Vals[SeHistory].Str(),
+			Remarks:     gt.Vals[SeRemarks].Str(),
+		})
+	}
+	return s, nil
+}
+
+// Equal reports deep equality of two stations.
+func (s *Station) Equal(o *Station) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	return StationType.Equal(s.Tuple(), o.Tuple())
+}

@@ -1,0 +1,360 @@
+// Package complexobj is a reproduction of Teeuw, Rich, Scholl and Blanken,
+// "An Evaluation of Physical Disk I/Os for Complex Object Processing"
+// (ICDE 1993): a storage system for hierarchical complex objects (NF²
+// nested tuples with object references) implementing the paper's four
+// storage models over a simulated DASDBS page engine, together with the
+// revised Altair benchmark and the analytical disk-I/O cost model.
+//
+// This root package is the facade: open a database under one of the
+// storage models, load a benchmark extension, run queries, and read the
+// exact I/O statistics the paper reports (physical page I/Os, I/O calls,
+// buffer fixes). The companion packages provide the building blocks:
+//
+//   - cobench: the benchmark objects, generator and workload (paper §2);
+//   - nf2: the complex object model and binary encoding;
+//   - costmodel: the analytical estimators, Equations 2-8 (paper §3-4);
+//   - experiments: the harness regenerating every table and figure (§4-5);
+//   - report: plain-text/Markdown/CSV rendering for the above.
+package complexobj
+
+import (
+	"errors"
+	"fmt"
+
+	"complexobj/cobench"
+	"complexobj/internal/buffer"
+	"complexobj/internal/store"
+	"complexobj/internal/workload"
+)
+
+// ModelKind selects one of the paper's storage models.
+type ModelKind int
+
+const (
+	// DSM is the direct storage model (§3.1): whole objects clustered on
+	// as few pages as possible, always transferred entirely.
+	DSM ModelKind = iota
+	// DASDBSDSM adds the DASDBS object header: only the pages actually
+	// used by a query are transferred (§3.2).
+	DASDBSDSM
+	// NSM is the normalized storage model: four flat relations with
+	// foreign keys, no index (§3.3).
+	NSM
+	// NSMIndex is NSM with a zero-cost in-memory index.
+	NSMIndex
+	// DASDBSNSM is the nested-normalized model with a transformation
+	// table (§3.4) — the paper's overall winner.
+	DASDBSNSM
+)
+
+// String implements fmt.Stringer using the paper's names.
+func (k ModelKind) String() string { return k.internal().String() }
+
+func (k ModelKind) internal() store.Kind {
+	switch k {
+	case DSM:
+		return store.DSM
+	case DASDBSDSM:
+		return store.DASDBSDSM
+	case NSM:
+		return store.NSM
+	case NSMIndex:
+		return store.NSMIndex
+	case DASDBSNSM:
+		return store.DASDBSNSM
+	default:
+		panic(fmt.Sprintf("complexobj: unknown model kind %d", int(k)))
+	}
+}
+
+// AllModels lists the storage models in the paper's order.
+func AllModels() []ModelKind { return []ModelKind{DSM, DASDBSDSM, NSM, NSMIndex, DASDBSNSM} }
+
+// ModelByName resolves the paper's model names (case-sensitive, as printed
+// by String) plus the short aliases dsm, ddsm, nsm, nsmx and dnsm.
+func ModelByName(name string) (ModelKind, error) {
+	switch name {
+	case "DSM", "dsm":
+		return DSM, nil
+	case "DASDBS-DSM", "ddsm":
+		return DASDBSDSM, nil
+	case "NSM", "nsm":
+		return NSM, nil
+	case "NSM+index", "nsmx", "nsm+index":
+		return NSMIndex, nil
+	case "DASDBS-NSM", "dnsm":
+		return DASDBSNSM, nil
+	default:
+		return 0, fmt.Errorf("complexobj: unknown storage model %q", name)
+	}
+}
+
+// Options configure the simulated installation. The zero value uses the
+// paper's setup: 2048-byte pages, a 1200-page LRU cache, free index I/O.
+type Options struct {
+	// PageSize is the raw page size in bytes (default 2048).
+	PageSize int
+	// BufferPages is the cache capacity in pages (default 1200).
+	BufferPages int
+	// ClockReplacement switches the cache from LRU to the Clock policy.
+	ClockReplacement bool
+	// CountIndexIO equips the NSMIndex model with disk-resident B+-tree
+	// indexes whose page accesses are counted, instead of the paper's
+	// free in-memory address tables (§5.1). See experiments.IndexAblation
+	// for the quantified effect.
+	CountIndexIO bool
+}
+
+func (o Options) internal() store.Options {
+	so := store.Options{
+		PageSize:     o.PageSize,
+		BufferPages:  o.BufferPages,
+		CountIndexIO: o.CountIndexIO,
+	}
+	if o.ClockReplacement {
+		so.Policy = buffer.Clock
+	}
+	return so
+}
+
+// Stats are the I/O counters of a database, the quantities the paper
+// evaluates: transferred pages (Table 4), I/O calls (Table 5) and buffer
+// fixes (Table 6).
+type Stats struct {
+	PagesRead    int64
+	PagesWritten int64
+	ReadCalls    int64
+	WriteCalls   int64
+	BufferFixes  int64
+	BufferHits   int64
+}
+
+// Pages returns total transferred pages, the paper's X_{I/O pages}.
+func (s Stats) Pages() int64 { return s.PagesRead + s.PagesWritten }
+
+// Calls returns total I/O calls, the paper's X_{I/O calls}.
+func (s Stats) Calls() int64 { return s.ReadCalls + s.WriteCalls }
+
+// DB is one database instance: a storage model over its own simulated
+// disk and buffer pool. DB is not safe for concurrent use.
+type DB struct {
+	kind  ModelKind
+	model store.Model
+}
+
+// Open creates an empty database under the given storage model.
+func Open(kind ModelKind, opts Options) *DB {
+	return &DB{kind: kind, model: store.New(kind.internal(), opts.internal())}
+}
+
+// OpenLoaded creates a database and loads a freshly generated benchmark
+// extension into it; statistics start at zero with a cold cache.
+func OpenLoaded(kind ModelKind, opts Options, gen cobench.Config) (*DB, error) {
+	stations, err := cobench.Generate(gen)
+	if err != nil {
+		return nil, err
+	}
+	db := Open(kind, opts)
+	if err := db.Load(stations); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Kind returns the database's storage model.
+func (db *DB) Kind() ModelKind { return db.kind }
+
+// Load bulk-loads the given stations. Load may be called once; it leaves
+// the cache cold and the statistics zeroed, so subsequent measurements
+// exclude load-time I/O (the paper's convention).
+func (db *DB) Load(stations []*cobench.Station) error {
+	if err := db.model.Load(stations); err != nil {
+		return err
+	}
+	if err := db.model.Engine().ColdCache(); err != nil {
+		return err
+	}
+	db.model.Engine().ResetStats()
+	return nil
+}
+
+// NumObjects returns the number of loaded objects.
+func (db *DB) NumObjects() int { return db.model.NumObjects() }
+
+// FetchByAddress retrieves a whole object by its physical address (the
+// paper's query 1a). Pure NSM returns ErrNoAddressAccess.
+func (db *DB) FetchByAddress(i int) (*cobench.Station, error) {
+	return db.model.FetchByAddress(i)
+}
+
+// ErrNoAddressAccess reports that the storage model has no object
+// addresses (pure NSM).
+var ErrNoAddressAccess = store.ErrNoAddressAccess
+
+// FetchByKey retrieves a whole object by a value selection on its key
+// (query 1b): a physical scan of the root relation.
+func (db *DB) FetchByKey(key int32) (*cobench.Station, error) {
+	return db.model.FetchByKey(key)
+}
+
+// ScanAll retrieves every object (query 1c).
+func (db *DB) ScanAll(fn func(i int, s *cobench.Station) error) error {
+	return db.model.ScanAll(fn)
+}
+
+// Navigate reads the object's root record and the station indices its
+// connections refer to, transferring only the pages the model needs.
+func (db *DB) Navigate(i int) (cobench.RootRecord, []int32, error) {
+	return db.model.Navigate(i)
+}
+
+// ReadRoot reads just the root record of an object.
+func (db *DB) ReadRoot(i int) (cobench.RootRecord, error) {
+	return db.model.ReadRoot(i)
+}
+
+// UpdateRoots applies mutate to the root records of the given objects and
+// writes them back through the model's update mechanism (whole-tuple
+// replacement, in-place update, or DASDBS-DSM's write-through
+// change-attribute operations).
+func (db *DB) UpdateRoots(idxs []int32, mutate func(i int32, r *cobench.RootRecord)) error {
+	return db.model.UpdateRoots(idxs, mutate)
+}
+
+// UpdateObject applies an arbitrary — possibly structural — mutation to
+// one object and stores the result. This goes beyond the paper's
+// benchmark (whose updates never change the object structure): objects
+// may grow or shrink, direct objects relocate when their page footprint
+// changes, and normalized sub-tuples are deleted and reinserted. The
+// NoPlatform/NoSeeing counters are refreshed automatically.
+func (db *DB) UpdateObject(i int, mutate func(s *cobench.Station) error) error {
+	return db.model.UpdateObject(i, mutate)
+}
+
+// Flush writes all deferred (dirty) pages back to disk, the paper's
+// "database disconnect".
+func (db *DB) Flush() error { return db.model.Flush() }
+
+// ColdCache flushes and empties the buffer pool.
+func (db *DB) ColdCache() error { return db.model.Engine().ColdCache() }
+
+// Stats returns the accumulated I/O counters.
+func (db *DB) Stats() Stats {
+	s := db.model.Engine().Stats()
+	return Stats{
+		PagesRead:    s.PagesRead,
+		PagesWritten: s.PagesWritten,
+		ReadCalls:    s.ReadCalls,
+		WriteCalls:   s.WriteCalls,
+		BufferFixes:  s.Fixes,
+		BufferHits:   s.Hits,
+	}
+}
+
+// ResetStats zeroes the I/O counters without touching the cache.
+func (db *DB) ResetStats() { db.model.Engine().ResetStats() }
+
+// RelationSize describes the physical layout of one stored relation, in
+// the units of the paper's Table 2.
+type RelationSize struct {
+	Name            string
+	TuplesPerObject float64
+	Tuples          int
+	AvgTupleBytes   float64
+	TuplesPerPage   float64 // the paper's k (0 for large tuples)
+	PagesPerTuple   float64 // the paper's p (0 for shared pages)
+	Pages           int     // the paper's m
+}
+
+// Sizes reports the physical layout of every relation of the model.
+func (db *DB) Sizes() []RelationSize {
+	rep := db.model.Sizes()
+	out := make([]RelationSize, 0, len(rep.Relations))
+	for _, r := range rep.Relations {
+		out = append(out, RelationSize{
+			Name:            r.Name,
+			TuplesPerObject: r.TuplesPerObject,
+			Tuples:          r.Tuples,
+			AvgTupleBytes:   r.AvgTupleBytes,
+			TuplesPerPage:   r.K,
+			PagesPerTuple:   r.P,
+			Pages:           r.M,
+		})
+	}
+	return out
+}
+
+// QueryResult is the outcome of running one benchmark query, normalized
+// per unit (objects for query family 1, loops for families 2 and 3).
+type QueryResult struct {
+	Query     cobench.Query
+	Model     ModelKind
+	Supported bool
+	Units     float64
+	Raw       Stats
+
+	// Normalized counters (per object / per loop).
+	Pages        float64
+	PagesRead    float64
+	PagesWritten float64
+	Calls        float64
+	ReadCalls    float64
+	WriteCalls   float64
+	Fixes        float64
+	Hits         float64
+}
+
+// Run executes one of the paper's benchmark queries against the database
+// and returns its measurement. The cache is reset before the query, as in
+// the experiment harness.
+func (db *DB) Run(q cobench.Query, w cobench.Workload) (QueryResult, error) {
+	res, err := workload.NewRunner(db.model, w).Run(q)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	out := QueryResult{
+		Query:     res.Query,
+		Model:     db.kind,
+		Supported: res.Supported,
+		Units:     res.Units,
+		Raw: Stats{
+			PagesRead:    res.Stats.PagesRead,
+			PagesWritten: res.Stats.PagesWritten,
+			ReadCalls:    res.Stats.ReadCalls,
+			WriteCalls:   res.Stats.WriteCalls,
+			BufferFixes:  res.Stats.Fixes,
+			BufferHits:   res.Stats.Hits,
+		},
+	}
+	if res.Supported {
+		n := res.PerUnit()
+		out.Pages = n.Pages
+		out.PagesRead = n.PagesRead
+		out.PagesWritten = n.PagesWritten
+		out.Calls = n.Calls
+		out.ReadCalls = n.ReadCalls
+		out.WriteCalls = n.WriteCalls
+		out.Fixes = n.Fixes
+		out.Hits = n.Hits
+	}
+	return out, nil
+}
+
+// RunBenchmark executes all seven benchmark queries in paper order.
+func (db *DB) RunBenchmark(w cobench.Workload) ([]QueryResult, error) {
+	var out []QueryResult
+	for _, q := range cobench.AllQueries() {
+		r, err := db.Run(q, w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ErrNotLoaded reports queries against an empty database.
+var ErrNotLoaded = store.ErrNotLoaded
+
+// IsNotLoaded reports whether err indicates an empty database.
+func IsNotLoaded(err error) bool { return errors.Is(err, store.ErrNotLoaded) }

@@ -1,0 +1,285 @@
+package complexobj
+
+import (
+	"errors"
+	"testing"
+
+	"complexobj/cobench"
+)
+
+func smallDB(t *testing.T, kind ModelKind) *DB {
+	t.Helper()
+	db, err := OpenLoaded(kind, Options{BufferPages: 128}, cobench.DefaultConfig().WithN(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestModelNames(t *testing.T) {
+	want := map[ModelKind]string{
+		DSM: "DSM", DASDBSDSM: "DASDBS-DSM", NSM: "NSM",
+		NSMIndex: "NSM+index", DASDBSNSM: "DASDBS-NSM",
+	}
+	for k, w := range want {
+		if k.String() != w {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), w)
+		}
+		// Round-trip through both the display name and the short alias.
+		got, err := ModelByName(w)
+		if err != nil || got != k {
+			t.Errorf("ModelByName(%q) = %v, %v", w, got, err)
+		}
+	}
+	for alias, k := range map[string]ModelKind{
+		"dsm": DSM, "ddsm": DASDBSDSM, "nsm": NSM, "nsmx": NSMIndex, "dnsm": DASDBSNSM,
+	} {
+		if got, err := ModelByName(alias); err != nil || got != k {
+			t.Errorf("ModelByName(%q) = %v, %v", alias, got, err)
+		}
+	}
+	if _, err := ModelByName("bogus"); err == nil {
+		t.Error("bogus model accepted")
+	}
+	if len(AllModels()) != 5 {
+		t.Error("AllModels wrong")
+	}
+}
+
+func TestOpenLoadFetch(t *testing.T) {
+	for _, kind := range AllModels() {
+		db := smallDB(t, kind)
+		if db.Kind() != kind || db.NumObjects() != 80 {
+			t.Fatalf("%s: kind/objects wrong", kind)
+		}
+		s, err := db.FetchByKey(cobench.KeyOf(10))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if s.Key != cobench.KeyOf(10) {
+			t.Fatalf("%s: wrong station", kind)
+		}
+		if db.Stats().Pages() == 0 {
+			t.Errorf("%s: no I/O counted", kind)
+		}
+	}
+}
+
+func TestAddressAccessErrors(t *testing.T) {
+	db := smallDB(t, NSM)
+	if _, err := db.FetchByAddress(0); !errors.Is(err, ErrNoAddressAccess) {
+		t.Errorf("pure NSM FetchByAddress err = %v", err)
+	}
+	db2 := smallDB(t, DSM)
+	if _, err := db2.FetchByAddress(0); err != nil {
+		t.Errorf("DSM FetchByAddress: %v", err)
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	db := Open(DSM, Options{BufferPages: 16})
+	_, err := db.FetchByKey(1)
+	if !IsNotLoaded(err) {
+		t.Errorf("empty fetch err = %v", err)
+	}
+	if _, err := db.Run(cobench.Q1c, cobench.DefaultWorkload()); !IsNotLoaded(err) {
+		t.Errorf("empty run err = %v", err)
+	}
+}
+
+func TestNavigateAndUpdate(t *testing.T) {
+	db := smallDB(t, DASDBSNSM)
+	root, children, err := db.Navigate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Key != cobench.KeyOf(3) {
+		t.Error("navigate root mismatch")
+	}
+	if len(children) > 0 {
+		if _, err := db.ReadRoot(int(children[0])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.UpdateRoots([]int32{3}, func(_ int32, r *cobench.RootRecord) {
+		r.Name = "renamed"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ColdCache(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := db.ReadRoot(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "renamed" {
+		t.Error("update lost")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	db := smallDB(t, DSM)
+	before := db.Stats()
+	if before.Pages() != 0 {
+		t.Fatalf("fresh DB has stats: %+v", before)
+	}
+	if _, err := db.FetchByAddress(0); err != nil {
+		t.Fatal(err)
+	}
+	after := db.Stats()
+	if after.PagesRead == 0 || after.ReadCalls == 0 || after.BufferFixes == 0 {
+		t.Errorf("fetch not accounted: %+v", after)
+	}
+	db.ResetStats()
+	if db.Stats().Pages() != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+func TestScanAll(t *testing.T) {
+	db := smallDB(t, NSMIndex)
+	count := 0
+	err := db.ScanAll(func(i int, s *cobench.Station) error {
+		if s.Key != cobench.KeyOf(i) {
+			t.Fatalf("scan order broken at %d", i)
+		}
+		count++
+		return nil
+	})
+	if err != nil || count != 80 {
+		t.Fatalf("scan: %v, %d objects", err, count)
+	}
+}
+
+func TestSizes(t *testing.T) {
+	db := smallDB(t, NSM)
+	sizes := db.Sizes()
+	if len(sizes) != 4 {
+		t.Fatalf("NSM sizes: %d relations", len(sizes))
+	}
+	total := 0
+	for _, r := range sizes {
+		total += r.Pages
+		if r.Tuples < 0 || r.AvgTupleBytes <= 0 {
+			t.Errorf("bad relation %+v", r)
+		}
+	}
+	if total == 0 {
+		t.Error("no pages reported")
+	}
+}
+
+func TestRunBenchmark(t *testing.T) {
+	w := cobench.Workload{Loops: 10, Samples: 5, Seed: 1}
+	for _, kind := range []ModelKind{DSM, DASDBSNSM} {
+		db := smallDB(t, kind)
+		results, err := db.RunBenchmark(w)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(results) != 7 {
+			t.Fatalf("%s: %d results", kind, len(results))
+		}
+		for _, r := range results {
+			if !r.Supported {
+				t.Errorf("%s %s unsupported", kind, r.Query)
+			}
+			if r.Pages <= 0 || r.Raw.Pages() <= 0 {
+				t.Errorf("%s %s: no pages", kind, r.Query)
+			}
+		}
+	}
+}
+
+func TestClockReplacementOption(t *testing.T) {
+	db, err := OpenLoaded(DSM, Options{BufferPages: 64, ClockReplacement: true},
+		cobench.DefaultConfig().WithN(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Run(cobench.Q2b, cobench.Workload{Loops: 20, Samples: 5, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleLoadRejected(t *testing.T) {
+	db := smallDB(t, DSM)
+	stations, _ := cobench.Generate(cobench.DefaultConfig().WithN(5))
+	if err := db.Load(stations); err == nil {
+		t.Error("double load accepted")
+	}
+}
+
+func TestCountIndexIOOption(t *testing.T) {
+	gen := cobench.DefaultConfig().WithN(120)
+	free, err := OpenLoaded(NSMIndex, Options{BufferPages: 128}, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counted, err := OpenLoaded(NSMIndex, Options{BufferPages: 128, CountIndexIO: true}, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same answers either way.
+	a, err := free.FetchByAddress(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := counted.FetchByAddress(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("counted index returns different object")
+	}
+	// But the counted variant pays more I/O for the same cold fetch.
+	free.ColdCache()
+	free.ResetStats()
+	counted.ColdCache()
+	counted.ResetStats()
+	free.FetchByAddress(9)
+	counted.FetchByAddress(9)
+	if counted.Stats().PagesRead <= free.Stats().PagesRead {
+		t.Errorf("counted index reads %d pages, free %d; expected more",
+			counted.Stats().PagesRead, free.Stats().PagesRead)
+	}
+}
+
+func TestUpdateObjectFacade(t *testing.T) {
+	db := smallDB(t, DASDBSNSM)
+	err := db.UpdateObject(5, func(s *cobench.Station) error {
+		s.Seeings = append(s.Seeings, cobench.Sightseeing{
+			Nr: 99, Description: "facade", Location: "x", History: "y", Remarks: "z",
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ColdCache(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.FetchByAddress(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, g := range got.Seeings {
+		if g.Nr == 99 && g.Description == "facade" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("structural update not visible")
+	}
+	if got.NoSeeing != int32(len(got.Seeings)) {
+		t.Error("counter not refreshed")
+	}
+}

@@ -1,0 +1,191 @@
+package costmodel
+
+// Model names the storage model a set of estimates refers to. The enum is
+// deliberately independent of the storage engine so the analytical package
+// stays free of engine dependencies.
+type Model int
+
+const (
+	// DSM is the direct storage model.
+	DSM Model = iota
+	// DSMPrime is DSM "without wasted disk space" (the primed rows of
+	// Table 3, used in §5.4 as the realistic worst-case anchor).
+	DSMPrime
+	// DASDBSDSM is the direct model with partial page access.
+	DASDBSDSM
+	// NSM is the normalized model without index support.
+	NSM
+	// NSMIndex is NSM with a (free, in-memory) index.
+	NSMIndex
+	// DASDBSNSM is the nested-normalized model with a transformation table.
+	DASDBSNSM
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case DSM:
+		return "DSM"
+	case DSMPrime:
+		return "DSM'"
+	case DASDBSDSM:
+		return "DASDBS-DSM"
+	case NSM:
+		return "NSM"
+	case NSMIndex:
+		return "NSM+index"
+	case DASDBSNSM:
+		return "DASDBS-NSM"
+	default:
+		return "Model(?)"
+	}
+}
+
+// AllModels lists the estimator rows in Table 3 order.
+func AllModels() []Model {
+	return []Model{DSM, DSMPrime, DASDBSDSM, NSM, NSMIndex, DASDBSNSM}
+}
+
+// Rel holds the layout constants of one stored relation (one Table 2 row):
+// tuples per object, tuples per page (k) for page-sharing relations, pages
+// per tuple (p) for large tuples, and total pages (m).
+type Rel struct {
+	PerObject float64
+	K         float64
+	P         float64
+	M         float64
+}
+
+// Params carries every physical constant the estimators need. The split
+// mirrors Table 2: one large-tuple relation for the direct models and four
+// relations each for the normalized models.
+type Params struct {
+	// Name labels the parameter set in reports ("paper", "derived").
+	Name string
+	// SPage is the effective page size in bytes (2012 for DASDBS).
+	SPage float64
+
+	// Direct model: every station is one large tuple.
+	// DirectP is Equation 2's p (pages per object, including the header
+	// page and any allocation waste) — what plain DSM transfers.
+	DirectP float64
+	// DirectUsefulP is the number of pages actually carrying data (the
+	// primed "no wasted space" variant and what DASDBS-DSM transfers for a
+	// full object read).
+	DirectUsefulP float64
+	// DirectNavP is what DASDBS-DSM transfers to navigate (header + the
+	// data pages holding root record and platforms; the paper: "we only
+	// need to retrieve the header page and a single data page").
+	DirectNavP float64
+	// DirectRootP is what DASDBS-DSM transfers to read just the root
+	// record (header + one data page).
+	DirectRootP float64
+	// DirectM is the direct relation's total pages (N * DirectP).
+	DirectM float64
+	// DirectUsefulM is the total pages without waste (N * DirectUsefulP).
+	DirectUsefulM float64
+
+	// Normalized flat relations (NSM / NSM+index).
+	NSMStation     Rel
+	NSMPlatform    Rel
+	NSMConnection  Rel
+	NSMSightseeing Rel
+
+	// Nested-normalized relations (DASDBS-NSM). Station/Platform/
+	// Connection tuples share pages; Sightseeing tuples are large (P pages
+	// each, header included).
+	DNSMStation     Rel
+	DNSMPlatform    Rel
+	DNSMConnection  Rel
+	DNSMSightseeing Rel
+}
+
+// Workload carries the benchmark's statistical constants (§2).
+type Workload struct {
+	// N is the number of objects in the extension.
+	N float64
+	// Children is the average number of child references per object
+	// ((fanout*prob)^3 = 4.096 by default).
+	Children float64
+	// Grand is the average number of grand-children per loop (Children²).
+	Grand float64
+	// Loops is the loop count of queries 2b/3b (300 for N=1500).
+	Loops float64
+}
+
+// PaperWorkload returns the paper's benchmark constants for the default
+// extension.
+func PaperWorkload() Workload {
+	return Workload{N: 1500, Children: 4.096, Grand: 16.777216, Loops: 300}
+}
+
+// WorkloadFor scales the workload to a database of n objects, with the
+// Figure 6 convention loops = n/5.
+func WorkloadFor(n int) Workload {
+	w := PaperWorkload()
+	w.N = float64(n)
+	w.Loops = float64(n) / 5
+	if w.Loops < 1 {
+		w.Loops = 1
+	}
+	return w
+}
+
+// ObjectsPerLoop returns the expected objects touched by one navigation
+// loop: the root, its children and its grand-children.
+func (w Workload) ObjectsPerLoop() float64 { return 1 + w.Children + w.Grand }
+
+// PaperParams returns the layout constants of the paper's Table 2.
+//
+// Legible cells are taken verbatim: S_page = 2012; DSM_Station S_tuple =
+// 6078 → p = 4, m = 6000 (p = 3, m = 4500 without wasted space);
+// NSM_Connection k = 11, m = 559; NSM_Sightseeing k = 4, m = 2813. The
+// remaining cells are OCR-corrupted in the available text and are
+// reconstructed from the same arithmetic (tuple sizes from Figure 1 plus
+// DASDBS overheads, m = ceil(tuples/k)); the reconstruction reproduces
+// every legible Table 3 value (see tests).
+func PaperParams() Params {
+	return Params{
+		Name:  "paper",
+		SPage: 2012,
+
+		DirectP:       4, // ceil(6078/2012)
+		DirectUsefulP: 3, // measured: 1 header + 2.02 data pages
+		DirectNavP:    2, // header + single data page (§4)
+		DirectRootP:   2,
+		DirectM:       6000,
+		DirectUsefulM: 4500,
+
+		NSMStation:     Rel{PerObject: 1.0, K: 13, M: 116},
+		NSMPlatform:    Rel{PerObject: 1.6, K: 11, M: 219}, // reconstructed
+		NSMConnection:  Rel{PerObject: 4.1, K: 11, M: 559},
+		NSMSightseeing: Rel{PerObject: 7.5, K: 4, M: 2813},
+
+		DNSMStation:     Rel{PerObject: 1, K: 13, M: 116},
+		DNSMPlatform:    Rel{PerObject: 1, K: 7, M: 209},  // reconstructed
+		DNSMConnection:  Rel{PerObject: 1, K: 3, M: 500},  // m legible ("Connection 500")
+		DNSMSightseeing: Rel{PerObject: 1, P: 2, M: 3000}, // reconstructed (header+data)
+	}
+}
+
+// NSMTotalM sums the flat relations' pages.
+func (p Params) NSMTotalM() float64 {
+	return p.NSMStation.M + p.NSMPlatform.M + p.NSMConnection.M + p.NSMSightseeing.M
+}
+
+// DNSMTotalM sums the nested relations' pages.
+func (p Params) DNSMTotalM() float64 {
+	return p.DNSMStation.M + p.DNSMPlatform.M + p.DNSMConnection.M + p.DNSMSightseeing.M
+}
+
+// DNSMFetchPages is the page cost of assembling one object by address
+// under DASDBS-NSM: one page for each small nested tuple plus the
+// sightseeing tuple's pages ("the (four) addresses of the corresponding
+// tuples", §4; paper value 5.00).
+func (p Params) DNSMFetchPages() float64 {
+	see := p.DNSMSightseeing.P
+	if see == 0 {
+		see = 1
+	}
+	return 3 + see
+}

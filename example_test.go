@@ -1,0 +1,57 @@
+package complexobj_test
+
+import (
+	"fmt"
+
+	"complexobj"
+	"complexobj/cobench"
+	"complexobj/costmodel"
+)
+
+// Example demonstrates the core loop of the library: load a benchmark
+// extension under a storage model, navigate the object graph, and read
+// the paper's I/O metrics.
+func Example() {
+	gen := cobench.DefaultConfig().WithN(100)
+	db, err := complexobj.OpenLoaded(complexobj.DASDBSNSM, complexobj.Options{BufferPages: 256}, gen)
+	if err != nil {
+		panic(err)
+	}
+	_, children, err := db.Navigate(0)
+	if err != nil {
+		panic(err)
+	}
+	s := db.Stats()
+	fmt.Printf("navigated to %d children with %d page reads in %d calls\n",
+		len(children), s.PagesRead, s.ReadCalls)
+	// Output:
+	// navigated to 7 children with 2 page reads in 2 calls
+}
+
+// ExampleDB_Run executes one of the paper's benchmark queries and prints
+// the normalized measurement.
+func ExampleDB_Run() {
+	db, err := complexobj.OpenLoaded(complexobj.DSM, complexobj.Options{},
+		cobench.DefaultConfig().WithN(200))
+	if err != nil {
+		panic(err)
+	}
+	res, err := db.Run(cobench.Q1c, cobench.Workload{Loops: 40, Samples: 10, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("query %s scanned %d objects\n", res.Query, int(res.Units))
+	// Output:
+	// query 1c scanned 200 objects
+}
+
+// ExampleEstimate evaluates the paper's analytical cost model: the DSM row
+// of Table 3 under the published layout constants.
+func ExampleEstimate() {
+	est := costmodel.Estimate(costmodel.DSM, costmodel.PaperParams(), costmodel.PaperWorkload())
+	fmt.Printf("DSM query 1a: %.2f pages per object\n", est.Q1a)
+	fmt.Printf("DSM query 2b: %.1f pages per loop\n", est.Q2b)
+	// Output:
+	// DSM query 1a: 4.00 pages per object
+	// DSM query 2b: 19.7 pages per loop
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"complexobj/report"
+)
+
+// ChartFigure6 renders the Figure 6 sweep as an ASCII chart per model:
+// measured points against the best-case and worst-case lines over a
+// logarithmic database-size axis, like the paper's plot.
+func (s *Suite) ChartFigure6() ([]string, error) {
+	points, err := s.Figure6()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, k := range fig5Models {
+		var meas, best, worst []report.Point
+		for _, p := range points {
+			if p.Model != k.String() {
+				continue
+			}
+			x := float64(p.N)
+			meas = append(meas, report.Point{X: x, Y: p.Measured})
+			best = append(best, report.Point{X: x, Y: p.BestCase})
+			worst = append(worst, report.Point{X: x, Y: p.WorstCase})
+		}
+		c := &report.Chart{
+			Title:  fmt.Sprintf("Figure 6 (%s): query 2b pages/loop vs database size", k),
+			XLabel: "objects",
+			YLabel: "pages per loop",
+			LogX:   true,
+			Series: []report.Series{
+				{Name: "measured", Points: meas},
+				{Name: "best case", Points: best},
+				{Name: "worst case", Points: worst},
+			},
+		}
+		out = append(out, c.Text())
+	}
+	return out, nil
+}
+
+// ChartFigure5 renders the Figure 5 object-size sweep as one ASCII chart
+// per query (pages/loop vs max sightseeings, one series per model).
+func (s *Suite) ChartFigure5() ([]string, error) {
+	cells, err := s.Figure5()
+	if err != nil {
+		return nil, err
+	}
+	queries := []struct {
+		name string
+		get  func(Fig5Cell) float64
+	}{
+		{"1c", func(c Fig5Cell) float64 { return c.Q1c }},
+		{"2b", func(c Fig5Cell) float64 { return c.Q2b }},
+		{"3b", func(c Fig5Cell) float64 { return c.Q3b }},
+	}
+	var out []string
+	for _, q := range queries {
+		var series []report.Series
+		for _, k := range fig5Models {
+			var pts []report.Point
+			for _, c := range cells {
+				if c.Model == k.String() {
+					pts = append(pts, report.Point{X: float64(c.MaxSeeing), Y: q.get(c)})
+				}
+			}
+			series = append(series, report.Series{Name: k.String(), Points: pts})
+		}
+		c := &report.Chart{
+			Title:  fmt.Sprintf("Figure 5 (query %s): pages vs max sightseeings", q.name),
+			XLabel: "max sightseeings",
+			YLabel: "pages per object/loop",
+			Series: series,
+		}
+		out = append(out, c.Text())
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"complexobj/costmodel"
+	"complexobj/report"
+)
+
+// DeviceWeights are the d1/d2 coefficients of the paper's Equation 1,
+// C = d1 · X_calls + d2 · X_pages: the fixed cost of issuing one I/O call
+// (seek + rotational latency) and the transfer cost per 2-KiB page.
+type DeviceWeights struct {
+	// PerCallMs is d1 in milliseconds (a late-1980s SCSI disk of the kind
+	// under the paper's Sun 3/60 averages ~20 ms positioning time).
+	PerCallMs float64
+	// PerPageMs is d2 in milliseconds (~2 ms to transfer 2 KiB at
+	// ~1 MB/s).
+	PerPageMs float64
+}
+
+// Disk1990 is a representative device of the paper's era.
+func Disk1990() DeviceWeights { return DeviceWeights{PerCallMs: 20, PerPageMs: 2} }
+
+// DiskModern is a contemporary NVMe-like device, where the per-call
+// penalty almost vanishes. The comparison shows which of the paper's
+// conclusions are era-dependent: the page-count ordering carries over, the
+// call-batching advantage of DSM does not matter any more.
+func DiskModern() DeviceWeights { return DeviceWeights{PerCallMs: 0.02, PerPageMs: 0.01} }
+
+// CostRow is one model's estimated device time per query unit (object or
+// loop) under Equation 1.
+type CostRow struct {
+	Model string
+	// Milliseconds per unit, by query label ("1a".."3b"); NaN where the
+	// model does not support the query.
+	Ms map[string]float64
+}
+
+// TableCosts folds the measured calls and pages of Tables 4/5 into the
+// paper's Equation 1, giving a response-time proxy per query. The paper
+// introduces the equation but reports X_calls and X_pages separately;
+// this table completes the calculation for a concrete device.
+func (s *Suite) TableCosts(w DeviceWeights) ([]CostRow, error) {
+	m, err := s.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	var rows []CostRow
+	for _, model := range m.Models() {
+		row := CostRow{Model: model, Ms: map[string]float64{}}
+		for _, q := range queryLabels {
+			c, ok := m.Get(model, q)
+			if !ok || !c.Supported {
+				row.Ms[q] = nan()
+				continue
+			}
+			row.Ms[q] = costmodel.WeightedCost(w.PerCallMs, w.PerPageMs, c.Calls, c.Pages)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTableCosts renders the Equation 1 cost table.
+func RenderTableCosts(title string, w DeviceWeights, rows []CostRow) *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("%s (Eq. 1: d1=%.2f ms/call, d2=%.2f ms/page)",
+			title, w.PerCallMs, w.PerPageMs),
+		Header: append([]string{"MODEL"}, queryLabels...),
+		Notes: []string{
+			"estimated device milliseconds per object (1a-1c) / per loop (2a-3b), folding Tables 4 and 5 into Equation 1",
+		},
+	}
+	for _, r := range rows {
+		cells := []string{r.Model}
+		for _, q := range queryLabels {
+			cells = append(cells, report.Num(r.Ms[q]))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}

@@ -1,0 +1,244 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the analytical estimates of Table 3, the measured physical
+// page I/Os, I/O calls and buffer fixes of Tables 4-6, the data-skew
+// comparison of Table 7, the qualitative ranking of Table 8, the
+// object-size sweep of Figure 5 and the database-size/cache sweep of
+// Figure 6.
+//
+// A Suite caches the generated extension, the loaded storage models and
+// the full query matrix, so asking for several tables runs the expensive
+// work once. All runs are deterministic for a given configuration.
+package experiments
+
+import (
+	"fmt"
+
+	"complexobj/cobench"
+	"complexobj/internal/buffer"
+	"complexobj/internal/store"
+	"complexobj/internal/workload"
+)
+
+// Config parameterizes a reproduction run.
+type Config struct {
+	// Gen is the benchmark extension configuration (default: the paper's
+	// 1500-station extension).
+	Gen cobench.Config
+	// Workload holds loop and sample counts (default: 300 loops).
+	Workload cobench.Workload
+	// BufferPages is the cache size (default 1200 pages, §5.1).
+	BufferPages int
+	// PageSize is the raw page size (default 2048).
+	PageSize int
+	// UseClock switches the buffer replacement policy from LRU to Clock
+	// (an ablation; the paper does not name DASDBS's policy).
+	UseClock bool
+}
+
+// DefaultConfig mirrors the paper's installation.
+func DefaultConfig() Config {
+	return Config{
+		Gen:         cobench.DefaultConfig(),
+		Workload:    cobench.DefaultWorkload(),
+		BufferPages: 1200,
+	}
+}
+
+// Suite caches everything derived from one configuration. A Suite is not
+// safe for concurrent use; run one experiment at a time (they are
+// deterministic and order-independent).
+type Suite struct {
+	cfg         Config
+	stations    []*cobench.Station
+	genStats    *cobench.Stats
+	models      map[store.Kind]store.Model
+	matrix      *Matrix
+	fig5        []Fig5Cell
+	fig6        []Fig6Point
+	table7      []SkewRow
+	bufferSweep []BufferPoint
+}
+
+// New creates a suite for the given configuration.
+func New(cfg Config) *Suite {
+	if cfg.Gen.N == 0 {
+		cfg.Gen = cobench.DefaultConfig()
+	}
+	if cfg.Workload.Loops == 0 && cfg.Workload.Samples == 0 {
+		cfg.Workload = cobench.DefaultWorkload()
+	}
+	if cfg.BufferPages == 0 {
+		cfg.BufferPages = 1200
+	}
+	return &Suite{cfg: cfg, models: make(map[store.Kind]store.Model)}
+}
+
+// Default creates a suite with the paper's configuration.
+func Default() *Suite { return New(DefaultConfig()) }
+
+// Config returns the suite's effective configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+func (s *Suite) storeOptions() store.Options {
+	o := store.Options{PageSize: s.cfg.PageSize, BufferPages: s.cfg.BufferPages}
+	if s.cfg.UseClock {
+		o.Policy = buffer.Clock
+	}
+	return o
+}
+
+// extension generates (once) and returns the benchmark database.
+func (s *Suite) extension() ([]*cobench.Station, error) {
+	if s.stations == nil {
+		st, err := cobench.Generate(s.cfg.Gen)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generate: %w", err)
+		}
+		s.stations = st
+		gs := cobench.Describe(st)
+		s.genStats = &gs
+	}
+	return s.stations, nil
+}
+
+// ExtensionStats describes the generated extension (realised averages,
+// reported alongside Table 4 in §5.1).
+func (s *Suite) ExtensionStats() (cobench.Stats, error) {
+	if _, err := s.extension(); err != nil {
+		return cobench.Stats{}, err
+	}
+	return *s.genStats, nil
+}
+
+// model loads (once) one storage model over the suite's extension.
+func (s *Suite) model(k store.Kind) (store.Model, error) {
+	if m, ok := s.models[k]; ok {
+		return m, nil
+	}
+	stations, err := s.extension()
+	if err != nil {
+		return nil, err
+	}
+	m := store.New(k, s.storeOptions())
+	if err := m.Load(stations); err != nil {
+		return nil, fmt.Errorf("experiments: load %s: %w", k, err)
+	}
+	s.models[k] = m
+	return m, nil
+}
+
+// Measured is one model × query measurement, normalized per unit (objects
+// for query family 1, loops for families 2 and 3).
+type Measured struct {
+	Model     string
+	Query     string
+	Supported bool
+	Units     float64
+
+	Pages        float64
+	PagesRead    float64
+	PagesWritten float64
+	Calls        float64
+	ReadCalls    float64
+	WriteCalls   float64
+	Fixes        float64
+	Hits         float64
+}
+
+// Matrix holds the full measurement grid of Tables 4-6.
+type Matrix struct {
+	Rows []Measured
+}
+
+// Get returns the measurement for one model × query cell.
+func (m *Matrix) Get(model, query string) (Measured, bool) {
+	for _, r := range m.Rows {
+		if r.Model == model && r.Query == query {
+			return r, true
+		}
+	}
+	return Measured{}, false
+}
+
+// Models lists the distinct model names in row order.
+func (m *Matrix) Models() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range m.Rows {
+		if !seen[r.Model] {
+			seen[r.Model] = true
+			out = append(out, r.Model)
+		}
+	}
+	return out
+}
+
+// Matrix runs (once) every benchmark query on every storage model.
+func (s *Suite) Matrix() (*Matrix, error) {
+	if s.matrix != nil {
+		return s.matrix, nil
+	}
+	var rows []Measured
+	for _, k := range store.AllKinds() {
+		m, err := s.model(k)
+		if err != nil {
+			return nil, err
+		}
+		results, err := workload.NewRunner(m, s.cfg.Workload).RunAll()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", k, err)
+		}
+		for _, res := range results {
+			rows = append(rows, toMeasured(res))
+		}
+	}
+	s.matrix = &Matrix{Rows: rows}
+	return s.matrix, nil
+}
+
+func toMeasured(res workload.Result) Measured {
+	m := Measured{
+		Model:     res.Model.String(),
+		Query:     res.Query.String(),
+		Supported: res.Supported,
+		Units:     res.Units,
+	}
+	if !res.Supported {
+		return m
+	}
+	n := res.PerUnit()
+	m.Pages = n.Pages
+	m.PagesRead = n.PagesRead
+	m.PagesWritten = n.PagesWritten
+	m.Calls = n.Calls
+	m.ReadCalls = n.ReadCalls
+	m.WriteCalls = n.WriteCalls
+	m.Fixes = n.Fixes
+	m.Hits = n.Hits
+	return m
+}
+
+// runQueriesOn builds a fresh model of kind k over the given extension and
+// runs the selected queries with the given workload. Used by the sweeps
+// (Table 7, Figures 5 and 6), which need configurations other than the
+// suite default.
+func (s *Suite) runQueriesOn(k store.Kind, gen cobench.Config, w cobench.Workload, queries ...cobench.Query) (map[cobench.Query]Measured, error) {
+	stations, err := cobench.Generate(gen)
+	if err != nil {
+		return nil, err
+	}
+	m := store.New(k, s.storeOptions())
+	if err := m.Load(stations); err != nil {
+		return nil, err
+	}
+	runner := workload.NewRunner(m, w)
+	out := make(map[cobench.Query]Measured, len(queries))
+	for _, q := range queries {
+		res, err := runner.Run(q)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s %s: %w", k, q, err)
+		}
+		out[q] = toMeasured(res)
+	}
+	return out, nil
+}

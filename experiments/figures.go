@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"fmt"
+
+	"complexobj/cobench"
+	"complexobj/costmodel"
+	"complexobj/internal/store"
+	"complexobj/report"
+)
+
+// fig5Models are the storage models Figure 5 compares ("Since 'pure' NSM
+// has not shown to be particularly suited for complex object storage, we
+// do not consider this storage model any longer", §5.3).
+var fig5Models = []store.Kind{store.DSM, store.DASDBSDSM, store.DASDBSNSM}
+
+// Fig5Cell is one bar group of Figure 5: the measured page I/Os of one
+// model under one maximum sightseeing count.
+type Fig5Cell struct {
+	Model      string
+	MaxSeeing  int
+	AvgSeeings float64
+	Q1c        float64
+	Q2b        float64
+	Q3b        float64
+}
+
+// Figure5 reproduces the object-size experiment of §5.3: the benchmark is
+// regenerated with at most 0, 15 and 30 sightseeings per station (realised
+// averages ~0/7.5/15) and queries 1c, 2b and 3b are measured for DSM,
+// DASDBS-DSM and DASDBS-NSM. The generator draws sightseeings from an
+// independent random stream, so the platform/connection graph is identical
+// across the sweep and the figure isolates the pure object-size effect.
+func (s *Suite) Figure5() ([]Fig5Cell, error) {
+	if s.fig5 != nil {
+		return s.fig5, nil
+	}
+	var cells []Fig5Cell
+	for _, maxSee := range []int{0, 15, 30} {
+		gen := s.cfg.Gen.WithMaxSeeing(maxSee)
+		stations, err := cobench.Generate(gen)
+		if err != nil {
+			return nil, err
+		}
+		gs := cobench.Describe(stations)
+		for _, k := range fig5Models {
+			res, err := s.runQueriesOn(k, gen, s.cfg.Workload,
+				cobench.Q1c, cobench.Q2b, cobench.Q3b)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, Fig5Cell{
+				Model:      k.String(),
+				MaxSeeing:  maxSee,
+				AvgSeeings: gs.AvgSeeings,
+				Q1c:        res[cobench.Q1c].Pages,
+				Q2b:        res[cobench.Q2b].Pages,
+				Q3b:        res[cobench.Q3b].Pages,
+			})
+		}
+	}
+	s.fig5 = cells
+	return cells, nil
+}
+
+// RenderFigure5 renders the Figure 5 data as one table per query, bar
+// groups as rows.
+func RenderFigure5(cells []Fig5Cell) []*report.Table {
+	queries := []struct {
+		name string
+		get  func(Fig5Cell) float64
+	}{
+		{"1c", func(c Fig5Cell) float64 { return c.Q1c }},
+		{"2b", func(c Fig5Cell) float64 { return c.Q2b }},
+		{"3b", func(c Fig5Cell) float64 { return c.Q3b }},
+	}
+	var out []*report.Table
+	for _, q := range queries {
+		t := &report.Table{
+			Title:  fmt.Sprintf("Figure 5 (query %s): measured page I/Os while max sightseeings is 0, 15, 30", q.name),
+			Header: []string{"MODEL", "maxSee=0", "maxSee=15", "maxSee=30"},
+		}
+		for _, k := range fig5Models {
+			cells3 := []string{k.String()}
+			for _, maxSee := range []int{0, 15, 30} {
+				for _, c := range cells {
+					if c.Model == k.String() && c.MaxSeeing == maxSee {
+						cells3 = append(cells3, report.Num(q.get(c)))
+					}
+				}
+			}
+			t.AddRow(cells3...)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig6Point is one point of Figure 6: query 2b pages per loop at one
+// database size, measured against the analytical best and worst case.
+type Fig6Point struct {
+	Model     string
+	N         int
+	Loops     int
+	Measured  float64
+	BestCase  float64
+	WorstCase float64
+}
+
+// Fig6Sizes is the database-size axis of Figure 6 (the paper sweeps 100 to
+// 1500 objects on a logarithmic axis).
+var Fig6Sizes = []int{100, 200, 400, 700, 1000, 1500}
+
+// Figure6 reproduces the caching experiment of §5.4: query 2b is run with
+// loops = N/5 for increasing database sizes; without cache overflow the
+// measured values sit at the analytical best case, with overflow the
+// direct models degrade toward the worst case (the query 2a estimate).
+func (s *Suite) Figure6() ([]Fig6Point, error) {
+	if s.fig6 != nil {
+		return s.fig6, nil
+	}
+	params, _, err := s.DerivedParams()
+	if err != nil {
+		return nil, err
+	}
+	baseN := float64(s.cfg.Gen.N)
+	var points []Fig6Point
+	for _, n := range Fig6Sizes {
+		gen := s.cfg.Gen.WithN(n)
+		w := s.cfg.Workload
+		w.Loops = cobench.LoopsFor(n)
+		for _, k := range fig5Models {
+			res, err := s.runQueriesOn(k, gen, w, cobench.Q2b)
+			if err != nil {
+				return nil, err
+			}
+			cm := kindToCostModel(k)
+			scaled := params.Scaled(float64(n), baseN)
+			wl := costmodel.Workload{
+				N:        float64(n),
+				Children: costmodel.PaperWorkload().Children,
+				Grand:    costmodel.PaperWorkload().Grand,
+				Loops:    float64(w.Loops),
+			}
+			points = append(points, Fig6Point{
+				Model:     k.String(),
+				N:         n,
+				Loops:     w.Loops,
+				Measured:  res[cobench.Q2b].Pages,
+				BestCase:  costmodel.Estimate(cm, scaled, wl).Q2b,
+				WorstCase: costmodel.Estimate(cm, scaled, wl).Q2a,
+			})
+		}
+	}
+	s.fig6 = points
+	return points, nil
+}
+
+func kindToCostModel(k store.Kind) costmodel.Model {
+	switch k {
+	case store.DSM:
+		return costmodel.DSM
+	case store.DASDBSDSM:
+		return costmodel.DASDBSDSM
+	case store.NSM:
+		return costmodel.NSM
+	case store.NSMIndex:
+		return costmodel.NSMIndex
+	default:
+		return costmodel.DASDBSNSM
+	}
+}
+
+// RenderFigure6 renders the Figure 6 data, one table per model.
+func RenderFigure6(points []Fig6Point) []*report.Table {
+	var out []*report.Table
+	for _, k := range fig5Models {
+		t := &report.Table{
+			Title:  fmt.Sprintf("Figure 6 (%s): query 2b pages/loop vs database size (loops = N/5)", k),
+			Header: []string{"N", "loops", "measured", "best case", "worst case"},
+			Notes: []string{
+				"best case: Eq. 8 cache model with derived layout constants; worst case: the query 2a estimate (§5.4)",
+			},
+		}
+		for _, p := range points {
+			if p.Model != k.String() {
+				continue
+			}
+			t.AddRow(report.Int(p.N), report.Int(p.Loops),
+				report.Num(p.Measured), report.Num(p.BestCase), report.Num(p.WorstCase))
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// All regenerates every table and figure in paper order and returns the
+// rendered tables.
+func (s *Suite) All() ([]*report.Table, error) {
+	var out []*report.Table
+	out = append(out, Table1())
+
+	t2, err := s.Table2()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, RenderTable2(t2))
+
+	out = append(out, RenderTable3("Table 3 (paper layout constants): estimated page I/Os", s.Table3Paper()))
+	t3d, err := s.Table3Derived()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, RenderTable3("Table 3 (derived layout constants): estimated page I/Os", t3d))
+	out = append(out, RenderTable3("Analytical I/O calls (Table 5 counterpart, paper layout constants)",
+		costmodel.EstimateAllCalls(costmodel.PaperParams(), costmodel.PaperWorkload())))
+
+	m, err := s.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, m.Table4(), m.Table5(), m.Table6())
+
+	t7, err := s.Table7()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, RenderTable7(t7))
+
+	t8, err := m.Table8()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, RenderTable8(t8))
+
+	f5, err := s.Figure5()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, RenderFigure5(f5)...)
+
+	f6, err := s.Figure6()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, RenderFigure6(f6)...)
+
+	ia, err := s.IndexAblation()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, RenderIndexAblation(ia))
+
+	pa, err := s.PolicyAblation()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, RenderPolicyAblation(pa))
+
+	for _, dev := range []struct {
+		name string
+		w    DeviceWeights
+	}{
+		{"Estimated device time, 1990 disk", Disk1990()},
+		{"Estimated device time, modern flash", DiskModern()},
+	} {
+		rows, err := s.TableCosts(dev.w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RenderTableCosts(dev.name, dev.w, rows))
+	}
+
+	dist, err := s.DistributionAblation(8)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, RenderDistribution(dist))
+
+	bs, err := s.BufferSweep()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, RenderBufferSweep(bs)...)
+	return out, nil
+}

@@ -1,0 +1,486 @@
+// Package buffer implements the database cache of the simulated DASDBS
+// installation: a bounded pool of page frames with fix/unfix (pin) semantics.
+//
+// The paper's measurements hinge on three behaviours of this component:
+//
+//   - buffer fixes are counted (Table 6 uses them as a CPU-load indicator),
+//   - pages are read from disk only on a fix miss, with contiguous multi-page
+//     requests served by a single I/O call (Table 5),
+//   - dirty pages are written back either when the query finishes
+//     ("database disconnect") or when the pool overflows, which is why
+//     writes batch many pages per call (§5.2) and why query 2b/3b degrade
+//     once the 1200-page cache overflows (§5.4, Figure 6).
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"complexobj/internal/disk"
+)
+
+// Policy selects the page replacement algorithm.
+type Policy int
+
+const (
+	// LRU evicts the least recently used unpinned page (default).
+	LRU Policy = iota
+	// Clock evicts with the second-chance clock algorithm; provided as an
+	// ablation to show the paper's findings are robust to the (unnamed)
+	// DASDBS replacement policy.
+	Clock
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case Clock:
+		return "Clock"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+var (
+	// ErrNoFrames reports that every frame is pinned and none can be evicted.
+	ErrNoFrames = errors.New("buffer: all frames pinned")
+	// ErrNotFixed reports an Unfix of a page that is not pinned.
+	ErrNotFixed = errors.New("buffer: page not fixed")
+)
+
+// Frame is a cached page. Data is the raw page image (including the 36-byte
+// system header area); callers slice out the payload themselves.
+type Frame struct {
+	ID    disk.PageID
+	Data  []byte
+	pins  int
+	dirty bool
+	ref   bool // Clock reference bit
+
+	prev, next *Frame // LRU list links (most recent at head)
+}
+
+// Dirty reports whether the frame holds unwritten modifications.
+func (f *Frame) Dirty() bool { return f.dirty }
+
+// Pool is the buffer manager.
+type Pool struct {
+	mu       sync.Mutex
+	dev      *disk.Disk
+	capacity int
+	policy   Policy
+
+	frames map[disk.PageID]*Frame
+	head   *Frame // LRU head (most recently used)
+	tail   *Frame // LRU tail (least recently used)
+	clock  []*Frame
+	hand   int
+
+	fixes int64
+	hits  int64
+}
+
+// New creates a pool of capacity page frames backed by dev.
+func New(dev *disk.Disk, capacity int, policy Policy) *Pool {
+	if capacity <= 0 {
+		panic("buffer: non-positive capacity")
+	}
+	return &Pool{
+		dev:      dev,
+		capacity: capacity,
+		policy:   policy,
+		frames:   make(map[disk.PageID]*Frame, capacity),
+	}
+}
+
+// Capacity returns the pool size in pages.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Len returns the number of resident pages.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
+// Fixes returns the total number of page fixes so far.
+func (p *Pool) Fixes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fixes
+}
+
+// Hits returns the number of fixes served without a disk read.
+func (p *Pool) Hits() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits
+}
+
+// ResetStats zeroes the fix/hit counters (disk counters are reset on the
+// device itself).
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fixes, p.hits = 0, 0
+}
+
+// Fix pins the page in the pool, reading it from disk if absent, and
+// returns its frame. Every call counts as one buffer fix. The caller must
+// Unfix the page when done.
+func (p *Pool) Fix(id disk.PageID) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	frames, err := p.fixRunLocked([]disk.PageID{id})
+	if err != nil {
+		return nil, err
+	}
+	return frames[0], nil
+}
+
+// FixRun pins a set of pages, fetching all absent pages from disk using one
+// I/O call per contiguous run of missing page IDs. This models DASDBS
+// fetching the data pages of a clustered object together. Frames are
+// returned in input order and each counts as one fix.
+func (p *Pool) FixRun(ids []disk.PageID) ([]*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fixRunLocked(ids)
+}
+
+func (p *Pool) fixRunLocked(ids []disk.PageID) ([]*Frame, error) {
+	out := make([]*Frame, len(ids))
+	var missing []disk.PageID
+	for i, id := range ids {
+		if f, ok := p.frames[id]; ok {
+			p.fixes++
+			p.hits++
+			f.pins++
+			p.touch(f)
+			out[i] = f
+		} else {
+			missing = append(missing, id)
+			_ = i
+		}
+	}
+	if len(missing) > 0 {
+		// Deduplicate while preserving order (the same absent page may be
+		// requested twice in one run).
+		seen := make(map[disk.PageID]bool, len(missing))
+		uniq := missing[:0]
+		for _, id := range missing {
+			if !seen[id] {
+				seen[id] = true
+				uniq = append(uniq, id)
+			}
+		}
+		sort.Slice(uniq, func(a, b int) bool { return uniq[a] < uniq[b] })
+		for start := 0; start < len(uniq); {
+			end := start + 1
+			for end < len(uniq) && uniq[end] == uniq[end-1]+1 {
+				end++
+			}
+			if err := p.loadRun(uniq[start:end]); err != nil {
+				return nil, err
+			}
+			start = end
+		}
+		for i, id := range ids {
+			if out[i] != nil {
+				continue
+			}
+			f := p.frames[id]
+			if f == nil {
+				return nil, fmt.Errorf("buffer: page %d vanished after load", id)
+			}
+			p.fixes++
+			f.pins++
+			p.touch(f)
+			out[i] = f
+		}
+	}
+	return out, nil
+}
+
+// loadRun reads a contiguous run of absent pages with one disk call and
+// installs them unpinned (the caller pins them right after).
+func (p *Pool) loadRun(run []disk.PageID) error {
+	// Make room first so that eviction never kicks out a page of this run.
+	for len(p.frames)+len(run) > p.capacity {
+		if err := p.evictOne(); err != nil {
+			return err
+		}
+	}
+	data, err := p.dev.ReadRun(run[0], len(run))
+	if err != nil {
+		return err
+	}
+	for i, id := range run {
+		f := &Frame{ID: id, Data: data[i]}
+		p.frames[id] = f
+		p.insert(f)
+	}
+	return nil
+}
+
+// Unfix releases one pin on the page; dirty marks the page modified so it
+// is written back before leaving the pool.
+func (p *Pool) Unfix(id disk.PageID, dirty bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[id]
+	if !ok || f.pins == 0 {
+		return fmt.Errorf("%w: page %d", ErrNotFixed, id)
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+	return nil
+}
+
+// evictOne drops one unpinned victim frame. A dirty victim triggers a
+// write burst: every unpinned dirty frame is written back in contiguous
+// batches before the victim is dropped. This mirrors the DASDBS behaviour
+// the paper observes in §5.2 — pages are written "only then if either the
+// query execution has been finished (database disconnect) or the page
+// buffer overflows", and overflow writes carry many pages per I/O call
+// ("on the average respectively 30 and 20 pages per write for query 3").
+func (p *Pool) evictOne() error {
+	f := p.victim()
+	if f == nil {
+		return ErrNoFrames
+	}
+	if f.dirty {
+		if err := p.writeBurst(); err != nil {
+			return err
+		}
+	}
+	p.remove(f)
+	delete(p.frames, f.ID)
+	return nil
+}
+
+// writeBurst writes back all unpinned dirty frames, batching contiguous
+// page IDs into single calls, and clears their dirty bits. Frames stay
+// resident.
+func (p *Pool) writeBurst() error {
+	var victims []*Frame
+	for _, f := range p.frames {
+		if f.dirty && f.pins == 0 {
+			victims = append(victims, f)
+		}
+	}
+	sort.Slice(victims, func(a, b int) bool { return victims[a].ID < victims[b].ID })
+	for start := 0; start < len(victims); {
+		end := start + 1
+		for end < len(victims) && victims[end].ID == victims[end-1].ID+1 {
+			end++
+		}
+		pages := make([][]byte, 0, end-start)
+		for _, f := range victims[start:end] {
+			pages = append(pages, f.Data)
+		}
+		if err := p.dev.WriteRun(victims[start].ID, pages); err != nil {
+			return err
+		}
+		for _, f := range victims[start:end] {
+			f.dirty = false
+		}
+		start = end
+	}
+	return nil
+}
+
+// FlushAll writes every dirty page back to disk, batching contiguous page
+// IDs into single write calls (DASDBS behaviour at query end / disconnect),
+// and clears their dirty bits. Resident pages stay cached.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushLocked(nil)
+}
+
+// FlushPages writes back the given pages (dirty or not) immediately,
+// grouping contiguous runs into single calls. It models the DASDBS
+// "change attribute" page-pool behaviour of §5.3, where each update
+// operation allocates a page pool of which all pages are written.
+func (p *Pool) FlushPages(ids []disk.PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	set := make(map[disk.PageID]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return p.flushLocked(set)
+}
+
+// flushLocked writes dirty pages (or exactly the pages in only, when
+// non-nil) in contiguous batches.
+func (p *Pool) flushLocked(only map[disk.PageID]bool) error {
+	var victims []*Frame
+	for _, f := range p.frames {
+		if only != nil {
+			if only[f.ID] {
+				victims = append(victims, f)
+			}
+			continue
+		}
+		if f.dirty {
+			victims = append(victims, f)
+		}
+	}
+	sort.Slice(victims, func(a, b int) bool { return victims[a].ID < victims[b].ID })
+	for start := 0; start < len(victims); {
+		end := start + 1
+		for end < len(victims) && victims[end].ID == victims[end-1].ID+1 {
+			end++
+		}
+		pages := make([][]byte, 0, end-start)
+		for _, f := range victims[start:end] {
+			pages = append(pages, f.Data)
+		}
+		if err := p.dev.WriteRun(victims[start].ID, pages); err != nil {
+			return err
+		}
+		for _, f := range victims[start:end] {
+			f.dirty = false
+		}
+		start = end
+	}
+	return nil
+}
+
+// Reset flushes all dirty pages and then empties the pool, so the next
+// queries start with a cold cache. Returns an error if a page is still
+// pinned.
+func (p *Pool) Reset() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("buffer: reset with pinned page %d", f.ID)
+		}
+	}
+	if err := p.flushLocked(nil); err != nil {
+		return err
+	}
+	p.frames = make(map[disk.PageID]*Frame, p.capacity)
+	p.head, p.tail = nil, nil
+	p.clock = nil
+	p.hand = 0
+	return nil
+}
+
+// Contains reports whether the page is resident (test/diagnostic helper).
+func (p *Pool) Contains(id disk.PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.frames[id]
+	return ok
+}
+
+// --- replacement policies ---------------------------------------------------
+
+func (p *Pool) insert(f *Frame) {
+	switch p.policy {
+	case Clock:
+		f.ref = true
+		p.clock = append(p.clock, f)
+	default:
+		p.pushFront(f)
+	}
+}
+
+func (p *Pool) touch(f *Frame) {
+	switch p.policy {
+	case Clock:
+		f.ref = true
+	default:
+		p.unlink(f)
+		p.pushFront(f)
+	}
+}
+
+func (p *Pool) remove(f *Frame) {
+	switch p.policy {
+	case Clock:
+		for i, c := range p.clock {
+			if c == f {
+				p.clock = append(p.clock[:i], p.clock[i+1:]...)
+				if p.hand > i {
+					p.hand--
+				}
+				if len(p.clock) > 0 {
+					p.hand %= len(p.clock)
+				} else {
+					p.hand = 0
+				}
+				return
+			}
+		}
+	default:
+		p.unlink(f)
+	}
+}
+
+func (p *Pool) victim() *Frame {
+	switch p.policy {
+	case Clock:
+		if len(p.clock) == 0 {
+			return nil
+		}
+		// Two sweeps suffice: the first clears reference bits, the second
+		// must find an unpinned frame if one exists.
+		for sweep := 0; sweep < 2*len(p.clock); sweep++ {
+			f := p.clock[p.hand]
+			p.hand = (p.hand + 1) % len(p.clock)
+			if f.pins > 0 {
+				continue
+			}
+			if f.ref {
+				f.ref = false
+				continue
+			}
+			return f
+		}
+		return nil
+	default:
+		for f := p.tail; f != nil; f = f.prev {
+			if f.pins == 0 {
+				return f
+			}
+		}
+		return nil
+	}
+}
+
+func (p *Pool) pushFront(f *Frame) {
+	f.prev = nil
+	f.next = p.head
+	if p.head != nil {
+		p.head.prev = f
+	}
+	p.head = f
+	if p.tail == nil {
+		p.tail = f
+	}
+}
+
+func (p *Pool) unlink(f *Frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else if p.head == f {
+		p.head = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else if p.tail == f {
+		p.tail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}

@@ -1,0 +1,437 @@
+package buffer
+
+import (
+	"errors"
+	"testing"
+
+	"complexobj/internal/disk"
+	"complexobj/internal/xrand"
+)
+
+func newEnv(t *testing.T, capacity int, policy Policy) (*disk.Disk, *Pool) {
+	t.Helper()
+	d := disk.New(disk.DefaultPageSize)
+	return d, New(d, capacity, policy)
+}
+
+// mustFix fixes and immediately returns the frame, failing the test on error.
+func mustFix(t *testing.T, p *Pool, id disk.PageID) *Frame {
+	t.Helper()
+	f, err := p.Fix(id)
+	if err != nil {
+		t.Fatalf("Fix(%d): %v", id, err)
+	}
+	return f
+}
+
+func TestFixReadsOnceThenHits(t *testing.T) {
+	d, p := newEnv(t, 4, LRU)
+	d.Allocate(2)
+	f := mustFix(t, p, 0)
+	p.Unfix(0, false)
+	mustFix(t, p, 0)
+	p.Unfix(0, false)
+	if d.Stats().PagesRead != 1 {
+		t.Errorf("pages read = %d, want 1", d.Stats().PagesRead)
+	}
+	if p.Fixes() != 2 || p.Hits() != 1 {
+		t.Errorf("fixes=%d hits=%d, want 2/1", p.Fixes(), p.Hits())
+	}
+	if f.ID != 0 {
+		t.Errorf("frame id = %d", f.ID)
+	}
+}
+
+func TestDirtyWriteBackOnFlush(t *testing.T) {
+	d, p := newEnv(t, 4, LRU)
+	d.Allocate(1)
+	f := mustFix(t, p, 0)
+	f.Data[disk.SysHeaderSize] = 0xAB
+	p.Unfix(0, true)
+	if d.Stats().PagesWritten != 0 {
+		t.Fatal("write happened before flush")
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().PagesWritten != 1 || d.Stats().WriteCalls != 1 {
+		t.Errorf("flush stats: %v", d.Stats())
+	}
+	got, _ := d.ReadRun(0, 1)
+	if got[0][disk.SysHeaderSize] != 0xAB {
+		t.Error("modification not persisted")
+	}
+	// Second flush writes nothing: dirty bit cleared.
+	before := d.Stats().PagesWritten
+	p.FlushAll()
+	if d.Stats().PagesWritten != before {
+		t.Error("clean page rewritten on second flush")
+	}
+}
+
+func TestFlushGroupsContiguousRuns(t *testing.T) {
+	d, p := newEnv(t, 8, LRU)
+	d.Allocate(8)
+	for _, id := range []disk.PageID{0, 1, 2, 5, 6} {
+		mustFix(t, p, id)
+		p.Unfix(id, true)
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.PagesWritten != 5 {
+		t.Errorf("pages written = %d, want 5", s.PagesWritten)
+	}
+	if s.WriteCalls != 2 {
+		t.Errorf("write calls = %d, want 2 (runs 0-2 and 5-6)", s.WriteCalls)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	d, p := newEnv(t, 2, LRU)
+	d.Allocate(3)
+	mustFix(t, p, 0)
+	p.Unfix(0, false)
+	mustFix(t, p, 1)
+	p.Unfix(1, false)
+	// Touch 0 so 1 becomes LRU.
+	mustFix(t, p, 0)
+	p.Unfix(0, false)
+	mustFix(t, p, 2) // must evict 1
+	p.Unfix(2, false)
+	if !p.Contains(0) || p.Contains(1) || !p.Contains(2) {
+		t.Errorf("LRU evicted wrong page: 0=%v 1=%v 2=%v",
+			p.Contains(0), p.Contains(1), p.Contains(2))
+	}
+}
+
+func TestEvictionWritesDirtyVictim(t *testing.T) {
+	d, p := newEnv(t, 1, LRU)
+	d.Allocate(2)
+	f := mustFix(t, p, 0)
+	f.Data[disk.SysHeaderSize] = 7
+	p.Unfix(0, true)
+	mustFix(t, p, 1)
+	p.Unfix(1, false)
+	if d.Stats().PagesWritten != 1 {
+		t.Errorf("dirty eviction wrote %d pages, want 1", d.Stats().PagesWritten)
+	}
+	got, _ := d.ReadRun(0, 1)
+	if got[0][disk.SysHeaderSize] != 7 {
+		t.Error("victim content lost")
+	}
+}
+
+func TestPinnedPagesAreNotEvicted(t *testing.T) {
+	d, p := newEnv(t, 2, LRU)
+	d.Allocate(3)
+	mustFix(t, p, 0) // stays pinned
+	mustFix(t, p, 1)
+	p.Unfix(1, false)
+	mustFix(t, p, 2) // evicts 1, not pinned 0
+	p.Unfix(2, false)
+	if !p.Contains(0) {
+		t.Fatal("pinned page evicted")
+	}
+	p.Unfix(0, false)
+}
+
+func TestAllPinnedErrors(t *testing.T) {
+	d, p := newEnv(t, 1, LRU)
+	d.Allocate(2)
+	mustFix(t, p, 0)
+	if _, err := p.Fix(1); !errors.Is(err, ErrNoFrames) {
+		t.Errorf("Fix on exhausted pool err = %v, want ErrNoFrames", err)
+	}
+	p.Unfix(0, false)
+}
+
+func TestUnfixUnknownPage(t *testing.T) {
+	_, p := newEnv(t, 2, LRU)
+	if err := p.Unfix(9, false); !errors.Is(err, ErrNotFixed) {
+		t.Errorf("Unfix(9) err = %v, want ErrNotFixed", err)
+	}
+}
+
+func TestDoublePinSemantics(t *testing.T) {
+	d, p := newEnv(t, 1, LRU)
+	d.Allocate(2)
+	mustFix(t, p, 0)
+	mustFix(t, p, 0)
+	p.Unfix(0, false)
+	// Still pinned once: cannot evict.
+	if _, err := p.Fix(1); !errors.Is(err, ErrNoFrames) {
+		t.Errorf("page with remaining pin was evictable: %v", err)
+	}
+	p.Unfix(0, false)
+	mustFix(t, p, 1)
+	p.Unfix(1, false)
+}
+
+func TestFixRunSingleCallPerContiguousRun(t *testing.T) {
+	d, p := newEnv(t, 10, LRU)
+	d.Allocate(10)
+	ids := []disk.PageID{2, 3, 4, 7, 8}
+	frames, err := p.FixRun(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range frames {
+		if f.ID != ids[i] {
+			t.Errorf("frame %d id = %d, want %d", i, f.ID, ids[i])
+		}
+		p.Unfix(f.ID, false)
+	}
+	s := d.Stats()
+	if s.ReadCalls != 2 || s.PagesRead != 5 {
+		t.Errorf("FixRun: %d calls/%d pages, want 2/5", s.ReadCalls, s.PagesRead)
+	}
+	if p.Fixes() != 5 {
+		t.Errorf("fixes = %d, want 5", p.Fixes())
+	}
+}
+
+func TestFixRunMixedHitMiss(t *testing.T) {
+	d, p := newEnv(t, 10, LRU)
+	d.Allocate(4)
+	mustFix(t, p, 1)
+	p.Unfix(1, false)
+	d.ResetStats()
+	frames, err := p.FixRun([]disk.PageID{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		p.Unfix(f.ID, false)
+	}
+	s := d.Stats()
+	// 1 is resident: misses are 0 and 2-3, i.e. two runs.
+	if s.ReadCalls != 2 || s.PagesRead != 3 {
+		t.Errorf("mixed FixRun: %d calls/%d pages, want 2/3", s.ReadCalls, s.PagesRead)
+	}
+}
+
+func TestFixRunDuplicateIDs(t *testing.T) {
+	d, p := newEnv(t, 4, LRU)
+	d.Allocate(2)
+	frames, err := p.FixRun([]disk.PageID{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames[0] != frames[1] {
+		t.Error("duplicate ids returned distinct frames")
+	}
+	p.Unfix(0, false)
+	p.Unfix(0, false)
+	p.Unfix(1, false)
+	if d.Stats().PagesRead != 2 {
+		t.Errorf("duplicate ids re-read pages: %v", d.Stats())
+	}
+}
+
+func TestFlushPagesWritesCleanPagesToo(t *testing.T) {
+	d, p := newEnv(t, 4, LRU)
+	d.Allocate(2)
+	mustFix(t, p, 0)
+	p.Unfix(0, false) // clean
+	if err := p.FlushPages([]disk.PageID{0}); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.PagesWritten != 1 || s.WriteCalls != 1 {
+		t.Errorf("FlushPages on clean page: %v (want forced write, page-pool semantics)", s)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d, p := newEnv(t, 4, LRU)
+	d.Allocate(2)
+	f := mustFix(t, p, 0)
+	f.Data[disk.SysHeaderSize] = 9
+	p.Unfix(0, true)
+	if err := p.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 0 {
+		t.Errorf("Reset left %d resident pages", p.Len())
+	}
+	if d.Stats().PagesWritten != 1 {
+		t.Error("Reset did not flush dirty page")
+	}
+	// Refix re-reads from disk.
+	before := d.Stats().PagesRead
+	mustFix(t, p, 0)
+	p.Unfix(0, false)
+	if d.Stats().PagesRead != before+1 {
+		t.Error("page survived Reset")
+	}
+}
+
+func TestResetWithPinnedPageFails(t *testing.T) {
+	d, p := newEnv(t, 4, LRU)
+	d.Allocate(1)
+	mustFix(t, p, 0)
+	if err := p.Reset(); err == nil {
+		t.Error("Reset succeeded with pinned page")
+	}
+	p.Unfix(0, false)
+}
+
+func TestClockEvictsUnreferencedFirst(t *testing.T) {
+	d, p := newEnv(t, 3, Clock)
+	d.Allocate(4)
+	for id := disk.PageID(0); id < 3; id++ {
+		mustFix(t, p, id)
+		p.Unfix(id, false)
+	}
+	// Re-reference 0 and 1 so their ref bits are set again after the
+	// initial insertion sweep; page 2 keeps only its insertion reference.
+	mustFix(t, p, 0)
+	p.Unfix(0, false)
+	mustFix(t, p, 1)
+	p.Unfix(1, false)
+	mustFix(t, p, 3)
+	p.Unfix(3, false)
+	// Clock clears ref bits in a first sweep, so the exact victim depends
+	// on hand position; the key invariant is that exactly one of the old
+	// pages was evicted and the pool works.
+	resident := 0
+	for id := disk.PageID(0); id < 4; id++ {
+		if p.Contains(id) {
+			resident++
+		}
+	}
+	if resident != 3 {
+		t.Errorf("resident=%d, want 3", resident)
+	}
+	if !p.Contains(3) {
+		t.Error("newly fixed page not resident")
+	}
+}
+
+func TestClockAllPinned(t *testing.T) {
+	d, p := newEnv(t, 2, Clock)
+	d.Allocate(3)
+	mustFix(t, p, 0)
+	mustFix(t, p, 1)
+	if _, err := p.Fix(2); !errors.Is(err, ErrNoFrames) {
+		t.Errorf("clock with all pinned: %v", err)
+	}
+	p.Unfix(0, false)
+	p.Unfix(1, false)
+}
+
+// Property-style stress: random fix/unfix traffic against a shadow model of
+// page contents, under both policies, with a small pool forcing constant
+// eviction. Verifies no content is ever lost or mixed up.
+func TestRandomTrafficPreservesContent(t *testing.T) {
+	for _, pol := range []Policy{LRU, Clock} {
+		t.Run(pol.String(), func(t *testing.T) {
+			d := disk.New(disk.DefaultPageSize)
+			p := New(d, 5, pol)
+			const npages = 40
+			d.Allocate(npages)
+			shadow := make([]byte, npages)
+			rng := xrand.New(99)
+			for op := 0; op < 5000; op++ {
+				id := disk.PageID(rng.Intn(npages))
+				f, err := p.Fix(id)
+				if err != nil {
+					t.Fatalf("op %d fix(%d): %v", op, id, err)
+				}
+				if got := f.Data[disk.SysHeaderSize]; got != shadow[id] {
+					t.Fatalf("op %d page %d content %d, want %d", op, id, got, shadow[id])
+				}
+				dirty := rng.Bool(0.3)
+				if dirty {
+					shadow[id]++
+					f.Data[disk.SysHeaderSize] = shadow[id]
+				}
+				if err := p.Unfix(id, dirty); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := p.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			for id := 0; id < npages; id++ {
+				got, _ := d.ReadRun(disk.PageID(id), 1)
+				if got[0][disk.SysHeaderSize] != shadow[id] {
+					t.Fatalf("final page %d content %d, want %d", id, got[0][disk.SysHeaderSize], shadow[id])
+				}
+			}
+		})
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	d, p := newEnv(t, 2, LRU)
+	d.Allocate(1)
+	mustFix(t, p, 0)
+	p.Unfix(0, false)
+	p.ResetStats()
+	if p.Fixes() != 0 || p.Hits() != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestWriteBurstBatchesDirtyPages(t *testing.T) {
+	// Fill a small pool with interleaved dirty pages, then trigger one
+	// eviction: the burst must write every unpinned dirty page, grouping
+	// contiguous IDs into single calls.
+	d, p := newEnv(t, 4, LRU)
+	d.Allocate(8)
+	for _, id := range []disk.PageID{0, 1, 2, 3} {
+		f := mustFix(t, p, id)
+		f.Data[disk.SysHeaderSize] = byte(id)
+		p.Unfix(id, true)
+	}
+	d.ResetStats()
+	mustFix(t, p, 5) // overflow: victim is dirty page 0
+	p.Unfix(5, false)
+	s := d.Stats()
+	if s.PagesWritten != 4 {
+		t.Errorf("burst wrote %d pages, want all 4 dirty", s.PagesWritten)
+	}
+	if s.WriteCalls != 1 {
+		t.Errorf("burst used %d calls, want 1 (contiguous run 0-3)", s.WriteCalls)
+	}
+	// A second eviction finds only clean victims: no more writes.
+	mustFix(t, p, 6)
+	p.Unfix(6, false)
+	if d.Stats().PagesWritten != 4 {
+		t.Error("clean eviction wrote pages")
+	}
+	// Content survived.
+	got, _ := d.ReadRun(2, 1)
+	if got[0][disk.SysHeaderSize] != 2 {
+		t.Error("burst lost content")
+	}
+}
+
+func TestWriteBurstSkipsPinnedPages(t *testing.T) {
+	d, p := newEnv(t, 3, LRU)
+	d.Allocate(5)
+	fp := mustFix(t, p, 0) // pinned and dirty
+	fp.Data[disk.SysHeaderSize] = 9
+	f1 := mustFix(t, p, 1)
+	f1.Data[disk.SysHeaderSize] = 1
+	p.Unfix(1, true)
+	mustFix(t, p, 2)
+	p.Unfix(2, false)
+	d.ResetStats()
+	mustFix(t, p, 3) // evicts; burst writes page 1 only (0 pinned)
+	p.Unfix(3, false)
+	if w := d.Stats().PagesWritten; w != 1 {
+		t.Errorf("burst wrote %d pages, want 1 (pinned page must be skipped)", w)
+	}
+	p.Unfix(0, true)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadRun(0, 1)
+	if got[0][disk.SysHeaderSize] != 9 {
+		t.Error("pinned dirty page lost")
+	}
+}

@@ -1,0 +1,193 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func newTestDisk(t *testing.T) *Disk {
+	t.Helper()
+	return New(DefaultPageSize)
+}
+
+func TestGeometry(t *testing.T) {
+	d := newTestDisk(t)
+	if d.PageSize() != 2048 {
+		t.Errorf("PageSize = %d, want 2048", d.PageSize())
+	}
+	if d.EffectivePageSize() != 2012 {
+		t.Errorf("EffectivePageSize = %d, want 2012 (paper's S_page)", d.EffectivePageSize())
+	}
+}
+
+func TestNewPanicsOnTinyPage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(36) did not panic")
+		}
+	}()
+	New(SysHeaderSize)
+}
+
+func TestAllocateContiguous(t *testing.T) {
+	d := newTestDisk(t)
+	a, err := d.Allocate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Allocate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 0 || b != 3 {
+		t.Errorf("allocations at %d,%d; want 0,3", a, b)
+	}
+	if d.NumPages() != 5 {
+		t.Errorf("NumPages = %d, want 5", d.NumPages())
+	}
+}
+
+func TestAllocateRejectsNonPositive(t *testing.T) {
+	d := newTestDisk(t)
+	if _, err := d.Allocate(0); !errors.Is(err, ErrBadRun) {
+		t.Errorf("Allocate(0) err = %v, want ErrBadRun", err)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := newTestDisk(t)
+	start, _ := d.Allocate(4)
+	pages := make([][]byte, 4)
+	for i := range pages {
+		pages[i] = make([]byte, d.PageSize())
+		for j := range pages[i] {
+			pages[i][j] = byte(i + j)
+		}
+	}
+	if err := d.WriteRun(start, pages); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadRun(start, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], pages[i]) {
+			t.Fatalf("page %d mismatch", i)
+		}
+	}
+}
+
+func TestReadReturnsCopies(t *testing.T) {
+	d := newTestDisk(t)
+	start, _ := d.Allocate(1)
+	got, _ := d.ReadRun(start, 1)
+	got[0][0] = 0xFF
+	again, _ := d.ReadRun(start, 1)
+	if again[0][0] == 0xFF {
+		t.Error("mutating a read buffer leaked into the device")
+	}
+}
+
+func TestIOAccounting(t *testing.T) {
+	d := newTestDisk(t)
+	start, _ := d.Allocate(10)
+	if s := d.Stats(); s.Pages() != 0 || s.Calls() != 0 {
+		t.Fatalf("allocation should be free, got %v", s)
+	}
+	if _, err := d.ReadRun(start, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadRun(start+4, 1); err != nil {
+		t.Fatal(err)
+	}
+	blank := make([][]byte, 3)
+	for i := range blank {
+		blank[i] = make([]byte, d.PageSize())
+	}
+	if err := d.WriteRun(start, blank); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.PagesRead != 5 || s.ReadCalls != 2 {
+		t.Errorf("reads: %d pages in %d calls, want 5 in 2", s.PagesRead, s.ReadCalls)
+	}
+	if s.PagesWritten != 3 || s.WriteCalls != 1 {
+		t.Errorf("writes: %d pages in %d calls, want 3 in 1", s.PagesWritten, s.WriteCalls)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	d := newTestDisk(t)
+	start, _ := d.Allocate(1)
+	d.ReadRun(start, 1)
+	d.ResetStats()
+	if s := d.Stats(); s.Pages() != 0 || s.Calls() != 0 {
+		t.Errorf("ResetStats left %v", s)
+	}
+	// Contents must survive a stats reset.
+	if _, err := d.ReadRun(start, 1); err != nil {
+		t.Errorf("read after ResetStats: %v", err)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d := newTestDisk(t)
+	d.Allocate(2)
+	if _, err := d.ReadRun(1, 2); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("read past end err = %v, want ErrOutOfRange", err)
+	}
+	if err := d.WriteRun(2, [][]byte{make([]byte, d.PageSize())}); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("write past end err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestWriteRejectsWrongSize(t *testing.T) {
+	d := newTestDisk(t)
+	d.Allocate(1)
+	if err := d.WriteRun(0, [][]byte{make([]byte, 10)}); err == nil {
+		t.Error("short page write accepted")
+	}
+}
+
+func TestZeroLengthRuns(t *testing.T) {
+	d := newTestDisk(t)
+	d.Allocate(1)
+	if _, err := d.ReadRun(0, 0); !errors.Is(err, ErrBadRun) {
+		t.Errorf("ReadRun n=0 err = %v", err)
+	}
+	if err := d.WriteRun(0, nil); !errors.Is(err, ErrBadRun) {
+		t.Errorf("WriteRun empty err = %v", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d := newTestDisk(t)
+	start, _ := d.Allocate(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := [][]byte{make([]byte, d.PageSize())}
+			for i := 0; i < 100; i++ {
+				pid := start + PageID((g*100+i)%64)
+				if err := d.WriteRun(pid, buf); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				if _, err := d.ReadRun(pid, 1); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := d.Stats()
+	if s.PagesRead != 800 || s.PagesWritten != 800 {
+		t.Errorf("concurrent accounting lost updates: %v", s)
+	}
+}

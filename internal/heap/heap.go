@@ -1,0 +1,267 @@
+// Package heap implements record files of small tuples over the buffer
+// pool: the storage for everything that "shares pages" in the paper's
+// terminology (flat NSM tuples, small nested tuples, small direct objects).
+//
+// Records never span pages (the paper's k = tuples-per-page model) and
+// inserts append behind the previous record, so the tuples of one object
+// loaded back-to-back stay physically clustered — the premise of the
+// paper's Equations 6 and 7.
+//
+// Access is tuple-at-a-time through the buffer pool: one page fix per
+// record access, one fix (and at most one I/O call) per page on scans,
+// matching the DASDBS behaviour that "NSM even reads only a single page
+// per retrieval call" (§5.2, Table 5).
+package heap
+
+import (
+	"errors"
+	"fmt"
+
+	"complexobj/internal/buffer"
+	"complexobj/internal/disk"
+	"complexobj/internal/page"
+)
+
+// RID identifies a record: page and slot.
+type RID struct {
+	Page disk.PageID
+	Slot uint16
+}
+
+// String implements fmt.Stringer.
+func (r RID) String() string { return fmt.Sprintf("%d.%d", r.Page, r.Slot) }
+
+// ErrTooLarge reports a record that cannot fit any page; callers store such
+// records in a longobj.Store instead.
+var ErrTooLarge = errors.New("heap: record larger than a page")
+
+// Heap is one record file.
+type Heap struct {
+	name string
+	dev  *disk.Disk
+	pool *buffer.Pool
+
+	pages   []disk.PageID
+	records int
+	bytes   int64
+}
+
+// New creates an empty heap named name (for error messages and reports).
+func New(dev *disk.Disk, pool *buffer.Pool, name string) *Heap {
+	return &Heap{name: name, dev: dev, pool: pool}
+}
+
+// Name returns the heap's name.
+func (h *Heap) Name() string { return h.name }
+
+// NumPages returns the number of pages, the paper's m parameter.
+func (h *Heap) NumPages() int { return len(h.pages) }
+
+// Pages returns the page IDs in allocation order. The caller must not
+// modify the slice.
+func (h *Heap) Pages() []disk.PageID { return h.pages }
+
+// NumRecords returns the number of live records.
+func (h *Heap) NumRecords() int { return h.records }
+
+// Bytes returns the total bytes of live record payloads.
+func (h *Heap) Bytes() int64 { return h.bytes }
+
+// AvgRecordSize returns the mean record payload size, the paper's S_tuple.
+func (h *Heap) AvgRecordSize() float64 {
+	if h.records == 0 {
+		return 0
+	}
+	return float64(h.bytes) / float64(h.records)
+}
+
+// TuplesPerPage returns records/pages, the paper's k parameter as realised
+// on disk.
+func (h *Heap) TuplesPerPage() float64 {
+	if len(h.pages) == 0 {
+		return 0
+	}
+	return float64(h.records) / float64(len(h.pages))
+}
+
+// Insert appends rec to the heap and returns its RID. Records of one
+// object inserted consecutively land on the same or adjacent pages.
+func (h *Heap) Insert(rec []byte) (RID, error) {
+	if len(rec) > page.Capacity(h.dev.PageSize()) {
+		return RID{}, fmt.Errorf("%w: %d bytes in %s", ErrTooLarge, len(rec), h.name)
+	}
+	if len(h.pages) > 0 {
+		tail := h.pages[len(h.pages)-1]
+		rid, ok, err := h.tryInsert(tail, rec)
+		if err != nil {
+			return RID{}, err
+		}
+		if ok {
+			return rid, nil
+		}
+	}
+	pid, err := h.dev.Allocate(1)
+	if err != nil {
+		return RID{}, err
+	}
+	f, err := h.pool.Fix(pid)
+	if err != nil {
+		return RID{}, err
+	}
+	page.Wrap(f.Data).Init()
+	h.pool.Unfix(pid, true)
+	h.pages = append(h.pages, pid)
+	rid, ok, err := h.tryInsert(pid, rec)
+	if err != nil {
+		return RID{}, err
+	}
+	if !ok {
+		return RID{}, fmt.Errorf("heap %s: record of %d bytes rejected by fresh page", h.name, len(rec))
+	}
+	return rid, nil
+}
+
+func (h *Heap) tryInsert(pid disk.PageID, rec []byte) (RID, bool, error) {
+	f, err := h.pool.Fix(pid)
+	if err != nil {
+		return RID{}, false, err
+	}
+	p := page.Wrap(f.Data)
+	if !p.CanFit(len(rec)) {
+		h.pool.Unfix(pid, false)
+		return RID{}, false, nil
+	}
+	slot, err := p.Insert(rec)
+	if err != nil {
+		h.pool.Unfix(pid, false)
+		return RID{}, false, err
+	}
+	h.pool.Unfix(pid, true)
+	h.records++
+	h.bytes += int64(len(rec))
+	return RID{Page: pid, Slot: uint16(slot)}, true, nil
+}
+
+// Get returns a copy of the record at rid (one page fix).
+func (h *Heap) Get(rid RID) ([]byte, error) {
+	f, err := h.pool.Fix(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unfix(rid.Page, false)
+	rec, err := page.Wrap(f.Data).Get(int(rid.Slot))
+	if err != nil {
+		return nil, fmt.Errorf("heap %s: %w", h.name, err)
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, nil
+}
+
+// View calls fn with a direct view of the record (no copy); fn must not
+// retain the slice. Used on hot read paths to avoid allocation skew in
+// CPU benchmarks.
+func (h *Heap) View(rid RID, fn func(rec []byte) error) error {
+	f, err := h.pool.Fix(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.pool.Unfix(rid.Page, false)
+	rec, err := page.Wrap(f.Data).Get(int(rid.Slot))
+	if err != nil {
+		return fmt.Errorf("heap %s: %w", h.name, err)
+	}
+	return fn(rec)
+}
+
+// Update replaces the record at rid in place. The new record must still
+// fit the page (the benchmark only performs size-preserving root updates;
+// growth within the page is supported, cross-page relocation is not).
+func (h *Heap) Update(rid RID, rec []byte) error {
+	f, err := h.pool.Fix(rid.Page)
+	if err != nil {
+		return err
+	}
+	p := page.Wrap(f.Data)
+	old, err := p.Get(int(rid.Slot))
+	if err != nil {
+		h.pool.Unfix(rid.Page, false)
+		return fmt.Errorf("heap %s: %w", h.name, err)
+	}
+	oldLen := len(old)
+	if err := p.Update(int(rid.Slot), rec); err != nil {
+		h.pool.Unfix(rid.Page, false)
+		return fmt.Errorf("heap %s: %w", h.name, err)
+	}
+	h.bytes += int64(len(rec) - oldLen)
+	h.pool.Unfix(rid.Page, true)
+	return nil
+}
+
+// Delete removes the record at rid; its page space is reclaimed for later
+// inserts on the same page. The heap does not reuse fully emptied pages
+// for new clusters (clusters always append), matching the bulk-load-plus-
+// updates lifecycle of the benchmark store.
+func (h *Heap) Delete(rid RID) error {
+	f, err := h.pool.Fix(rid.Page)
+	if err != nil {
+		return err
+	}
+	p := page.Wrap(f.Data)
+	old, err := p.Get(int(rid.Slot))
+	if err != nil {
+		h.pool.Unfix(rid.Page, false)
+		return fmt.Errorf("heap %s: %w", h.name, err)
+	}
+	oldLen := len(old)
+	if err := p.Delete(int(rid.Slot)); err != nil {
+		h.pool.Unfix(rid.Page, false)
+		return fmt.Errorf("heap %s: %w", h.name, err)
+	}
+	h.records--
+	h.bytes -= int64(oldLen)
+	h.pool.Unfix(rid.Page, true)
+	return nil
+}
+
+// Scan iterates over all records in physical order, one page fix per page
+// (the DASDBS single-page-per-call access path). fn receives a view into
+// the page; returning false stops the scan.
+func (h *Heap) Scan(fn func(rid RID, rec []byte) bool) error {
+	for _, pid := range h.pages {
+		f, err := h.pool.Fix(pid)
+		if err != nil {
+			return err
+		}
+		stop := false
+		page.Wrap(f.Data).Range(func(slot int, rec []byte) bool {
+			if !fn(RID{Page: pid, Slot: uint16(slot)}, rec) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		h.pool.Unfix(pid, false)
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanPages iterates page-wise without touching records; used by value
+// scans that evaluate predicates via partial decoding.
+func (h *Heap) ScanPages(fn func(pid disk.PageID, p page.Page) bool) error {
+	for _, pid := range h.pages {
+		f, err := h.pool.Fix(pid)
+		if err != nil {
+			return err
+		}
+		cont := fn(pid, page.Wrap(f.Data))
+		h.pool.Unfix(pid, false)
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+// Package iostat collects the I/O and buffer statistics that the paper
+// reports: physical page reads/writes (Table 4), I/O calls (Table 5) and
+// buffer fixes (Table 6). The counters are deliberately dumb integers so
+// that the storage engine can update them from hot paths without locking
+// overhead dominating the simulation; the engine serializes access itself.
+package iostat
+
+import "fmt"
+
+// Stats is the full set of counters maintained by a database engine.
+// PagesRead/PagesWritten count page transfers between the simulated disk
+// and the buffer pool; ReadCalls/WriteCalls count contiguous-run transfer
+// operations (the paper's "I/O calls"); Fixes/Hits count buffer pool fixes
+// and the subset of fixes satisfied without a disk read.
+type Stats struct {
+	PagesRead    int64
+	PagesWritten int64
+	ReadCalls    int64
+	WriteCalls   int64
+	Fixes        int64
+	Hits         int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.PagesRead += o.PagesRead
+	s.PagesWritten += o.PagesWritten
+	s.ReadCalls += o.ReadCalls
+	s.WriteCalls += o.WriteCalls
+	s.Fixes += o.Fixes
+	s.Hits += o.Hits
+}
+
+// Sub returns s - o, the statistics accumulated between two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		PagesRead:    s.PagesRead - o.PagesRead,
+		PagesWritten: s.PagesWritten - o.PagesWritten,
+		ReadCalls:    s.ReadCalls - o.ReadCalls,
+		WriteCalls:   s.WriteCalls - o.WriteCalls,
+		Fixes:        s.Fixes - o.Fixes,
+		Hits:         s.Hits - o.Hits,
+	}
+}
+
+// Pages returns the total number of pages transferred in either direction,
+// the paper's X_{I/O pages}.
+func (s Stats) Pages() int64 { return s.PagesRead + s.PagesWritten }
+
+// Calls returns the total number of I/O calls in either direction, the
+// paper's X_{I/O calls}.
+func (s Stats) Calls() int64 { return s.ReadCalls + s.WriteCalls }
+
+// Misses returns the number of buffer fixes that required a disk read.
+func (s Stats) Misses() int64 { return s.Fixes - s.Hits }
+
+// HitRatio returns Hits/Fixes, or 0 when no fix happened.
+func (s Stats) HitRatio() float64 {
+	if s.Fixes == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Fixes)
+}
+
+// Reset zeroes every counter.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// String renders the counters in a compact single line, convenient for CLIs.
+func (s Stats) String() string {
+	return fmt.Sprintf("pagesR=%d pagesW=%d callsR=%d callsW=%d fixes=%d hits=%d",
+		s.PagesRead, s.PagesWritten, s.ReadCalls, s.WriteCalls, s.Fixes, s.Hits)
+}
+
+// Normalized is a Stats scaled by a unit count (per object, per loop),
+// matching the normalization used throughout the paper's tables.
+type Normalized struct {
+	PagesRead    float64
+	PagesWritten float64
+	Pages        float64
+	ReadCalls    float64
+	WriteCalls   float64
+	Calls        float64
+	Fixes        float64
+	Hits         float64
+}
+
+// Normalize divides every counter by units. It panics on units <= 0 because
+// a non-positive normalization always indicates a harness bug.
+func (s Stats) Normalize(units float64) Normalized {
+	if units <= 0 {
+		panic("iostat: Normalize with non-positive unit count")
+	}
+	return Normalized{
+		PagesRead:    float64(s.PagesRead) / units,
+		PagesWritten: float64(s.PagesWritten) / units,
+		Pages:        float64(s.Pages()) / units,
+		ReadCalls:    float64(s.ReadCalls) / units,
+		WriteCalls:   float64(s.WriteCalls) / units,
+		Calls:        float64(s.Calls()) / units,
+		Fixes:        float64(s.Fixes) / units,
+		Hits:         float64(s.Hits) / units,
+	}
+}

@@ -1,0 +1,99 @@
+package iostat
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSub(t *testing.T) {
+	a := Stats{PagesRead: 10, PagesWritten: 2, ReadCalls: 5, WriteCalls: 1, Fixes: 20, Hits: 8}
+	b := Stats{PagesRead: 3, PagesWritten: 1, ReadCalls: 2, WriteCalls: 1, Fixes: 4, Hits: 4}
+	var s Stats
+	s.Add(a)
+	s.Add(b)
+	if got := s.Sub(a); got != b {
+		t.Fatalf("Sub: got %+v want %+v", got, b)
+	}
+	if got := s.Sub(b); got != a {
+		t.Fatalf("Sub: got %+v want %+v", got, a)
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	s := Stats{PagesRead: 7, PagesWritten: 3, ReadCalls: 4, WriteCalls: 2, Fixes: 10, Hits: 6}
+	if s.Pages() != 10 {
+		t.Errorf("Pages = %d, want 10", s.Pages())
+	}
+	if s.Calls() != 6 {
+		t.Errorf("Calls = %d, want 6", s.Calls())
+	}
+	if s.Misses() != 4 {
+		t.Errorf("Misses = %d, want 4", s.Misses())
+	}
+	if s.HitRatio() != 0.6 {
+		t.Errorf("HitRatio = %f, want 0.6", s.HitRatio())
+	}
+}
+
+func TestHitRatioNoFixes(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Errorf("HitRatio on zero stats = %f, want 0", s.HitRatio())
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := Stats{PagesRead: 1, Fixes: 2}
+	s.Reset()
+	if s != (Stats{}) {
+		t.Errorf("Reset left %+v", s)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := Stats{PagesRead: 30, PagesWritten: 10, ReadCalls: 6, WriteCalls: 4, Fixes: 50, Hits: 20}
+	n := s.Normalize(10)
+	if n.PagesRead != 3 || n.PagesWritten != 1 || n.Pages != 4 {
+		t.Errorf("page normalization wrong: %+v", n)
+	}
+	if n.ReadCalls != 0.6 || n.WriteCalls != 0.4 || n.Calls != 1 {
+		t.Errorf("call normalization wrong: %+v", n)
+	}
+	if n.Fixes != 5 || n.Hits != 2 {
+		t.Errorf("fix normalization wrong: %+v", n)
+	}
+}
+
+func TestNormalizePanicsOnZeroUnits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Normalize(0) did not panic")
+		}
+	}()
+	Stats{}.Normalize(0)
+}
+
+func TestStringMentionsEveryCounter(t *testing.T) {
+	s := Stats{PagesRead: 1, PagesWritten: 2, ReadCalls: 3, WriteCalls: 4, Fixes: 5, Hits: 6}
+	str := s.String()
+	for _, want := range []string{"pagesR=1", "pagesW=2", "callsR=3", "callsW=4", "fixes=5", "hits=6"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+// Property: Add then Sub round-trips for arbitrary counter values.
+func TestAddSubProperty(t *testing.T) {
+	f := func(ar, aw, arc, awc, af, ah, br, bw, brc, bwc, bf, bh int32) bool {
+		a := Stats{int64(ar), int64(aw), int64(arc), int64(awc), int64(af), int64(ah)}
+		b := Stats{int64(br), int64(bw), int64(brc), int64(bwc), int64(bf), int64(bh)}
+		s := a
+		s.Add(b)
+		return s.Sub(b) == a && s.Sub(a) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,643 @@
+// Package longobj implements the DASDBS-style storage of large complex
+// objects described in the paper's §4: "if a nested tuple is too large to
+// be stored on a single page, the structure information is mapped onto a
+// set of header pages, which is disjoint from the set of data pages that
+// store the data".
+//
+// An object is a sequence of tagged components (the root record and each
+// sub-object). Objects that fit one page are stored as ordinary records in
+// a shared slotted heap ("with smaller objects ... several objects will
+// share a single page", §5.3); larger objects get a contiguous run of
+// pages: header page(s) holding the component directory, then dedicated
+// data pages holding the component bytes back to back.
+//
+// Read paths mirror the two direct storage models:
+//
+//   - ReadAll fetches header and all data pages — the plain DSM behaviour
+//     ("complex objects are stored as a whole ... the pages that store the
+//     tuple will not be shared", §3.1);
+//   - ReadParts fetches the header first and then only the data pages that
+//     hold requested components — the DASDBS-DSM behaviour ("from the set
+//     of pages that stores the object, only those pages are retrieved that
+//     are actually used in a query", §3.2).
+//
+// ChangeComponent implements the §5.3 update anomaly: DASDBS "change
+// attribute" operations allocate a page pool of which all pages are
+// written immediately, making DASDBS-DSM updates expensive for small
+// objects.
+package longobj
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"complexobj/internal/buffer"
+	"complexobj/internal/disk"
+	"complexobj/internal/heap"
+	"complexobj/internal/page"
+)
+
+// Component is one tagged piece of an object. Tags are defined by the
+// storage model (e.g. root record vs platform vs sightseeing).
+type Component struct {
+	Tag  uint8
+	Data []byte
+}
+
+// Ref addresses a stored object. It is the paper's "address" OID for
+// direct storage models.
+type Ref struct {
+	Small       bool
+	RID         heap.RID    // when Small
+	Start       disk.PageID // when large: first header page
+	HeaderPages uint16
+	DataPages   uint16
+}
+
+// Pages returns the total number of pages the object occupies (1 for small
+// objects, though that page is shared with other objects).
+func (r Ref) Pages() int {
+	if r.Small {
+		return 1
+	}
+	return int(r.HeaderPages) + int(r.DataPages)
+}
+
+// Errors returned by the store.
+var (
+	ErrResize  = errors.New("longobj: replacement changes page layout")
+	ErrBadRef  = errors.New("longobj: invalid reference")
+	ErrBadComp = errors.New("longobj: invalid component index")
+	ErrSameLen = errors.New("longobj: in-place change must preserve length")
+)
+
+// directory prologue: u16 component count + u32 total data bytes.
+const dirPrologue = 6
+
+// directory entry: u8 tag + u32 offset + u32 length.
+const dirEntry = 9
+
+// small-object inline encoding: u16 count, then per component u8 tag +
+// u16 length, then the concatenated data.
+const inlinePrologue = 2
+const inlineEntry = 3
+
+// Store manages small and large objects over one device/pool pair.
+type Store struct {
+	dev    *disk.Disk
+	pool   *buffer.Pool
+	shared *heap.Heap
+
+	large       int
+	headerPages int
+	dataPages   int
+	dataBytes   int64
+	freedPages  int
+}
+
+// New creates a store whose small objects live in a shared heap called
+// name.
+func New(dev *disk.Disk, pool *buffer.Pool, name string) *Store {
+	return &Store{dev: dev, pool: pool, shared: heap.New(dev, pool, name)}
+}
+
+// SharedHeap exposes the heap of small objects (for size reporting).
+func (s *Store) SharedHeap() *heap.Heap { return s.shared }
+
+// NumLarge returns the number of large (multi-page) objects.
+func (s *Store) NumLarge() int { return s.large }
+
+// LargePages returns total header and data pages of all large objects.
+func (s *Store) LargePages() (header, data int) { return s.headerPages, s.dataPages }
+
+// LargeDataBytes returns the total component payload bytes of all large
+// objects (for size reporting).
+func (s *Store) LargeDataBytes() int64 { return s.dataBytes }
+
+// TotalPages returns every page the store occupies: shared heap pages plus
+// the header and data pages of large objects (the paper's m for a
+// direct-storage relation).
+func (s *Store) TotalPages() int {
+	return s.shared.NumPages() + s.headerPages + s.dataPages
+}
+
+// effSize returns usable payload bytes per page.
+func (s *Store) effSize() int { return s.dev.EffectivePageSize() }
+
+// inlineSize returns the encoded size of comps as a small-object record.
+func inlineSize(comps []Component) int {
+	n := inlinePrologue + inlineEntry*len(comps)
+	for _, c := range comps {
+		n += len(c.Data)
+	}
+	return n
+}
+
+// Insert stores the object and returns its address. Small objects share
+// slotted pages; large objects are bulk-written to a fresh contiguous run
+// (load-time I/O, reset by the harness before measuring).
+func (s *Store) Insert(comps []Component) (Ref, error) {
+	if len(comps) == 0 {
+		return Ref{}, errors.New("longobj: object needs at least one component")
+	}
+	if inlineSize(comps) <= page.Capacity(s.dev.PageSize()) {
+		rec := encodeInline(comps)
+		rid, err := s.shared.Insert(rec)
+		if err != nil {
+			return Ref{}, err
+		}
+		return Ref{Small: true, RID: rid}, nil
+	}
+	return s.insertLarge(comps)
+}
+
+func encodeInline(comps []Component) []byte {
+	buf := make([]byte, inlinePrologue+inlineEntry*len(comps))
+	binary.BigEndian.PutUint16(buf, uint16(len(comps)))
+	for i, c := range comps {
+		base := inlinePrologue + inlineEntry*i
+		buf[base] = c.Tag
+		binary.BigEndian.PutUint16(buf[base+1:], uint16(len(c.Data)))
+	}
+	for _, c := range comps {
+		buf = append(buf, c.Data...)
+	}
+	return buf
+}
+
+func decodeInline(rec []byte) ([]Component, error) {
+	if len(rec) < inlinePrologue {
+		return nil, fmt.Errorf("%w: short inline object", ErrBadRef)
+	}
+	n := int(binary.BigEndian.Uint16(rec))
+	if len(rec) < inlinePrologue+inlineEntry*n {
+		return nil, fmt.Errorf("%w: truncated inline directory", ErrBadRef)
+	}
+	comps := make([]Component, n)
+	off := inlinePrologue + inlineEntry*n
+	for i := 0; i < n; i++ {
+		base := inlinePrologue + inlineEntry*i
+		tag := rec[base]
+		l := int(binary.BigEndian.Uint16(rec[base+1:]))
+		if off+l > len(rec) {
+			return nil, fmt.Errorf("%w: truncated inline component %d", ErrBadRef, i)
+		}
+		data := make([]byte, l)
+		copy(data, rec[off:off+l])
+		comps[i] = Component{Tag: tag, Data: data}
+		off += l
+	}
+	return comps, nil
+}
+
+func (s *Store) insertLarge(comps []Component) (Ref, error) {
+	eff := s.effSize()
+	dirBytes := dirPrologue + dirEntry*len(comps)
+	headerPages := (dirBytes + eff - 1) / eff
+	total := 0
+	for _, c := range comps {
+		total += len(c.Data)
+	}
+	dataPages := (total + eff - 1) / eff
+	if dataPages == 0 {
+		dataPages = 1
+	}
+	if headerPages > 0xFFFF || dataPages > 0xFFFF {
+		return Ref{}, fmt.Errorf("longobj: object too large: %d header, %d data pages", headerPages, dataPages)
+	}
+	start, err := s.dev.Allocate(headerPages + dataPages)
+	if err != nil {
+		return Ref{}, err
+	}
+	images := make([][]byte, headerPages+dataPages)
+	for i := range images {
+		images[i] = make([]byte, s.dev.PageSize())
+	}
+	// Directory into header pages.
+	dir := make([]byte, dirBytes)
+	binary.BigEndian.PutUint16(dir, uint16(len(comps)))
+	binary.BigEndian.PutUint32(dir[2:], uint32(total))
+	off := 0
+	for i, c := range comps {
+		base := dirPrologue + dirEntry*i
+		dir[base] = c.Tag
+		binary.BigEndian.PutUint32(dir[base+1:], uint32(off))
+		binary.BigEndian.PutUint32(dir[base+5:], uint32(len(c.Data)))
+		off += len(c.Data)
+	}
+	spill(dir, images[:headerPages])
+	// Component byte stream into data pages.
+	stream := make([]byte, 0, total)
+	for _, c := range comps {
+		stream = append(stream, c.Data...)
+	}
+	spill(stream, images[headerPages:])
+	if err := s.dev.WriteRun(start, images); err != nil {
+		return Ref{}, err
+	}
+	s.large++
+	s.headerPages += headerPages
+	s.dataPages += dataPages
+	s.dataBytes += int64(total)
+	return Ref{Start: start, HeaderPages: uint16(headerPages), DataPages: uint16(dataPages)}, nil
+}
+
+// spill copies b across the payload areas of the given page images.
+func spill(b []byte, images [][]byte) {
+	for i := 0; len(b) > 0 && i < len(images); i++ {
+		payload := images[i][disk.SysHeaderSize:]
+		n := copy(payload, b)
+		b = b[n:]
+	}
+}
+
+// dirEntryAt decodes directory entry i from the header byte stream.
+func dirEntryAt(hdr []byte, i int) (tag uint8, off, length int, err error) {
+	base := dirPrologue + dirEntry*i
+	if base+dirEntry > len(hdr) {
+		return 0, 0, 0, fmt.Errorf("%w: directory entry %d", ErrBadRef, i)
+	}
+	return hdr[base],
+		int(binary.BigEndian.Uint32(hdr[base+1:])),
+		int(binary.BigEndian.Uint32(hdr[base+5:])),
+		nil
+}
+
+// chunkSize bounds how many pages are pinned at once; objects larger than
+// the pool are processed run by run (extra I/O calls only arise for
+// objects bigger than the whole cache, which the benchmark never creates).
+func (s *Store) chunkSize() int {
+	c := s.pool.Capacity() / 2
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// visitPages fixes the given pages in bounded contiguous chunks, invokes
+// visit with each page's payload (index into ids, payload view), and
+// unfixes immediately after the chunk is consumed. Pages of one chunk are
+// fetched with a single I/O call when contiguous on disk. dirty marks
+// every visited page dirty.
+func (s *Store) visitPages(ids []disk.PageID, dirty bool, visit func(i int, payload []byte)) error {
+	chunk := s.chunkSize()
+	for start := 0; start < len(ids); start += chunk {
+		end := start + chunk
+		if end > len(ids) {
+			end = len(ids)
+		}
+		frames, err := s.pool.FixRun(ids[start:end])
+		if err != nil {
+			return err
+		}
+		for i, f := range frames {
+			visit(start+i, f.Data[disk.SysHeaderSize:])
+		}
+		for _, id := range ids[start:end] {
+			if err := s.pool.Unfix(id, dirty); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// readHeader fetches the header pages (one I/O call: "DASDBS uses separate
+// I/O calls to retrieve the root page ... the additional header pages ...
+// and the data pages") and returns a copy of the assembled directory bytes.
+func (s *Store) readHeader(ref Ref) ([]byte, error) {
+	ids := make([]disk.PageID, ref.HeaderPages)
+	for i := range ids {
+		ids[i] = ref.Start + disk.PageID(i)
+	}
+	eff := s.effSize()
+	hdr := make([]byte, int(ref.HeaderPages)*eff)
+	err := s.visitPages(ids, false, func(i int, payload []byte) {
+		copy(hdr[i*eff:], payload)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return hdr, nil
+}
+
+// dataPageIDs returns the page IDs of the object's data area.
+func (s *Store) dataPageIDs(ref Ref) []disk.PageID {
+	ids := make([]disk.PageID, ref.DataPages)
+	for i := range ids {
+		ids[i] = ref.Start + disk.PageID(int(ref.HeaderPages)+i)
+	}
+	return ids
+}
+
+// ReadAll returns every component (DSM read path: header call + one call
+// for the full contiguous data run).
+func (s *Store) ReadAll(ref Ref) ([]Component, error) {
+	if ref.Small {
+		rec, err := s.shared.Get(ref.RID)
+		if err != nil {
+			return nil, err
+		}
+		return decodeInline(rec)
+	}
+	hdr, err := s.readHeader(ref)
+	if err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint16(hdr))
+	eff := s.effSize()
+	stream := make([]byte, int(ref.DataPages)*eff)
+	err = s.visitPages(s.dataPageIDs(ref), false, func(i int, payload []byte) {
+		copy(stream[i*eff:], payload)
+	})
+	if err != nil {
+		return nil, err
+	}
+	comps := make([]Component, n)
+	for i := 0; i < n; i++ {
+		tag, off, length, err := dirEntryAt(hdr, i)
+		if err != nil {
+			return nil, err
+		}
+		if off+length > len(stream) {
+			return nil, fmt.Errorf("%w: component %d beyond data", ErrBadRef, i)
+		}
+		data := make([]byte, length)
+		copy(data, stream[off:off+length])
+		comps[i] = Component{Tag: tag, Data: data}
+	}
+	return comps, nil
+}
+
+// ReadParts returns the components selected by want (given tag and
+// component index), reading only the data pages that hold them (DASDBS-DSM
+// read path). For small objects the single shared page is read either way.
+// The second result lists the selected component indices.
+func (s *Store) ReadParts(ref Ref, want func(tag uint8, idx int) bool) ([]Component, []int, error) {
+	if ref.Small {
+		all, err := s.ReadAll(ref)
+		if err != nil {
+			return nil, nil, err
+		}
+		var comps []Component
+		var idxs []int
+		for i, c := range all {
+			if want(c.Tag, i) {
+				comps = append(comps, c)
+				idxs = append(idxs, i)
+			}
+		}
+		return comps, idxs, nil
+	}
+	hdr, err := s.readHeader(ref)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := int(binary.BigEndian.Uint16(hdr))
+	eff := s.effSize()
+
+	type span struct {
+		idx, off, length int
+		tag              uint8
+		data             []byte
+	}
+	var spans []*span
+	pageSet := map[int]bool{} // data page index within the object
+	for i := 0; i < n; i++ {
+		tag, off, length, err := dirEntryAt(hdr, i)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !want(tag, i) {
+			continue
+		}
+		spans = append(spans, &span{idx: i, off: off, length: length, tag: tag, data: make([]byte, length)})
+		for pg := off / eff; length > 0 && pg <= (off+length-1)/eff; pg++ {
+			pageSet[pg] = true
+		}
+	}
+	var pgs []int
+	for pg := range pageSet {
+		pgs = append(pgs, pg)
+	}
+	sortInts(pgs)
+	ids := make([]disk.PageID, len(pgs))
+	for i, pg := range pgs {
+		ids[i] = ref.Start + disk.PageID(int(ref.HeaderPages)+pg)
+	}
+	err = s.visitPages(ids, false, func(i int, payload []byte) {
+		pg := pgs[i]
+		pageStart := pg * eff
+		for _, sp := range spans {
+			segStart := max(sp.off, pageStart)
+			segEnd := min(sp.off+sp.length, pageStart+eff)
+			if segStart < segEnd {
+				copy(sp.data[segStart-sp.off:segEnd-sp.off], payload[segStart-pageStart:segEnd-pageStart])
+			}
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	comps := make([]Component, 0, len(spans))
+	idxs := make([]int, 0, len(spans))
+	for _, sp := range spans {
+		comps = append(comps, Component{Tag: sp.tag, Data: sp.data})
+		idxs = append(idxs, sp.idx)
+	}
+	return comps, idxs, nil
+}
+
+// ReplaceAll overwrites the whole object in place (the paper's "replace
+// entire tuple" update path used by DSM, NSM and DASDBS-NSM). The new
+// component layout must occupy the same number of header and data pages;
+// otherwise ErrResize is returned. Pages are marked dirty and written back
+// at the next flush/overflow, so a batch of replacements costs one batched
+// write (§5.3: "16.7 tuples are updated at the same time, which can be
+// implemented in DASDBS as a single 'replace set of tuples' operation").
+func (s *Store) ReplaceAll(ref Ref, comps []Component) error {
+	if ref.Small {
+		rec := encodeInline(comps)
+		if len(rec) > page.Capacity(s.dev.PageSize()) {
+			return fmt.Errorf("%w: small object grows beyond a page", ErrResize)
+		}
+		return s.shared.Update(ref.RID, rec)
+	}
+	eff := s.effSize()
+	dirBytes := dirPrologue + dirEntry*len(comps)
+	headerPages := (dirBytes + eff - 1) / eff
+	total := 0
+	for _, c := range comps {
+		total += len(c.Data)
+	}
+	dataPages := (total + eff - 1) / eff
+	if dataPages == 0 {
+		dataPages = 1
+	}
+	if headerPages != int(ref.HeaderPages) || dataPages != int(ref.DataPages) {
+		return fmt.Errorf("%w: %dh+%dd -> %dh+%dd", ErrResize,
+			ref.HeaderPages, ref.DataPages, headerPages, dataPages)
+	}
+	dir := make([]byte, dirBytes)
+	binary.BigEndian.PutUint16(dir, uint16(len(comps)))
+	binary.BigEndian.PutUint32(dir[2:], uint32(total))
+	off := 0
+	for i, c := range comps {
+		base := dirPrologue + dirEntry*i
+		dir[base] = c.Tag
+		binary.BigEndian.PutUint32(dir[base+1:], uint32(off))
+		binary.BigEndian.PutUint32(dir[base+5:], uint32(len(c.Data)))
+		off += len(c.Data)
+	}
+	stream := make([]byte, 0, total)
+	for _, c := range comps {
+		stream = append(stream, c.Data...)
+	}
+	ids := make([]disk.PageID, ref.Pages())
+	for i := range ids {
+		ids[i] = ref.Start + disk.PageID(i)
+	}
+	return s.visitPages(ids, true, func(i int, payload []byte) {
+		var src []byte
+		if i < headerPages {
+			src = tail(dir, i*eff)
+		} else {
+			src = tail(stream, (i-headerPages)*eff)
+		}
+		n := copy(payload, src)
+		for j := n; j < len(payload); j++ {
+			payload[j] = 0
+		}
+	})
+}
+
+// tail returns b[off:] or nil when off is past the end.
+func tail(b []byte, off int) []byte {
+	if off >= len(b) {
+		return nil
+	}
+	return b[off:]
+}
+
+// Replace stores the new component set for an existing object. When the
+// new layout fits the old page footprint the replacement happens in place
+// (deferred writes, as ReplaceAll); otherwise — a large object changing
+// its page count, or a small object outgrowing the free space of its
+// shared page — the object is relocated: the old storage is released and
+// a fresh object is inserted, whose new address is returned. Callers must
+// adopt the returned Ref.
+func (s *Store) Replace(ref Ref, comps []Component) (Ref, error) {
+	err := s.ReplaceAll(ref, comps)
+	if err == nil {
+		return ref, nil
+	}
+	if !errors.Is(err, ErrResize) && !errors.Is(err, page.ErrPageFull) {
+		return Ref{}, err
+	}
+	if ref.Small {
+		if err := s.shared.Delete(ref.RID); err != nil {
+			return Ref{}, err
+		}
+	} else {
+		s.freeLarge(ref)
+	}
+	return s.Insert(comps)
+}
+
+// freeLarge releases the accounting of a relocated large object. The
+// simulated device has no free-space map, so the pages themselves stay
+// allocated; FreedPages reports how many are dead.
+func (s *Store) freeLarge(ref Ref) {
+	s.large--
+	s.headerPages -= int(ref.HeaderPages)
+	s.dataPages -= int(ref.DataPages)
+	s.freedPages += ref.Pages()
+}
+
+// FreedPages returns the number of dead pages left behind by relocating
+// replacements (space a real system would recycle via a free-space map).
+func (s *Store) FreedPages() int { return s.freedPages }
+
+// ChangeComponent overwrites component idx in place with same-length data
+// and writes the affected pages through immediately (the DASDBS "change
+// attribute" page-pool behaviour of §5.3: "each update operation allocates
+// a page pool, of which all pages are written ... even though the page
+// pool is only a single page in size"). Returns the number of pages
+// written through.
+func (s *Store) ChangeComponent(ref Ref, idx int, data []byte) (int, error) {
+	if ref.Small {
+		rec, err := s.shared.Get(ref.RID)
+		if err != nil {
+			return 0, err
+		}
+		comps, err := decodeInline(rec)
+		if err != nil {
+			return 0, err
+		}
+		if idx < 0 || idx >= len(comps) {
+			return 0, fmt.Errorf("%w: %d of %d", ErrBadComp, idx, len(comps))
+		}
+		if len(data) != len(comps[idx].Data) {
+			return 0, fmt.Errorf("%w: %d -> %d bytes", ErrSameLen, len(comps[idx].Data), len(data))
+		}
+		comps[idx].Data = data
+		if err := s.shared.Update(ref.RID, encodeInline(comps)); err != nil {
+			return 0, err
+		}
+		if err := s.pool.FlushPages([]disk.PageID{ref.RID.Page}); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	hdr, err := s.readHeader(ref)
+	if err != nil {
+		return 0, err
+	}
+	n := int(binary.BigEndian.Uint16(hdr))
+	if idx < 0 || idx >= n {
+		return 0, fmt.Errorf("%w: %d of %d", ErrBadComp, idx, n)
+	}
+	_, off, length, err := dirEntryAt(hdr, idx)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) != length {
+		return 0, fmt.Errorf("%w: %d -> %d bytes", ErrSameLen, length, len(data))
+	}
+	eff := s.effSize()
+	var ids []disk.PageID
+	firstPg := 0
+	if length > 0 {
+		firstPg = off / eff
+		last := (off + length - 1) / eff
+		for pg := firstPg; pg <= last; pg++ {
+			ids = append(ids, ref.Start+disk.PageID(int(ref.HeaderPages)+pg))
+		}
+	}
+	if len(ids) == 0 {
+		return 0, nil
+	}
+	err = s.visitPages(ids, true, func(i int, payload []byte) {
+		pg := firstPg + i
+		pageStart := pg * eff
+		segStart := max(off, pageStart)
+		segEnd := min(off+length, pageStart+eff)
+		copy(payload[segStart-pageStart:segEnd-pageStart], data[segStart-off:segEnd-off])
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := s.pool.FlushPages(ids); err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package store
+
+import (
+	"fmt"
+
+	"complexobj/cobench"
+	"complexobj/internal/longobj"
+	"complexobj/nf2"
+)
+
+// Component tags for direct storage: the root record, each platform
+// subtuple (with its nested connections) and each sightseeing subtuple are
+// separately addressable parts of the stored object, which is what gives
+// DASDBS-DSM its selective page access.
+const (
+	TagRoot        = 0
+	TagPlatform    = 1
+	TagSightseeing = 2
+)
+
+// RootType is the flat schema of a station's atomic root attributes. It
+// doubles as the NSM_Station relation schema (Figure 3: "on the root level
+// we only need the own root key").
+var RootType = nf2.MustTupleType("StationRoot",
+	nf2.Attr{Name: "Key", Type: nf2.IntType()},
+	nf2.Attr{Name: "NoPlatform", Type: nf2.IntType()},
+	nf2.Attr{Name: "NoSeeing", Type: nf2.IntType()},
+	nf2.Attr{Name: "Name", Type: nf2.StringType(cobench.StrSize)},
+)
+
+// EncodeRoot serializes a root record; the result has a fixed size, which
+// is what makes query 3's "update atomic attributes" a same-size in-place
+// operation for every storage model.
+func EncodeRoot(r cobench.RootRecord) ([]byte, error) {
+	return RootType.Encode(nf2.NewTuple(
+		nf2.IntValue(r.Key),
+		nf2.IntValue(r.NoPlatform),
+		nf2.IntValue(r.NoSeeing),
+		nf2.StringValue(r.Name),
+	))
+}
+
+// DecodeRoot parses an encoded root record.
+func DecodeRoot(data []byte) (cobench.RootRecord, error) {
+	t, err := RootType.Decode(data)
+	if err != nil {
+		return cobench.RootRecord{}, err
+	}
+	return cobench.RootRecord{
+		Key:        t.Vals[0].Int(),
+		NoPlatform: t.Vals[1].Int(),
+		NoSeeing:   t.Vals[2].Int(),
+		Name:       t.Vals[3].Str(),
+	}, nil
+}
+
+// DecodeRootKey extracts only the key from an encoded root record (value
+// selections evaluate their predicate without materializing the record).
+func DecodeRootKey(data []byte) (int32, error) {
+	v, err := RootType.DecodeAttr(data, 0)
+	if err != nil {
+		return 0, err
+	}
+	return v.Int(), nil
+}
+
+// encodePlatform serializes one platform subtuple (with nested
+// connections) using the benchmark schema.
+func encodePlatform(p cobench.Platform) ([]byte, error) {
+	conns := make([]nf2.Tuple, len(p.Conns))
+	for j, c := range p.Conns {
+		conns[j] = nf2.NewTuple(
+			nf2.IntValue(c.LineNr),
+			nf2.IntValue(c.KeyConnection),
+			nf2.LinkValue(c.OidConnection),
+			nf2.StringValue(c.DepartureTimes),
+		)
+	}
+	return cobench.PlatformType.Encode(nf2.NewTuple(
+		nf2.IntValue(p.Nr),
+		nf2.IntValue(p.NoLine),
+		nf2.IntValue(p.TicketCode),
+		nf2.StringValue(p.Information),
+		nf2.RelValue(conns),
+	))
+}
+
+func decodePlatform(data []byte) (cobench.Platform, error) {
+	t, err := cobench.PlatformType.Decode(data)
+	if err != nil {
+		return cobench.Platform{}, err
+	}
+	p := cobench.Platform{
+		Nr:          t.Vals[cobench.PlNr].Int(),
+		NoLine:      t.Vals[cobench.PlNoLine].Int(),
+		TicketCode:  t.Vals[cobench.PlTicketCode].Int(),
+		Information: t.Vals[cobench.PlInformation].Str(),
+	}
+	for _, ct := range t.Vals[cobench.PlConns].Tuples() {
+		p.Conns = append(p.Conns, cobench.Connection{
+			LineNr:         ct.Vals[cobench.CoLineNr].Int(),
+			KeyConnection:  ct.Vals[cobench.CoKeyConnection].Int(),
+			OidConnection:  ct.Vals[cobench.CoOid].Int(),
+			DepartureTimes: ct.Vals[cobench.CoDepartureTimes].Str(),
+		})
+	}
+	return p, nil
+}
+
+// platformChildren extracts only the child references from an encoded
+// platform subtuple (partial decoding: navigation projects the LINK
+// attribute without materializing the strings).
+func platformChildren(data []byte) ([]int32, error) {
+	v, err := cobench.PlatformType.DecodeAttr(data, cobench.PlConns)
+	if err != nil {
+		return nil, err
+	}
+	var out []int32
+	for _, ct := range v.Tuples() {
+		out = append(out, ct.Vals[cobench.CoOid].Int())
+	}
+	return out, nil
+}
+
+func encodeSightseeing(g cobench.Sightseeing) ([]byte, error) {
+	return cobench.SightseeingType.Encode(nf2.NewTuple(
+		nf2.IntValue(g.Nr),
+		nf2.StringValue(g.Description),
+		nf2.StringValue(g.Location),
+		nf2.StringValue(g.History),
+		nf2.StringValue(g.Remarks),
+	))
+}
+
+func decodeSightseeing(data []byte) (cobench.Sightseeing, error) {
+	t, err := cobench.SightseeingType.Decode(data)
+	if err != nil {
+		return cobench.Sightseeing{}, err
+	}
+	return cobench.Sightseeing{
+		Nr:          t.Vals[cobench.SeNr].Int(),
+		Description: t.Vals[cobench.SeDescription].Str(),
+		Location:    t.Vals[cobench.SeLocation].Str(),
+		History:     t.Vals[cobench.SeHistory].Str(),
+		Remarks:     t.Vals[cobench.SeRemarks].Str(),
+	}, nil
+}
+
+// EncodeComponents splits a station into its direct-storage components:
+// the root record first (so it lands on the first data page), then the
+// platforms, then the sightseeings.
+func EncodeComponents(s *cobench.Station) ([]longobj.Component, error) {
+	root, err := EncodeRoot(s.Root())
+	if err != nil {
+		return nil, err
+	}
+	comps := []longobj.Component{{Tag: TagRoot, Data: root}}
+	for _, p := range s.Platforms {
+		data, err := encodePlatform(p)
+		if err != nil {
+			return nil, err
+		}
+		comps = append(comps, longobj.Component{Tag: TagPlatform, Data: data})
+	}
+	for _, g := range s.Seeings {
+		data, err := encodeSightseeing(g)
+		if err != nil {
+			return nil, err
+		}
+		comps = append(comps, longobj.Component{Tag: TagSightseeing, Data: data})
+	}
+	return comps, nil
+}
+
+// DecodeComponents reassembles a station from direct-storage components.
+func DecodeComponents(comps []longobj.Component) (*cobench.Station, error) {
+	var s cobench.Station
+	seenRoot := false
+	for _, c := range comps {
+		switch c.Tag {
+		case TagRoot:
+			r, err := DecodeRoot(c.Data)
+			if err != nil {
+				return nil, err
+			}
+			s.SetRoot(r)
+			seenRoot = true
+		case TagPlatform:
+			p, err := decodePlatform(c.Data)
+			if err != nil {
+				return nil, err
+			}
+			s.Platforms = append(s.Platforms, p)
+		case TagSightseeing:
+			g, err := decodeSightseeing(c.Data)
+			if err != nil {
+				return nil, err
+			}
+			s.Seeings = append(s.Seeings, g)
+		default:
+			return nil, fmt.Errorf("store: unknown component tag %d", c.Tag)
+		}
+	}
+	if !seenRoot {
+		return nil, fmt.Errorf("store: object without root component")
+	}
+	return &s, nil
+}

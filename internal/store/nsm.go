@@ -1,0 +1,772 @@
+package store
+
+import (
+	"fmt"
+
+	"complexobj/cobench"
+	"complexobj/internal/btree"
+	"complexobj/internal/disk"
+	"complexobj/internal/heap"
+	"complexobj/nf2"
+)
+
+// Flat relation schemas of the normalized storage model (paper Figure 3).
+// Three key attributes preserve the object structure: a globally unique
+// root foreign key, a parent foreign key, and an own key; superfluous keys
+// are omitted exactly as in the paper (no parent key on the first nesting
+// level, no own key on the lowest level, only the own key at the root).
+var (
+	// nsmStationType is identical to RootType: the root relation carries
+	// only its own key plus the atomic attributes.
+	nsmStationType = RootType
+
+	nsmPlatformType = nf2.MustTupleType("NSM_Platform",
+		nf2.Attr{Name: "RootKey", Type: nf2.IntType()},
+		nf2.Attr{Name: "OwnKey", Type: nf2.IntType()},
+		nf2.Attr{Name: "PlatformNr", Type: nf2.IntType()},
+		nf2.Attr{Name: "NoLine", Type: nf2.IntType()},
+		nf2.Attr{Name: "TicketCode", Type: nf2.IntType()},
+		nf2.Attr{Name: "Information", Type: nf2.StringType(cobench.StrSize)},
+	)
+
+	nsmConnectionType = nf2.MustTupleType("NSM_Connection",
+		nf2.Attr{Name: "RootKey", Type: nf2.IntType()},
+		nf2.Attr{Name: "ParentKey", Type: nf2.IntType()},
+		nf2.Attr{Name: "LineNr", Type: nf2.IntType()},
+		nf2.Attr{Name: "KeyConnection", Type: nf2.IntType()},
+		nf2.Attr{Name: "OidConnection", Type: nf2.LinkType()},
+		nf2.Attr{Name: "DepartureTimes", Type: nf2.StringType(cobench.StrSize)},
+	)
+
+	nsmSightseeingType = nf2.MustTupleType("NSM_Sightseeing",
+		nf2.Attr{Name: "RootKey", Type: nf2.IntType()},
+		nf2.Attr{Name: "SeeingNr", Type: nf2.IntType()},
+		nf2.Attr{Name: "Description", Type: nf2.StringType(cobench.StrSize)},
+		nf2.Attr{Name: "Location", Type: nf2.StringType(cobench.StrSize)},
+		nf2.Attr{Name: "History", Type: nf2.StringType(cobench.StrSize)},
+		nf2.Attr{Name: "Remarks", Type: nf2.StringType(cobench.StrSize)},
+	)
+)
+
+// nsm implements the normalized storage model (§3.3), in two flavours:
+//
+//   - pure NSM (indexed=false): value queries can only scan; object
+//     assembly joins the four relations. Following the paper's §4
+//     assumption ("all joins can be performed in main memory"), navigation
+//     locates an object's tuples positionally but must still visit the
+//     platform tuples to join stations to connections.
+//   - NSM+index (indexed=true): a zero-cost in-memory index maps keys to
+//     tuple positions, so "a page is read from disk then and only then if
+//     a tuple it stores is requested".
+type nsm struct {
+	eng     *Engine
+	indexed bool
+	// countIndexIO replaces the free in-memory index with disk-resident
+	// B+-trees whose page accesses are counted (the experiments package's
+	// index-accounting ablation). Only meaningful with indexed=true.
+	countIndexIO bool
+
+	stations *heap.Heap
+	plats    *heap.Heap
+	conns    *heap.Heap
+	seeings  *heap.Heap
+
+	stationRID []heap.RID
+	platRIDs   [][]heap.RID
+	connRIDs   [][]heap.RID
+	seeingRIDs [][]heap.RID
+	keyIdx     map[int32]int
+	nPlats     int
+	nConns     int
+	nSeeings   int
+
+	// Disk-resident indexes (countIndexIO only): station key -> RID and
+	// Pack(object, seq) -> RID per sub-relation.
+	stationTree *btree.Tree
+	platTree    *btree.Tree
+	connTree    *btree.Tree
+	seeingTree  *btree.Tree
+}
+
+// packRID encodes a heap RID as a B+-tree value.
+func packRID(r heap.RID) uint64 { return uint64(r.Page)<<16 | uint64(r.Slot) }
+
+// unpackRID inverts packRID.
+func unpackRID(v uint64) heap.RID {
+	return heap.RID{Page: disk.PageID(v >> 16), Slot: uint16(v & 0xFFFF)}
+}
+
+func newNSM(e *Engine, indexed bool) *nsm {
+	return &nsm{
+		eng:      e,
+		indexed:  indexed,
+		stations: heap.New(e.Dev, e.Pool, "NSM_Station"),
+		plats:    heap.New(e.Dev, e.Pool, "NSM_Platform"),
+		conns:    heap.New(e.Dev, e.Pool, "NSM_Connection"),
+		seeings:  heap.New(e.Dev, e.Pool, "NSM_Sightseeing"),
+		keyIdx:   make(map[int32]int),
+	}
+}
+
+// Kind implements Model.
+func (m *nsm) Kind() Kind {
+	if m.indexed {
+		return NSMIndex
+	}
+	return NSM
+}
+
+// Engine implements Model.
+func (m *nsm) Engine() *Engine { return m.eng }
+
+// NumObjects implements Model.
+func (m *nsm) NumObjects() int { return len(m.stationRID) }
+
+// Load implements Model: objects are unnested into four flat relations,
+// with the tuples of one object inserted back to back so they cluster.
+func (m *nsm) Load(stations []*cobench.Station) error {
+	if len(m.stationRID) > 0 {
+		return fmt.Errorf("store: %s already loaded", m.Kind())
+	}
+	for i, s := range stations {
+		root, err := EncodeRoot(s.Root())
+		if err != nil {
+			return err
+		}
+		rid, err := m.stations.Insert(root)
+		if err != nil {
+			return err
+		}
+		m.stationRID = append(m.stationRID, rid)
+		m.keyIdx[s.Key] = i
+
+		var prids, crids, grids []heap.RID
+		for pi, p := range s.Platforms {
+			pt, err := nsmPlatformType.Encode(nf2.NewTuple(
+				nf2.IntValue(s.Key),
+				nf2.IntValue(int32(pi+1)),
+				nf2.IntValue(p.Nr),
+				nf2.IntValue(p.NoLine),
+				nf2.IntValue(p.TicketCode),
+				nf2.StringValue(p.Information),
+			))
+			if err != nil {
+				return err
+			}
+			prid, err := m.plats.Insert(pt)
+			if err != nil {
+				return err
+			}
+			prids = append(prids, prid)
+			m.nPlats++
+			for _, c := range p.Conns {
+				ct, err := nsmConnectionType.Encode(nf2.NewTuple(
+					nf2.IntValue(s.Key),
+					nf2.IntValue(int32(pi+1)),
+					nf2.IntValue(c.LineNr),
+					nf2.IntValue(c.KeyConnection),
+					nf2.LinkValue(c.OidConnection),
+					nf2.StringValue(c.DepartureTimes),
+				))
+				if err != nil {
+					return err
+				}
+				crid, err := m.conns.Insert(ct)
+				if err != nil {
+					return err
+				}
+				crids = append(crids, crid)
+				m.nConns++
+			}
+		}
+		for _, g := range s.Seeings {
+			gt, err := nsmSightseeingType.Encode(nf2.NewTuple(
+				nf2.IntValue(s.Key),
+				nf2.IntValue(g.Nr),
+				nf2.StringValue(g.Description),
+				nf2.StringValue(g.Location),
+				nf2.StringValue(g.History),
+				nf2.StringValue(g.Remarks),
+			))
+			if err != nil {
+				return err
+			}
+			grid, err := m.seeings.Insert(gt)
+			if err != nil {
+				return err
+			}
+			grids = append(grids, grid)
+			m.nSeeings++
+		}
+		m.platRIDs = append(m.platRIDs, prids)
+		m.connRIDs = append(m.connRIDs, crids)
+		m.seeingRIDs = append(m.seeingRIDs, grids)
+	}
+	if m.countIndexIO {
+		if err := m.buildTrees(stations); err != nil {
+			return err
+		}
+	}
+	return m.eng.Flush()
+}
+
+// buildTrees materializes the disk-resident indexes after the bulk load
+// (load-time I/O is excluded from measurements by the harness).
+func (m *nsm) buildTrees(stations []*cobench.Station) error {
+	var err error
+	if m.stationTree, err = btree.New(m.eng.Dev, m.eng.Pool); err != nil {
+		return err
+	}
+	if m.platTree, err = btree.New(m.eng.Dev, m.eng.Pool); err != nil {
+		return err
+	}
+	if m.connTree, err = btree.New(m.eng.Dev, m.eng.Pool); err != nil {
+		return err
+	}
+	if m.seeingTree, err = btree.New(m.eng.Dev, m.eng.Pool); err != nil {
+		return err
+	}
+	for i, s := range stations {
+		if err := m.stationTree.Insert(uint64(uint32(s.Key)), packRID(m.stationRID[i])); err != nil {
+			return err
+		}
+		for j, rid := range m.platRIDs[i] {
+			if err := m.platTree.Insert(btree.Pack(uint32(i), uint32(j)), packRID(rid)); err != nil {
+				return err
+			}
+		}
+		for j, rid := range m.connRIDs[i] {
+			if err := m.connTree.Insert(btree.Pack(uint32(i), uint32(j)), packRID(rid)); err != nil {
+				return err
+			}
+		}
+		for j, rid := range m.seeingRIDs[i] {
+			if err := m.seeingTree.Insert(btree.Pack(uint32(i), uint32(j)), packRID(rid)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// stationRIDAt resolves the root tuple position of object i, through the
+// counted index when enabled.
+func (m *nsm) stationRIDAt(i int) (heap.RID, error) {
+	if !m.countIndexIO {
+		return m.stationRID[i], nil
+	}
+	v, err := m.stationTree.Get(uint64(uint32(cobench.KeyOf(i))))
+	if err != nil {
+		return heap.RID{}, err
+	}
+	return unpackRID(v), nil
+}
+
+// groupRIDs resolves the sub-relation tuple positions of object i.
+func (m *nsm) groupRIDs(tree *btree.Tree, inMemory []heap.RID, i int) ([]heap.RID, error) {
+	if !m.countIndexIO {
+		return inMemory, nil
+	}
+	var rids []heap.RID
+	from, to := btree.PackRange(uint32(i))
+	err := tree.Scan(from, to, func(_, v uint64) bool {
+		rids = append(rids, unpackRID(v))
+		return true
+	})
+	return rids, err
+}
+
+// IndexStats reports the disk-resident index footprint (countIndexIO
+// only): total node pages and the station tree height.
+func (m *nsm) IndexStats() (pages, height int) {
+	if !m.countIndexIO {
+		return 0, 0
+	}
+	pages = m.stationTree.Pages() + m.platTree.Pages() + m.connTree.Pages() + m.seeingTree.Pages()
+	return pages, m.stationTree.Height()
+}
+
+// assemble rebuilds a station from its four tuple groups.
+func assembleNSM(root nf2.Tuple, plats, conns, sees []nf2.Tuple) (*cobench.Station, error) {
+	s := &cobench.Station{
+		Key:        root.Vals[0].Int(),
+		NoPlatform: root.Vals[1].Int(),
+		NoSeeing:   root.Vals[2].Int(),
+		Name:       root.Vals[3].Str(),
+	}
+	byOwn := map[int32]*cobench.Platform{}
+	var order []int32
+	for _, pt := range plats {
+		own := pt.Vals[1].Int()
+		byOwn[own] = &cobench.Platform{
+			Nr:          pt.Vals[2].Int(),
+			NoLine:      pt.Vals[3].Int(),
+			TicketCode:  pt.Vals[4].Int(),
+			Information: pt.Vals[5].Str(),
+		}
+		order = append(order, own)
+	}
+	for _, ct := range conns {
+		parent := ct.Vals[1].Int()
+		p, ok := byOwn[parent]
+		if !ok {
+			return nil, fmt.Errorf("store: connection with unknown parent %d", parent)
+		}
+		p.Conns = append(p.Conns, cobench.Connection{
+			LineNr:         ct.Vals[2].Int(),
+			KeyConnection:  ct.Vals[3].Int(),
+			OidConnection:  ct.Vals[4].Int(),
+			DepartureTimes: ct.Vals[5].Str(),
+		})
+	}
+	for _, own := range order {
+		s.Platforms = append(s.Platforms, *byOwn[own])
+	}
+	for _, gt := range sees {
+		s.Seeings = append(s.Seeings, cobench.Sightseeing{
+			Nr:          gt.Vals[1].Int(),
+			Description: gt.Vals[2].Str(),
+			Location:    gt.Vals[3].Str(),
+			History:     gt.Vals[4].Str(),
+			Remarks:     gt.Vals[5].Str(),
+		})
+	}
+	return s, nil
+}
+
+// fetchAssembled reads all tuples of object i by position and joins them.
+func (m *nsm) fetchAssembled(i int) (*cobench.Station, error) {
+	srid, err := m.stationRIDAt(i)
+	if err != nil {
+		return nil, err
+	}
+	rootRec, err := m.stations.Get(srid)
+	if err != nil {
+		return nil, err
+	}
+	root, err := nsmStationType.Decode(rootRec)
+	if err != nil {
+		return nil, err
+	}
+	decode := func(h *heap.Heap, tt *nf2.TupleType, tree *btree.Tree, inMemory []heap.RID) ([]nf2.Tuple, error) {
+		rids, err := m.groupRIDs(tree, inMemory, i)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]nf2.Tuple, 0, len(rids))
+		for _, rid := range rids {
+			rec, err := h.Get(rid)
+			if err != nil {
+				return nil, err
+			}
+			t, err := tt.Decode(rec)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, t)
+		}
+		return out, nil
+	}
+	plats, err := decode(m.plats, nsmPlatformType, m.platTree, m.platRIDs[i])
+	if err != nil {
+		return nil, err
+	}
+	conns, err := decode(m.conns, nsmConnectionType, m.connTree, m.connRIDs[i])
+	if err != nil {
+		return nil, err
+	}
+	sees, err := decode(m.seeings, nsmSightseeingType, m.seeingTree, m.seeingRIDs[i])
+	if err != nil {
+		return nil, err
+	}
+	return assembleNSM(root, plats, conns, sees)
+}
+
+// FetchByAddress implements Model: only the indexed variant has an
+// addressing mechanism ("With NSM we have no identifiers, so query 1a is
+// not relevant").
+func (m *nsm) FetchByAddress(i int) (*cobench.Station, error) {
+	if !m.indexed {
+		return nil, ErrNoAddressAccess
+	}
+	if err := checkIndex(i, len(m.stationRID)); err != nil {
+		return nil, err
+	}
+	return m.fetchAssembled(i)
+}
+
+// FetchByKey implements Model. Pure NSM scans all four relations and joins
+// the matching tuples; NSM+index scans only the root relation for the
+// value selection and fetches the sub-relation tuples through the index.
+func (m *nsm) FetchByKey(key int32) (*cobench.Station, error) {
+	if len(m.stationRID) == 0 {
+		return nil, ErrNotLoaded
+	}
+	if m.indexed {
+		if m.countIndexIO {
+			// A real key index turns the value selection into a tree
+			// descent — the flip side of paying for index I/O elsewhere.
+			if _, err := m.stationTree.Get(uint64(uint32(key))); err != nil {
+				return nil, fmt.Errorf("store: no station with key %d: %w", key, err)
+			}
+			idx, ok := m.keyIdx[key]
+			if !ok {
+				return nil, fmt.Errorf("store: no station with key %d", key)
+			}
+			return m.fetchAssembled(idx)
+		}
+		idx := -1
+		err := m.stations.Scan(func(_ heap.RID, rec []byte) bool {
+			k, kerr := DecodeRootKey(rec)
+			if kerr == nil && k == key {
+				if j, ok := m.keyIdx[key]; ok {
+					idx = j
+				}
+			}
+			return true // set-oriented selection: no early exit
+		})
+		if err != nil {
+			return nil, err
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("store: no station with key %d", key)
+		}
+		return m.fetchAssembled(idx)
+	}
+	var root *nf2.Tuple
+	var plats, conns, sees []nf2.Tuple
+	scan := func(h *heap.Heap, tt *nf2.TupleType, sink func(nf2.Tuple)) error {
+		return h.Scan(func(_ heap.RID, rec []byte) bool {
+			v, err := tt.DecodeAttr(rec, 0) // root (foreign) key is attribute 0
+			if err != nil || v.Int() != key {
+				return true
+			}
+			t, err := tt.Decode(rec)
+			if err == nil {
+				sink(t)
+			}
+			return true
+		})
+	}
+	if err := scan(m.stations, nsmStationType, func(t nf2.Tuple) { root = &t }); err != nil {
+		return nil, err
+	}
+	if err := scan(m.plats, nsmPlatformType, func(t nf2.Tuple) { plats = append(plats, t) }); err != nil {
+		return nil, err
+	}
+	if err := scan(m.conns, nsmConnectionType, func(t nf2.Tuple) { conns = append(conns, t) }); err != nil {
+		return nil, err
+	}
+	if err := scan(m.seeings, nsmSightseeingType, func(t nf2.Tuple) { sees = append(sees, t) }); err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return nil, fmt.Errorf("store: no station with key %d", key)
+	}
+	return assembleNSM(*root, plats, conns, sees)
+}
+
+// ScanAll implements Model: one physical scan of each relation, joined in
+// memory (the paper's best-case in-memory join assumption).
+func (m *nsm) ScanAll(fn func(i int, s *cobench.Station) error) error {
+	n := len(m.stationRID)
+	if n == 0 {
+		return ErrNotLoaded
+	}
+	roots := make([]nf2.Tuple, n)
+	plats := make([][]nf2.Tuple, n)
+	conns := make([][]nf2.Tuple, n)
+	sees := make([][]nf2.Tuple, n)
+	idxOfKey := func(rec []byte, tt *nf2.TupleType) (int, error) {
+		v, err := tt.DecodeAttr(rec, 0)
+		if err != nil {
+			return -1, err
+		}
+		i, ok := m.keyIdx[v.Int()]
+		if !ok {
+			return -1, fmt.Errorf("store: unknown root key %d", v.Int())
+		}
+		return i, nil
+	}
+	var scanErr error
+	collect := func(h *heap.Heap, tt *nf2.TupleType, sink func(i int, t nf2.Tuple)) error {
+		err := h.Scan(func(_ heap.RID, rec []byte) bool {
+			i, err := idxOfKey(rec, tt)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			t, err := tt.Decode(rec)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			sink(i, t)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		return scanErr
+	}
+	if err := collect(m.stations, nsmStationType, func(i int, t nf2.Tuple) { roots[i] = t }); err != nil {
+		return err
+	}
+	if err := collect(m.plats, nsmPlatformType, func(i int, t nf2.Tuple) { plats[i] = append(plats[i], t) }); err != nil {
+		return err
+	}
+	if err := collect(m.conns, nsmConnectionType, func(i int, t nf2.Tuple) { conns[i] = append(conns[i], t) }); err != nil {
+		return err
+	}
+	if err := collect(m.seeings, nsmSightseeingType, func(i int, t nf2.Tuple) { sees[i] = append(sees[i], t) }); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		s, err := assembleNSM(roots[i], plats[i], conns[i], sees[i])
+		if err != nil {
+			return err
+		}
+		if err := fn(i, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Navigate implements Model: the root tuple plus the object's connection
+// tuples; pure NSM additionally joins through the platform tuples (no
+// index to shortcut the Station->Platform->Connection path).
+func (m *nsm) Navigate(i int) (cobench.RootRecord, []int32, error) {
+	if err := checkIndex(i, len(m.stationRID)); err != nil {
+		return cobench.RootRecord{}, nil, err
+	}
+	root, err := m.ReadRoot(i)
+	if err != nil {
+		return cobench.RootRecord{}, nil, err
+	}
+	if !m.indexed {
+		for _, rid := range m.platRIDs[i] {
+			if err := m.plats.View(rid, func([]byte) error { return nil }); err != nil {
+				return cobench.RootRecord{}, nil, err
+			}
+		}
+	}
+	crids, err := m.groupRIDs(m.connTree, m.connRIDs[i], i)
+	if err != nil {
+		return cobench.RootRecord{}, nil, err
+	}
+	var children []int32
+	for _, rid := range crids {
+		err := m.conns.View(rid, func(rec []byte) error {
+			v, err := nsmConnectionType.DecodeAttr(rec, 4) // OidConnection
+			if err != nil {
+				return err
+			}
+			children = append(children, v.Int())
+			return nil
+		})
+		if err != nil {
+			return cobench.RootRecord{}, nil, err
+		}
+	}
+	return root, children, nil
+}
+
+// ReadRoot implements Model: one tuple access in the root relation.
+func (m *nsm) ReadRoot(i int) (cobench.RootRecord, error) {
+	if err := checkIndex(i, len(m.stationRID)); err != nil {
+		return cobench.RootRecord{}, err
+	}
+	srid, err := m.stationRIDAt(i)
+	if err != nil {
+		return cobench.RootRecord{}, err
+	}
+	var root cobench.RootRecord
+	err = m.stations.View(srid, func(rec []byte) error {
+		r, err := DecodeRoot(rec)
+		if err != nil {
+			return err
+		}
+		root = r
+		return nil
+	})
+	return root, err
+}
+
+// UpdateRoots implements Model: in-place updates of the small root tuples;
+// many share a page, so a batch of updates dirties few pages which are
+// written together at flush ("With DASDBS-NSM only small root tuples ...
+// are updated, of which there are many on a single page" — the same holds
+// for NSM's root relation).
+func (m *nsm) UpdateRoots(idxs []int32, mutate func(i int32, r *cobench.RootRecord)) error {
+	for _, idx := range idxs {
+		i := int(idx)
+		if err := checkIndex(i, len(m.stationRID)); err != nil {
+			return err
+		}
+		root, err := m.ReadRoot(i)
+		if err != nil {
+			return err
+		}
+		mutate(idx, &root)
+		rec, err := EncodeRoot(root)
+		if err != nil {
+			return err
+		}
+		srid, err := m.stationRIDAt(i)
+		if err != nil {
+			return err
+		}
+		if err := m.stations.Update(srid, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UpdateObject implements Model: the root tuple is updated in place (it
+// has a fixed size) and the sub-relation tuples are deleted and
+// reinserted. Reinserted tuples append at the relation tails, so heavy
+// structural churn gradually erodes the load-time clustering — the
+// realistic behaviour of a normalized store. Not supported under
+// CountIndexIO (the ablation's B+-trees are append-only).
+func (m *nsm) UpdateObject(i int, mutate func(s *cobench.Station) error) error {
+	if err := checkIndex(i, len(m.stationRID)); err != nil {
+		return err
+	}
+	if m.countIndexIO {
+		return fmt.Errorf("store: %s: structural updates unsupported with counted index I/O", m.Kind())
+	}
+	st, err := m.fetchAssembled(i)
+	if err != nil {
+		return err
+	}
+	oldKey := st.Key
+	if err := mutate(st); err != nil {
+		return err
+	}
+	st.NoPlatform = int32(len(st.Platforms))
+	st.NoSeeing = int32(len(st.Seeings))
+	root, err := EncodeRoot(st.Root())
+	if err != nil {
+		return err
+	}
+	if err := m.stations.Update(m.stationRID[i], root); err != nil {
+		return err
+	}
+	for _, rid := range m.platRIDs[i] {
+		if err := m.plats.Delete(rid); err != nil {
+			return err
+		}
+	}
+	for _, rid := range m.connRIDs[i] {
+		if err := m.conns.Delete(rid); err != nil {
+			return err
+		}
+	}
+	for _, rid := range m.seeingRIDs[i] {
+		if err := m.seeings.Delete(rid); err != nil {
+			return err
+		}
+	}
+	m.nPlats -= len(m.platRIDs[i])
+	m.nConns -= len(m.connRIDs[i])
+	m.nSeeings -= len(m.seeingRIDs[i])
+	var prids, crids, grids []heap.RID
+	for pi, pl := range st.Platforms {
+		pt, err := nsmPlatformType.Encode(nf2.NewTuple(
+			nf2.IntValue(st.Key),
+			nf2.IntValue(int32(pi+1)),
+			nf2.IntValue(pl.Nr),
+			nf2.IntValue(pl.NoLine),
+			nf2.IntValue(pl.TicketCode),
+			nf2.StringValue(pl.Information),
+		))
+		if err != nil {
+			return err
+		}
+		prid, err := m.plats.Insert(pt)
+		if err != nil {
+			return err
+		}
+		prids = append(prids, prid)
+		m.nPlats++
+		for _, c := range pl.Conns {
+			ct, err := nsmConnectionType.Encode(nf2.NewTuple(
+				nf2.IntValue(st.Key),
+				nf2.IntValue(int32(pi+1)),
+				nf2.IntValue(c.LineNr),
+				nf2.IntValue(c.KeyConnection),
+				nf2.LinkValue(c.OidConnection),
+				nf2.StringValue(c.DepartureTimes),
+			))
+			if err != nil {
+				return err
+			}
+			crid, err := m.conns.Insert(ct)
+			if err != nil {
+				return err
+			}
+			crids = append(crids, crid)
+			m.nConns++
+		}
+	}
+	for _, g := range st.Seeings {
+		gt, err := nsmSightseeingType.Encode(nf2.NewTuple(
+			nf2.IntValue(st.Key),
+			nf2.IntValue(g.Nr),
+			nf2.StringValue(g.Description),
+			nf2.StringValue(g.Location),
+			nf2.StringValue(g.History),
+			nf2.StringValue(g.Remarks),
+		))
+		if err != nil {
+			return err
+		}
+		grid, err := m.seeings.Insert(gt)
+		if err != nil {
+			return err
+		}
+		grids = append(grids, grid)
+		m.nSeeings++
+	}
+	m.platRIDs[i] = prids
+	m.connRIDs[i] = crids
+	m.seeingRIDs[i] = grids
+	if st.Key != oldKey {
+		delete(m.keyIdx, oldKey)
+		m.keyIdx[st.Key] = i
+	}
+	return nil
+}
+
+// Flush implements Model.
+func (m *nsm) Flush() error { return m.eng.Flush() }
+
+// Sizes implements Model.
+func (m *nsm) Sizes() SizeReport {
+	n := len(m.stationRID)
+	prefix := "NSM_"
+	rel := func(h *heap.Heap, name string, tuples int) RelationSize {
+		r := RelationSize{
+			Name:          prefix + name,
+			Tuples:        tuples,
+			AvgTupleBytes: h.AvgRecordSize(),
+			K:             h.TuplesPerPage(),
+			M:             h.NumPages(),
+		}
+		if n > 0 {
+			r.TuplesPerObject = float64(tuples) / float64(n)
+		}
+		return r
+	}
+	return SizeReport{
+		Model: m.Kind().String(),
+		Relations: []RelationSize{
+			rel(m.stations, "Station", n),
+			rel(m.plats, "Platform", m.nPlats),
+			rel(m.conns, "Connection", m.nConns),
+			rel(m.seeings, "Sightseeing", m.nSeeings),
+		},
+	}
+}

@@ -1,0 +1,278 @@
+// Package workload drives the seven benchmark queries of the paper's §2.2
+// against a storage model and collects the I/O statistics that Tables 4-7
+// and Figures 5-6 report.
+//
+// Accounting conventions (matching §5.1):
+//
+//   - single-shot queries (1a, 1b, 2a, 3a) run on a cold cache and are
+//     averaged over a sample of objects (the paper measured one hand-picked
+//     "average" object; sampling removes the arbitrariness);
+//   - looped queries (2b, 3b) run Loops consecutive navigation loops on a
+//     warm cache and normalize per loop;
+//   - the scan query (1c) runs once and normalizes per object;
+//   - updates are written back at flush ("database disconnect") or on
+//     buffer overflow, both inside the measurement window.
+package workload
+
+import (
+	"fmt"
+
+	"complexobj/cobench"
+	"complexobj/internal/iostat"
+	"complexobj/internal/store"
+	"complexobj/internal/xrand"
+)
+
+// Result is the outcome of one query execution.
+type Result struct {
+	Query cobench.Query
+	Model store.Kind
+	// Supported is false when the model cannot run the query (pure NSM has
+	// no address access, so query 1a "is not relevant").
+	Supported bool
+	// Units is the normalization divisor: objects for 1a-1c, loops for 2-3.
+	Units float64
+	// Stats holds the raw counters accumulated over the whole query.
+	Stats iostat.Stats
+	// Touched counts object visits during navigation (roots + children +
+	// grand-children, including repeats), for diagnostics.
+	Touched int64
+}
+
+// PerUnit returns the normalized counters (the numbers printed in the
+// paper's tables).
+func (r Result) PerUnit() iostat.Normalized {
+	if !r.Supported || r.Units == 0 {
+		return iostat.Normalized{}
+	}
+	return r.Stats.Normalize(r.Units)
+}
+
+// Runner executes queries against one loaded model.
+type Runner struct {
+	model store.Model
+	w     cobench.Workload
+}
+
+// NewRunner wraps a loaded model with workload parameters.
+func NewRunner(m store.Model, w cobench.Workload) *Runner {
+	return &Runner{model: m, w: w}
+}
+
+// Run executes one benchmark query and returns its measurement.
+func (r *Runner) Run(q cobench.Query) (Result, error) {
+	if r.model.NumObjects() == 0 {
+		return Result{}, store.ErrNotLoaded
+	}
+	switch q {
+	case cobench.Q1a:
+		return r.runQ1a()
+	case cobench.Q1b:
+		return r.runQ1b()
+	case cobench.Q1c:
+		return r.runQ1c()
+	case cobench.Q2a:
+		return r.runNav(cobench.Q2a, false)
+	case cobench.Q3a:
+		return r.runNav(cobench.Q3a, true)
+	case cobench.Q2b:
+		return r.runLoops(cobench.Q2b, false)
+	case cobench.Q3b:
+		return r.runLoops(cobench.Q3b, true)
+	default:
+		return Result{}, fmt.Errorf("workload: unknown query %v", q)
+	}
+}
+
+// RunAll executes every benchmark query in paper order.
+func (r *Runner) RunAll() ([]Result, error) {
+	var out []Result
+	for _, q := range cobench.AllQueries() {
+		res, err := r.Run(q)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s on %s: %w", q, r.model.Kind(), err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// samples returns up to w.Samples distinct object indices, deterministic
+// per (seed, query).
+func (r *Runner) samples(q cobench.Query) []int {
+	n := r.model.NumObjects()
+	k := r.w.Samples
+	if k <= 0 || k > n {
+		k = n
+	}
+	rng := xrand.New(xrand.Mix(r.w.Seed, uint64(q)))
+	perm := rng.Perm(n)
+	return perm[:k]
+}
+
+// begin resets cache and statistics for a fresh measurement.
+func (r *Runner) begin() error {
+	if err := r.model.Engine().ColdCache(); err != nil {
+		return err
+	}
+	r.model.Engine().ResetStats()
+	return nil
+}
+
+func (r *Runner) result(q cobench.Query, units float64, touched int64) Result {
+	return Result{
+		Query:     q,
+		Model:     r.model.Kind(),
+		Supported: true,
+		Units:     units,
+		Stats:     r.model.Engine().Stats(),
+		Touched:   touched,
+	}
+}
+
+func (r *Runner) runQ1a() (Result, error) {
+	if r.model.Kind() == store.NSM {
+		return Result{Query: cobench.Q1a, Model: store.NSM, Supported: false}, nil
+	}
+	idxs := r.samples(cobench.Q1a)
+	if err := r.begin(); err != nil {
+		return Result{}, err
+	}
+	for _, i := range idxs {
+		if _, err := r.model.FetchByAddress(i); err != nil {
+			return Result{}, err
+		}
+		// Each retrieval is an independent cold-cache measurement, but the
+		// statistics accumulate.
+		if err := r.model.Engine().ColdCache(); err != nil {
+			return Result{}, err
+		}
+	}
+	return r.result(cobench.Q1a, float64(len(idxs)), int64(len(idxs))), nil
+}
+
+func (r *Runner) runQ1b() (Result, error) {
+	idxs := r.samples(cobench.Q1b)
+	// Value scans are expensive; a handful of repetitions is enough for a
+	// stable average.
+	if len(idxs) > 5 {
+		idxs = idxs[:5]
+	}
+	if err := r.begin(); err != nil {
+		return Result{}, err
+	}
+	for _, i := range idxs {
+		if _, err := r.model.FetchByKey(cobench.KeyOf(i)); err != nil {
+			return Result{}, err
+		}
+		if err := r.model.Engine().ColdCache(); err != nil {
+			return Result{}, err
+		}
+	}
+	return r.result(cobench.Q1b, float64(len(idxs)), int64(len(idxs))), nil
+}
+
+func (r *Runner) runQ1c() (Result, error) {
+	if err := r.begin(); err != nil {
+		return Result{}, err
+	}
+	count := 0
+	err := r.model.ScanAll(func(int, *cobench.Station) error {
+		count++
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return r.result(cobench.Q1c, float64(count), int64(count)), nil
+}
+
+// loop performs one navigation loop from root: fetch the root's needed
+// attributes, fetch its children, fetch the root records of the
+// grand-children; with update=true the grand-children root records are then
+// updated as one batch.
+func (r *Runner) loop(root int, stamp int, update bool) (touched int64, err error) {
+	_, children, err := r.model.Navigate(root)
+	if err != nil {
+		return 0, err
+	}
+	touched = 1
+	var grand []int32
+	for _, c := range children {
+		_, kids, err := r.model.Navigate(int(c))
+		if err != nil {
+			return 0, err
+		}
+		touched++
+		grand = append(grand, kids...)
+	}
+	for _, g := range grand {
+		if _, err := r.model.ReadRoot(int(g)); err != nil {
+			return 0, err
+		}
+		touched++
+	}
+	if update && len(grand) > 0 {
+		err := r.model.UpdateRoots(grand, func(i int32, rec *cobench.RootRecord) {
+			// Update atomic attributes without changing the object
+			// structure (§2.2): overwrite the name with a stamped value of
+			// unchanged encoded size (STR attributes are fixed-capacity).
+			rec.Name = fmt.Sprintf("upd %d #%d", stamp, i)
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return touched, nil
+}
+
+func (r *Runner) runNav(q cobench.Query, update bool) (Result, error) {
+	idxs := r.samples(q)
+	if err := r.begin(); err != nil {
+		return Result{}, err
+	}
+	var touched int64
+	for s, root := range idxs {
+		tc, err := r.loop(root, s, update)
+		if err != nil {
+			return Result{}, err
+		}
+		touched += tc
+		if update {
+			// End of query: flush ("query execution has been finished").
+			if err := r.model.Flush(); err != nil {
+				return Result{}, err
+			}
+		}
+		if err := r.model.Engine().ColdCache(); err != nil {
+			return Result{}, err
+		}
+	}
+	return r.result(q, float64(len(idxs)), touched), nil
+}
+
+func (r *Runner) runLoops(q cobench.Query, update bool) (Result, error) {
+	loops := r.w.Loops
+	if loops <= 0 {
+		loops = cobench.LoopsFor(r.model.NumObjects())
+	}
+	rng := xrand.New(xrand.Mix(r.w.Seed, uint64(q)+100))
+	if err := r.begin(); err != nil {
+		return Result{}, err
+	}
+	var touched int64
+	for l := 0; l < loops; l++ {
+		root := rng.Intn(r.model.NumObjects())
+		tc, err := r.loop(root, l, update)
+		if err != nil {
+			return Result{}, err
+		}
+		touched += tc
+	}
+	if update {
+		if err := r.model.Flush(); err != nil {
+			return Result{}, err
+		}
+	}
+	return r.result(q, float64(loops), touched), nil
+}

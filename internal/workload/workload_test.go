@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"complexobj/cobench"
+	"complexobj/internal/store"
+)
+
+func loadedRunner(t *testing.T, k store.Kind, n int) *Runner {
+	t.Helper()
+	cfg := cobench.DefaultConfig().WithN(n)
+	stations, err := cobench.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := store.New(k, store.Options{BufferPages: 256})
+	if err := m.Load(stations); err != nil {
+		t.Fatal(err)
+	}
+	w := cobench.DefaultWorkload()
+	w.Loops = 40
+	w.Samples = 10
+	return NewRunner(m, w)
+}
+
+func TestRunAllModelsAllQueries(t *testing.T) {
+	for _, k := range store.AllKinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			r := loadedRunner(t, k, 150)
+			results, err := r.RunAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != 7 {
+				t.Fatalf("got %d results", len(results))
+			}
+			for _, res := range results {
+				if res.Query == cobench.Q1a && k == store.NSM {
+					if res.Supported {
+						t.Error("pure NSM claims to support query 1a")
+					}
+					continue
+				}
+				if !res.Supported {
+					t.Errorf("%s unsupported on %s", res.Query, k)
+					continue
+				}
+				if res.Units <= 0 {
+					t.Errorf("%s: units %f", res.Query, res.Units)
+				}
+				n := res.PerUnit()
+				if n.Pages <= 0 {
+					t.Errorf("%s: no page I/O measured", res.Query)
+				}
+				if n.Calls <= 0 {
+					t.Errorf("%s: no I/O calls measured", res.Query)
+				}
+				if n.Fixes <= 0 {
+					t.Errorf("%s: no buffer fixes measured", res.Query)
+				}
+			}
+		})
+	}
+}
+
+func TestQ1cCountsEveryObject(t *testing.T) {
+	r := loadedRunner(t, store.DSM, 120)
+	res, err := r.Run(cobench.Q1c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Units != 120 {
+		t.Errorf("Q1c units = %f, want 120", res.Units)
+	}
+}
+
+func TestQ2TouchedMatchesExpectation(t *testing.T) {
+	// Touched objects per loop should be near 1 + children + grand-children
+	// = 1 + 4.1 + 16.8 ≈ 21.9.
+	r := loadedRunner(t, store.DASDBSNSM, 400)
+	res, err := r.Run(cobench.Q2b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLoop := float64(res.Touched) / res.Units
+	if math.Abs(perLoop-21.9) > 6 {
+		t.Errorf("touched/loop = %f, want ~21.9", perLoop)
+	}
+}
+
+func TestQ3WritesQ2DoesNot(t *testing.T) {
+	for _, k := range store.AllKinds() {
+		r := loadedRunner(t, k, 150)
+		q2, err := r.Run(cobench.Q2b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q2.Stats.PagesWritten != 0 {
+			t.Errorf("%s: query 2b wrote %d pages", k, q2.Stats.PagesWritten)
+		}
+		q3, err := r.Run(cobench.Q3b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q3.Stats.PagesWritten == 0 {
+			t.Errorf("%s: query 3b wrote nothing", k)
+		}
+	}
+}
+
+func TestUpdatesArePersistent(t *testing.T) {
+	r := loadedRunner(t, store.DASDBSNSM, 150)
+	if _, err := r.Run(cobench.Q3b); err != nil {
+		t.Fatal(err)
+	}
+	// After the query, some roots must carry the update stamp.
+	if err := r.model.Engine().ColdCache(); err != nil {
+		t.Fatal(err)
+	}
+	stamped := 0
+	for i := 0; i < 150; i++ {
+		root, err := r.model.ReadRoot(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(root.Name) > 3 && root.Name[:3] == "upd" {
+			stamped++
+		}
+	}
+	if stamped == 0 {
+		t.Error("no station carries the update stamp after query 3b")
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a := loadedRunner(t, store.DSM, 150)
+	b := loadedRunner(t, store.DSM, 150)
+	ra, err := a.Run(cobench.Q2b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Run(cobench.Q2b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Stats != rb.Stats {
+		t.Errorf("same seed, different stats: %v vs %v", ra.Stats, rb.Stats)
+	}
+}
+
+func TestRunOnEmptyModelFails(t *testing.T) {
+	m := store.New(store.DSM, store.Options{BufferPages: 16})
+	r := NewRunner(m, cobench.DefaultWorkload())
+	if _, err := r.Run(cobench.Q1a); err == nil {
+		t.Error("query on empty model succeeded")
+	}
+}
+
+func TestResultPerUnitUnsupported(t *testing.T) {
+	res := Result{Supported: false}
+	if res.PerUnit().Pages != 0 {
+		t.Error("unsupported result produced numbers")
+	}
+}
+
+func TestLoopsDefaultFromDatabaseSize(t *testing.T) {
+	// Loops <= 0 falls back to the Figure 6 convention N/5.
+	cfg := cobench.DefaultConfig().WithN(100)
+	stations, err := cobench.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := store.New(store.DASDBSNSM, store.Options{BufferPages: 128})
+	if err := m.Load(stations); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(m, cobench.Workload{Loops: 0, Samples: 5, Seed: 3})
+	res, err := r.Run(cobench.Q2b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Units != 20 {
+		t.Errorf("default loops = %f, want 20 (N/5)", res.Units)
+	}
+}
+
+func TestSamplesClampedToDatabase(t *testing.T) {
+	r := loadedRunner(t, store.DSM, 8) // workload asks for 10 samples
+	res, err := r.Run(cobench.Q1a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Units != 8 {
+		t.Errorf("samples = %f, want clamped to 8", res.Units)
+	}
+}
+
+func TestQ3aFlushesWithinMeasurement(t *testing.T) {
+	r := loadedRunner(t, store.DSM, 100)
+	res, err := r.Run(cobench.Q3a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PagesWritten == 0 {
+		t.Error("query 3a counted no writes; flush must happen inside the measurement")
+	}
+	// After the query no dirty pages linger: an immediate flush is a no-op.
+	r.model.Engine().ResetStats()
+	if err := r.model.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w := r.model.Engine().Stats().PagesWritten; w != 0 {
+		t.Errorf("post-query flush wrote %d pages", w)
+	}
+}
+
+func TestSampleSchedulesAreQuerySpecific(t *testing.T) {
+	r := loadedRunner(t, store.DSM, 200)
+	a := r.samples(cobench.Q1a)
+	b := r.samples(cobench.Q2a)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different queries draw identical sample schedules")
+	}
+	// But the same query is deterministic.
+	c := r.samples(cobench.Q1a)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("sample schedule not deterministic")
+		}
+	}
+}

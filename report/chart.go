@@ -1,0 +1,139 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one chart sample.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Chart renders series as a monospace scatter/line chart, good enough to
+// eyeball the Figure 5/6 shapes in a terminal. Marks are assigned per
+// series ('*', 'o', '+', 'x', ...); axes are linear; LogX switches the X
+// axis to log scale (the paper's Figure 6 uses a logarithmic size axis).
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 16)
+	LogX   bool
+}
+
+var chartMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Text renders the chart.
+func (c *Chart) Text() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // Y axis anchored at 0 like the paper's figures
+	n := 0
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			x := c.xval(p.X)
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			maxY = math.Max(maxY, p.Y)
+			n++
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if n == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		mark := chartMarks[si%len(chartMarks)]
+		for _, p := range s.Points {
+			col := int(math.Round((c.xval(p.X) - minX) / (maxX - minX) * float64(w-1)))
+			row := int(math.Round((p.Y - minY) / (maxY - minY) * float64(h-1)))
+			r := h - 1 - row
+			if r >= 0 && r < h && col >= 0 && col < w {
+				grid[r][col] = mark
+			}
+		}
+	}
+	yLab := func(v float64) string { return fmt.Sprintf("%8.1f", v) }
+	for i, row := range grid {
+		switch i {
+		case 0:
+			fmt.Fprintf(&b, "%s |%s|\n", yLab(maxY), row)
+		case h - 1:
+			fmt.Fprintf(&b, "%s |%s|\n", yLab(minY), row)
+		case h / 2:
+			fmt.Fprintf(&b, "%s |%s|\n", yLab((maxY+minY)/2), row)
+		default:
+			fmt.Fprintf(&b, "%9s|%s|\n", "", row)
+		}
+	}
+	axis := fmt.Sprintf("%9s+%s+", "", strings.Repeat("-", w))
+	b.WriteString(axis + "\n")
+	left := fmt.Sprintf("%.0f", c.unxval(minX))
+	right := fmt.Sprintf("%.0f", c.unxval(maxX))
+	pad := w - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%10s%s%s%s", "", left, strings.Repeat(" ", pad), right)
+	switch {
+	case c.XLabel != "" && c.LogX:
+		fmt.Fprintf(&b, "  (%s, log scale)", c.XLabel)
+	case c.XLabel != "":
+		fmt.Fprintf(&b, "  (%s)", c.XLabel)
+	case c.LogX:
+		b.WriteString("  (log scale)")
+	}
+	b.WriteString("\n")
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", chartMarks[si%len(chartMarks)], s.Name))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "%10sy: %s\n", "", c.YLabel)
+	}
+	fmt.Fprintf(&b, "%10s%s\n", "", strings.Join(legend, "   "))
+	return b.String()
+}
+
+func (c *Chart) xval(x float64) float64 {
+	if c.LogX && x > 0 {
+		return math.Log10(x)
+	}
+	return x
+}
+
+func (c *Chart) unxval(x float64) float64 {
+	if c.LogX {
+		return math.Pow(10, x)
+	}
+	return x
+}
