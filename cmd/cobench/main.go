@@ -6,6 +6,11 @@
 //	cobench [-model all|dsm|ddsm|nsm|nsmx|dnsm] [-query all|1a|1b|1c|2a|2b|3a|3b]
 //	        [-n 1500] [-buffer 1200] [-loops 300] [-samples 40] [-seed 1993]
 //	        [-skew] [-maxseeing 15] [-metric pages|calls|fixes|writes]
+//	        [-workers 0]
+//
+// Each storage model owns an independent simulated engine, so the model
+// rows are measured concurrently by a bounded worker pool (-workers, 0 =
+// GOMAXPROCS); the printed table is identical to a serial run.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 
 	"complexobj"
 	"complexobj/cobench"
+	"complexobj/internal/fanout"
 	"complexobj/report"
 )
 
@@ -30,6 +36,7 @@ func main() {
 		skew      = flag.Bool("skew", false, "use the data-skew extension (prob 0.2, fanout 8)")
 		maxSeeing = flag.Int("maxseeing", 15, "maximum sightseeings per station")
 		metric    = flag.String("metric", "pages", "reported metric: pages, calls, fixes or writes")
+		workers   = flag.Int("workers", 0, "concurrent model workers (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -68,16 +75,36 @@ func main() {
 	for _, q := range queries {
 		t.Header = append(t.Header, q.String())
 	}
-	for _, k := range models {
-		db, err := complexobj.OpenLoaded(k, complexobj.Options{BufferPages: *buffer}, gen)
+	rows, err := measureModels(models, queries, gen, w, *buffer, *workers, get)
+	if err != nil {
+		fatal(err)
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	fmt.Println(t.Text())
+}
+
+// measureModels runs the selected queries on every model with a bounded
+// worker pool. Each job opens its own database (independent simulated
+// device and buffer pool), so no storage state is shared; rows come back in
+// model order regardless of scheduling.
+func measureModels(models []complexobj.ModelKind, queries []cobench.Query,
+	gen cobench.Config, w cobench.Workload, bufferPages, workers int,
+	get func(complexobj.QueryResult) float64) ([][]string, error) {
+
+	rows := make([][]string, len(models))
+	err := fanout.Run(len(models), workers, func(idx int) error {
+		k := models[idx]
+		db, err := complexobj.OpenLoaded(k, complexobj.Options{BufferPages: bufferPages}, gen)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		row := []string{k.String()}
 		for _, q := range queries {
 			res, err := db.Run(q, w)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			if !res.Supported {
 				row = append(row, "-")
@@ -85,9 +112,13 @@ func main() {
 			}
 			row = append(row, report.Num(get(res)))
 		}
-		t.AddRow(row...)
+		rows[idx] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	fmt.Println(t.Text())
+	return rows, nil
 }
 
 func queryByName(name string) (cobench.Query, bool) {

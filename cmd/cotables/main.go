@@ -6,7 +6,11 @@
 //
 //	cotables [-format text|markdown|csv] [-out DIR]
 //	         [-n 1500] [-buffer 1200] [-loops 300] [-seed 1993] [-clock]
-//	         [-only table4,fig6]
+//	         [-only table4,fig6] [-workers 0]
+//
+// The measurement matrix behind Tables 4-6 and 8 is computed by a bounded
+// pool of (model, query) workers with independent engines (-workers, 0 =
+// GOMAXPROCS); the emitted tables are identical to a serial run.
 package main
 
 import (
@@ -22,15 +26,16 @@ import (
 
 func main() {
 	var (
-		format = flag.String("format", "text", "output format: text, markdown or csv")
-		outDir = flag.String("out", "", "write one file per table into this directory instead of stdout")
-		n      = flag.Int("n", 1500, "number of stations in the benchmark extension")
-		buffer = flag.Int("buffer", 1200, "buffer pool size in pages")
-		loops  = flag.Int("loops", 300, "navigation loops for queries 2b/3b")
-		seed   = flag.Uint64("seed", 1993, "generator seed")
-		clock  = flag.Bool("clock", false, "use Clock replacement instead of LRU (ablation)")
-		only   = flag.String("only", "", "comma-separated filter over table titles (e.g. 'table 4,figure 6')")
-		charts = flag.Bool("charts", false, "append ASCII charts of Figures 5 and 6")
+		format  = flag.String("format", "text", "output format: text, markdown or csv")
+		outDir  = flag.String("out", "", "write one file per table into this directory instead of stdout")
+		n       = flag.Int("n", 1500, "number of stations in the benchmark extension")
+		buffer  = flag.Int("buffer", 1200, "buffer pool size in pages")
+		loops   = flag.Int("loops", 300, "navigation loops for queries 2b/3b")
+		seed    = flag.Uint64("seed", 1993, "generator seed")
+		clock   = flag.Bool("clock", false, "use Clock replacement instead of LRU (ablation)")
+		only    = flag.String("only", "", "comma-separated filter over table titles (e.g. 'table 4,figure 6')")
+		charts  = flag.Bool("charts", false, "append ASCII charts of Figures 5 and 6")
+		workers = flag.Int("workers", 0, "concurrent (model, query) workers for the measurement matrix (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -40,6 +45,7 @@ func main() {
 	cfg.BufferPages = *buffer
 	cfg.Workload.Loops = *loops
 	cfg.UseClock = *clock
+	cfg.Workers = *workers
 
 	suite := experiments.New(cfg)
 	tables, err := suite.All()

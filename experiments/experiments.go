@@ -12,9 +12,12 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"complexobj/cobench"
 	"complexobj/internal/buffer"
+	"complexobj/internal/fanout"
 	"complexobj/internal/store"
 	"complexobj/internal/workload"
 )
@@ -33,6 +36,12 @@ type Config struct {
 	// UseClock switches the buffer replacement policy from LRU to Clock
 	// (an ablation; the paper does not name DASDBS's policy).
 	UseClock bool
+	// Workers bounds the number of concurrent (model, query) workers used
+	// by Matrix. 0 means GOMAXPROCS; 1 forces the serial path. Every
+	// worker owns its engines (device + buffer pool), so workers never
+	// share mutable state and the measured counters are identical to a
+	// serial run regardless of scheduling.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's installation.
@@ -174,12 +183,47 @@ func (m *Matrix) Models() []string {
 }
 
 // Matrix runs (once) every benchmark query on every storage model.
+//
+// The grid is computed by a bounded pool of workers over the (model, query)
+// cells. Each worker owns private engines (simulated device + buffer pool)
+// per storage model, so cells never contend on shared state, and every
+// query starts from a cold cache with freshly reset counters — which makes
+// the measured numbers independent of scheduling and byte-identical to a
+// serial run (asserted by TestMatrixParallelDeterminism). Row order is
+// always the paper's: models in AllKinds order, queries in AllQueries
+// order.
 func (s *Suite) Matrix() (*Matrix, error) {
 	if s.matrix != nil {
 		return s.matrix, nil
 	}
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	kinds := store.AllKinds()
+	queries := cobench.AllQueries()
+	if workers > len(kinds)*len(queries) {
+		workers = len(kinds) * len(queries)
+	}
 	var rows []Measured
-	for _, k := range store.AllKinds() {
+	var err error
+	if workers <= 1 {
+		rows, err = s.matrixSerial(kinds)
+	} else {
+		rows, err = s.matrixParallel(workers, kinds, queries)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.matrix = &Matrix{Rows: rows}
+	return s.matrix, nil
+}
+
+// matrixSerial is the single-threaded path: one model at a time, all its
+// queries in order, reusing the models cached on the Suite.
+func (s *Suite) matrixSerial(kinds []store.Kind) ([]Measured, error) {
+	var rows []Measured
+	for _, k := range kinds {
 		m, err := s.model(k)
 		if err != nil {
 			return nil, err
@@ -192,8 +236,105 @@ func (s *Suite) Matrix() (*Matrix, error) {
 			rows = append(rows, toMeasured(res))
 		}
 	}
-	s.matrix = &Matrix{Rows: rows}
-	return s.matrix, nil
+	return rows, nil
+}
+
+// matrixParallel fans the (model, query) cells out to a bounded worker
+// pool. Workers lazily load their own copy of each storage model they are
+// handed (per-worker engines over the shared, read-only extension), so no
+// locking is needed around the storage substrate. Because loading a model
+// is expensive, cells are not dealt out blindly: a worker keeps claiming
+// queries of the model it already has loaded, and only when that queue is
+// empty claims the model with the most queries left. Loads therefore stay
+// near one per (worker, model actually touched) instead of one per cell.
+// After the run, one loaded copy of each model is adopted into the Suite's
+// model cache, so later experiments that only need layout metadata
+// (Table 2, derived cost-model parameters) do not reload from scratch.
+func (s *Suite) matrixParallel(workers int, kinds []store.Kind, queries []cobench.Query) ([]Measured, error) {
+	stations, err := s.extension()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Measured, len(kinds)*len(queries))
+	var (
+		mu      sync.Mutex
+		nextQ   = make([]int, len(kinds)) // next unclaimed query per kind
+		aborted bool
+	)
+	// claim hands out one (kind, query) cell, preferring the worker's
+	// current kind; ok is false when no work is left (or a worker failed).
+	claim := func(preferred int) (ki, qi int, ok bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if aborted {
+			return 0, 0, false
+		}
+		if preferred >= 0 && nextQ[preferred] < len(queries) {
+			qi = nextQ[preferred]
+			nextQ[preferred]++
+			return preferred, qi, true
+		}
+		best, bestRem := -1, 0
+		for k := range kinds {
+			if rem := len(queries) - nextQ[k]; rem > bestRem {
+				best, bestRem = k, rem
+			}
+		}
+		if best < 0 {
+			return 0, 0, false
+		}
+		qi = nextQ[best]
+		nextQ[best]++
+		return best, qi, true
+	}
+	abort := func() {
+		mu.Lock()
+		aborted = true
+		mu.Unlock()
+	}
+	workerModels := make([]map[store.Kind]store.Model, workers)
+	err = fanout.Run(workers, workers, func(w int) error {
+		models := make(map[store.Kind]store.Model, len(kinds))
+		workerModels[w] = models
+		cur := -1
+		for {
+			ki, qi, ok := claim(cur)
+			if !ok {
+				return nil
+			}
+			cur = ki
+			k, q := kinds[ki], queries[qi]
+			m, loaded := models[k]
+			if !loaded {
+				m = store.New(k, s.storeOptions())
+				if err := m.Load(stations); err != nil {
+					abort()
+					return fmt.Errorf("experiments: load %s: %w", k, err)
+				}
+				models[k] = m
+			}
+			res, err := workload.NewRunner(m, s.cfg.Workload).Run(q)
+			if err != nil {
+				abort()
+				return fmt.Errorf("experiments: %s %s: %w", k, q, err)
+			}
+			rows[ki*len(queries)+qi] = toMeasured(res)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Adopt one loaded copy of each model into the Suite cache. The copies
+	// differ from a serial run only in which queries they executed, which
+	// cannot affect the layout metadata (Sizes) that cached models serve.
+	for _, wm := range workerModels {
+		for k, m := range wm {
+			if _, ok := s.models[k]; !ok {
+				s.models[k] = m
+			}
+		}
+	}
+	return rows, nil
 }
 
 func toMeasured(res workload.Result) Measured {

@@ -1,0 +1,3 @@
+module complexobj
+
+go 1.24

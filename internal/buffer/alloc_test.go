@@ -1,0 +1,144 @@
+package buffer
+
+import (
+	"testing"
+
+	"complexobj/internal/disk"
+)
+
+// TestFixHitZeroAllocs pins the allocation budget of the cache-hit fix —
+// the hottest operation of the simulation. The dense PageID index and the
+// intrusive LRU list make it allocation-free; a regression here slows every
+// experiment.
+func TestFixHitZeroAllocs(t *testing.T) {
+	d := disk.New(disk.DefaultPageSize)
+	if _, err := d.Allocate(4); err != nil {
+		t.Fatal(err)
+	}
+	p := New(d, 4, LRU)
+	if _, err := p.Fix(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unfix(2, false); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		f, err := p.Fix(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = f
+		if err := p.Unfix(2, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("fix-hit path allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestFixMissSteadyStateZeroAllocs asserts that the miss/evict cycle
+// recycles frame buffers and Frame structs through the free-lists: once the
+// pool has warmed up, churning a working set larger than the pool allocates
+// nothing per fix.
+func TestFixMissSteadyStateZeroAllocs(t *testing.T) {
+	const pages = 64
+	d := disk.New(disk.DefaultPageSize)
+	if _, err := d.Allocate(pages); err != nil {
+		t.Fatal(err)
+	}
+	p := New(d, 8, LRU)
+	// Warm up: touch every page once so index, free-lists and scratch
+	// buffers reach steady-state capacity.
+	for i := 0; i < pages; i++ {
+		if _, err := p.Fix(disk.PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Unfix(disk.PageID(i), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		id := disk.PageID(next % pages)
+		next++
+		f, err := p.Fix(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = f
+		if err := p.Unfix(id, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state miss path allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestFlushZeroAllocs asserts the dirty-list flush does not allocate once
+// scratch space has warmed up: no full-frame scan, no fresh victim slices.
+func TestFlushZeroAllocs(t *testing.T) {
+	const pages = 32
+	d := disk.New(disk.DefaultPageSize)
+	if _, err := d.Allocate(pages); err != nil {
+		t.Fatal(err)
+	}
+	p := New(d, pages, LRU)
+	dirtyAll := func() {
+		for i := 0; i < pages; i++ {
+			if _, err := p.Fix(disk.PageID(i)); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Unfix(disk.PageID(i), true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	dirtyAll()
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		dirtyAll()
+		if err := p.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("flush cycle allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestBufferMemoryRecycled asserts eviction returns page buffers to the
+// free-list instead of abandoning them to the garbage collector: after
+// churning many pages through a small pool, the pool should not be holding
+// more distinct page buffers than its capacity plus the free-list.
+func TestBufferMemoryRecycled(t *testing.T) {
+	const pages = 128
+	const capacity = 4
+	d := disk.New(disk.DefaultPageSize)
+	if _, err := d.Allocate(pages); err != nil {
+		t.Fatal(err)
+	}
+	p := New(d, capacity, LRU)
+	seen := make(map[*byte]bool)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < pages; i++ {
+			f, err := p.Fix(disk.PageID(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen[&f.Data[0]] = true
+			if err := p.Unfix(disk.PageID(i), false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Every eviction recycles its buffer, so the distinct buffers ever
+	// handed out stay bounded by the pool footprint (capacity resident +
+	// briefly-free spares), not by the 3*128 page visits.
+	if len(seen) > 2*capacity {
+		t.Errorf("pool handed out %d distinct page buffers for capacity %d; recycling broken", len(seen), capacity)
+	}
+}

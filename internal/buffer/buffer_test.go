@@ -57,7 +57,7 @@ func TestDirtyWriteBackOnFlush(t *testing.T) {
 	if d.Stats().PagesWritten != 1 || d.Stats().WriteCalls != 1 {
 		t.Errorf("flush stats: %v", d.Stats())
 	}
-	got, _ := d.ReadRun(0, 1)
+	got, _ := d.ReadCopy(0, 1)
 	if got[0][disk.SysHeaderSize] != 0xAB {
 		t.Error("modification not persisted")
 	}
@@ -117,7 +117,7 @@ func TestEvictionWritesDirtyVictim(t *testing.T) {
 	if d.Stats().PagesWritten != 1 {
 		t.Errorf("dirty eviction wrote %d pages, want 1", d.Stats().PagesWritten)
 	}
-	got, _ := d.ReadRun(0, 1)
+	got, _ := d.ReadCopy(0, 1)
 	if got[0][disk.SysHeaderSize] != 7 {
 		t.Error("victim content lost")
 	}
@@ -356,7 +356,7 @@ func TestRandomTrafficPreservesContent(t *testing.T) {
 				t.Fatal(err)
 			}
 			for id := 0; id < npages; id++ {
-				got, _ := d.ReadRun(disk.PageID(id), 1)
+				got, _ := d.ReadCopy(disk.PageID(id), 1)
 				if got[0][disk.SysHeaderSize] != shadow[id] {
 					t.Fatalf("final page %d content %d, want %d", id, got[0][disk.SysHeaderSize], shadow[id])
 				}
@@ -404,7 +404,7 @@ func TestWriteBurstBatchesDirtyPages(t *testing.T) {
 		t.Error("clean eviction wrote pages")
 	}
 	// Content survived.
-	got, _ := d.ReadRun(2, 1)
+	got, _ := d.ReadCopy(2, 1)
 	if got[0][disk.SysHeaderSize] != 2 {
 		t.Error("burst lost content")
 	}
@@ -430,8 +430,32 @@ func TestWriteBurstSkipsPinnedPages(t *testing.T) {
 	if err := p.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	got, _ := d.ReadRun(0, 1)
+	got, _ := d.ReadCopy(0, 1)
 	if got[0][disk.SysHeaderSize] != 9 {
 		t.Error("pinned dirty page lost")
+	}
+}
+
+func TestFixRunErrorDoesNotLeakPins(t *testing.T) {
+	d := disk.New(disk.DefaultPageSize)
+	if _, err := d.Allocate(2); err != nil {
+		t.Fatal(err)
+	}
+	p := New(d, 4, LRU)
+	// Page 0 resident and unpinned; page 99 is past the end of the device,
+	// so the batch fails after the hit pass already pinned page 0.
+	if _, err := p.Fix(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unfix(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.FixRun([]disk.PageID{0, 99}); err == nil {
+		t.Fatal("FixRun with out-of-range page succeeded")
+	}
+	// The failed FixRun must have unwound its pin on page 0: a Reset (which
+	// refuses while any page is pinned) must succeed.
+	if err := p.Reset(); err != nil {
+		t.Errorf("Reset after failed FixRun: %v (pin leaked)", err)
 	}
 }

@@ -8,6 +8,13 @@
 // behaviour described in §5.2 of the paper: the root/header page of a large
 // object, its additional header pages, and its data pages are each fetched
 // with separate calls, while a flush writes contiguous dirty pages together.
+//
+// Page images live in a single contiguous arena ([]byte) rather than one
+// heap object per page, so the device costs the allocator one object no
+// matter how large the database is, and a run transfer is a pair of
+// memmoves over adjacent memory. ReadRun transfers into caller-provided
+// buffers (the buffer pool passes recycled frame memory), so the
+// steady-state read path performs no allocation at all.
 package disk
 
 import (
@@ -41,13 +48,21 @@ var (
 	ErrOutOfRange = errors.New("disk: page out of range")
 	// ErrBadRun reports a zero- or negative-length run request.
 	ErrBadRun = errors.New("disk: invalid run length")
+	// ErrBadBuffer reports a transfer buffer whose size is not one page.
+	ErrBadBuffer = errors.New("disk: buffer is not page-sized")
 )
 
-// Disk is an in-memory array of pages with I/O accounting.
+// Disk is an in-memory array of pages with I/O accounting. All page images
+// share one contiguous arena; page p occupies arena[p*pageSize:(p+1)*pageSize].
+//
+// A Disk is safe for concurrent use, but the experiment harness gives every
+// worker its own engine (device + pool), so the mutex is uncontended on the
+// hot path.
 type Disk struct {
 	mu       sync.Mutex
 	pageSize int
-	pages    [][]byte
+	numPages int
+	arena    []byte
 	stats    iostat.Stats
 }
 
@@ -70,7 +85,13 @@ func (d *Disk) EffectivePageSize() int { return d.pageSize - SysHeaderSize }
 func (d *Disk) NumPages() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return len(d.pages)
+	return d.numPages
+}
+
+// page returns the arena slice of page i. Caller holds d.mu.
+func (d *Disk) page(i int) []byte {
+	off := i * d.pageSize
+	return d.arena[off : off+d.pageSize : off+d.pageSize]
 }
 
 // Allocate reserves a contiguous run of n fresh zeroed pages and returns the
@@ -82,32 +103,63 @@ func (d *Disk) Allocate(n int) (PageID, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	start := PageID(len(d.pages))
-	for i := 0; i < n; i++ {
-		d.pages = append(d.pages, make([]byte, d.pageSize))
+	start := PageID(d.numPages)
+	need := (d.numPages + n) * d.pageSize
+	if need > cap(d.arena) {
+		grown := cap(d.arena) * 2
+		if grown < need {
+			grown = need
+		}
+		arena := make([]byte, need, grown)
+		copy(arena, d.arena)
+		d.arena = arena
+	} else {
+		d.arena = d.arena[:need]
 	}
+	d.numPages += n
 	return start, nil
 }
 
-// ReadRun reads n contiguous pages starting at start with a single I/O call.
-// The returned buffers are copies; callers own them.
-func (d *Disk) ReadRun(start PageID, n int) ([][]byte, error) {
-	if n <= 0 {
-		return nil, ErrBadRun
+// ReadRun reads len(dst) contiguous pages starting at start with a single
+// I/O call, filling the caller-provided buffers. Every buffer must be
+// exactly one page long; the buffer pool passes recycled frame memory here
+// so that steady-state reads allocate nothing.
+func (d *Disk) ReadRun(start PageID, dst [][]byte) error {
+	if len(dst) == 0 {
+		return ErrBadRun
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if int(start)+n > len(d.pages) {
-		return nil, fmt.Errorf("%w: read [%d,%d) of %d", ErrOutOfRange, start, int(start)+n, len(d.pages))
+	if int(start)+len(dst) > d.numPages {
+		return fmt.Errorf("%w: read [%d,%d) of %d", ErrOutOfRange, start, int(start)+len(dst), d.numPages)
 	}
-	out := make([][]byte, n)
-	for i := 0; i < n; i++ {
-		p := make([]byte, d.pageSize)
-		copy(p, d.pages[int(start)+i])
-		out[i] = p
+	for i, buf := range dst {
+		if len(buf) != d.pageSize {
+			return fmt.Errorf("%w: page %d buffer has size %d, want %d", ErrBadBuffer, int(start)+i, len(buf), d.pageSize)
+		}
+		copy(buf, d.page(int(start)+i))
 	}
 	d.stats.ReadCalls++
-	d.stats.PagesRead += int64(n)
+	d.stats.PagesRead += int64(len(dst))
+	return nil
+}
+
+// ReadCopy reads n contiguous pages starting at start with a single I/O
+// call into freshly allocated buffers (all carved from one allocation).
+// Convenience for tests and one-shot inspection; hot paths use ReadRun with
+// recycled buffers instead.
+func (d *Disk) ReadCopy(start PageID, n int) ([][]byte, error) {
+	if n <= 0 {
+		return nil, ErrBadRun
+	}
+	block := make([]byte, n*d.pageSize)
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = block[i*d.pageSize : (i+1)*d.pageSize : (i+1)*d.pageSize]
+	}
+	if err := d.ReadRun(start, out); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -119,14 +171,14 @@ func (d *Disk) WriteRun(start PageID, pages [][]byte) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if int(start)+len(pages) > len(d.pages) {
-		return fmt.Errorf("%w: write [%d,%d) of %d", ErrOutOfRange, start, int(start)+len(pages), len(d.pages))
+	if int(start)+len(pages) > d.numPages {
+		return fmt.Errorf("%w: write [%d,%d) of %d", ErrOutOfRange, start, int(start)+len(pages), d.numPages)
 	}
 	for i, p := range pages {
 		if len(p) != d.pageSize {
 			return fmt.Errorf("disk: page %d has size %d, want %d", int(start)+i, len(p), d.pageSize)
 		}
-		copy(d.pages[int(start)+i], p)
+		copy(d.page(int(start)+i), p)
 	}
 	d.stats.WriteCalls++
 	d.stats.PagesWritten += int64(len(pages))

@@ -69,7 +69,7 @@ func TestReadWriteRoundTrip(t *testing.T) {
 	if err := d.WriteRun(start, pages); err != nil {
 		t.Fatal(err)
 	}
-	got, err := d.ReadRun(start, 4)
+	got, err := d.ReadCopy(start, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,9 +83,9 @@ func TestReadWriteRoundTrip(t *testing.T) {
 func TestReadReturnsCopies(t *testing.T) {
 	d := newTestDisk(t)
 	start, _ := d.Allocate(1)
-	got, _ := d.ReadRun(start, 1)
+	got, _ := d.ReadCopy(start, 1)
 	got[0][0] = 0xFF
-	again, _ := d.ReadRun(start, 1)
+	again, _ := d.ReadCopy(start, 1)
 	if again[0][0] == 0xFF {
 		t.Error("mutating a read buffer leaked into the device")
 	}
@@ -97,10 +97,10 @@ func TestIOAccounting(t *testing.T) {
 	if s := d.Stats(); s.Pages() != 0 || s.Calls() != 0 {
 		t.Fatalf("allocation should be free, got %v", s)
 	}
-	if _, err := d.ReadRun(start, 4); err != nil {
+	if _, err := d.ReadCopy(start, 4); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.ReadRun(start+4, 1); err != nil {
+	if _, err := d.ReadCopy(start+4, 1); err != nil {
 		t.Fatal(err)
 	}
 	blank := make([][]byte, 3)
@@ -122,13 +122,13 @@ func TestIOAccounting(t *testing.T) {
 func TestResetStats(t *testing.T) {
 	d := newTestDisk(t)
 	start, _ := d.Allocate(1)
-	d.ReadRun(start, 1)
+	d.ReadCopy(start, 1)
 	d.ResetStats()
 	if s := d.Stats(); s.Pages() != 0 || s.Calls() != 0 {
 		t.Errorf("ResetStats left %v", s)
 	}
 	// Contents must survive a stats reset.
-	if _, err := d.ReadRun(start, 1); err != nil {
+	if _, err := d.ReadCopy(start, 1); err != nil {
 		t.Errorf("read after ResetStats: %v", err)
 	}
 }
@@ -136,7 +136,7 @@ func TestResetStats(t *testing.T) {
 func TestOutOfRange(t *testing.T) {
 	d := newTestDisk(t)
 	d.Allocate(2)
-	if _, err := d.ReadRun(1, 2); !errors.Is(err, ErrOutOfRange) {
+	if _, err := d.ReadCopy(1, 2); !errors.Is(err, ErrOutOfRange) {
 		t.Errorf("read past end err = %v, want ErrOutOfRange", err)
 	}
 	if err := d.WriteRun(2, [][]byte{make([]byte, d.PageSize())}); !errors.Is(err, ErrOutOfRange) {
@@ -155,7 +155,7 @@ func TestWriteRejectsWrongSize(t *testing.T) {
 func TestZeroLengthRuns(t *testing.T) {
 	d := newTestDisk(t)
 	d.Allocate(1)
-	if _, err := d.ReadRun(0, 0); !errors.Is(err, ErrBadRun) {
+	if _, err := d.ReadCopy(0, 0); !errors.Is(err, ErrBadRun) {
 		t.Errorf("ReadRun n=0 err = %v", err)
 	}
 	if err := d.WriteRun(0, nil); !errors.Is(err, ErrBadRun) {
@@ -178,7 +178,7 @@ func TestConcurrentAccess(t *testing.T) {
 					t.Errorf("write: %v", err)
 					return
 				}
-				if _, err := d.ReadRun(pid, 1); err != nil {
+				if _, err := d.ReadCopy(pid, 1); err != nil {
 					t.Errorf("read: %v", err)
 					return
 				}
@@ -189,5 +189,75 @@ func TestConcurrentAccess(t *testing.T) {
 	s := d.Stats()
 	if s.PagesRead != 800 || s.PagesWritten != 800 {
 		t.Errorf("concurrent accounting lost updates: %v", s)
+	}
+}
+
+func TestReadRunFillsCallerBuffers(t *testing.T) {
+	d := newTestDisk(t)
+	start, _ := d.Allocate(3)
+	pages := make([][]byte, 3)
+	for i := range pages {
+		pages[i] = make([]byte, d.PageSize())
+		pages[i][0] = byte(i + 1)
+	}
+	if err := d.WriteRun(start, pages); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([][]byte, 3)
+	for i := range dst {
+		dst[i] = make([]byte, d.PageSize())
+	}
+	if err := d.ReadRun(start, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i][0] != byte(i+1) {
+			t.Errorf("page %d: got %d, want %d", i, dst[i][0], i+1)
+		}
+	}
+	if s := d.Stats(); s.ReadCalls != 1 || s.PagesRead != 3 {
+		t.Errorf("accounting: %v, want 1 call / 3 pages", s)
+	}
+}
+
+func TestReadRunRejectsWrongBufferSize(t *testing.T) {
+	d := newTestDisk(t)
+	d.Allocate(1)
+	if err := d.ReadRun(0, [][]byte{make([]byte, 10)}); !errors.Is(err, ErrBadBuffer) {
+		t.Errorf("short buffer err = %v, want ErrBadBuffer", err)
+	}
+}
+
+func TestArenaGrowthPreservesContents(t *testing.T) {
+	d := newTestDisk(t)
+	start, _ := d.Allocate(1)
+	page := make([][]byte, 1)
+	page[0] = make([]byte, d.PageSize())
+	page[0][7] = 0xAB
+	if err := d.WriteRun(start, page); err != nil {
+		t.Fatal(err)
+	}
+	// Force many arena regrowths.
+	for i := 0; i < 200; i++ {
+		if _, err := d.Allocate(17); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := d.ReadCopy(start, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][7] != 0xAB {
+		t.Errorf("arena growth lost page contents: byte = %#x", got[0][7])
+	}
+	// Fresh pages must be zeroed.
+	last, err := d.ReadCopy(PageID(d.NumPages()-1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range last[0] {
+		if b != 0 {
+			t.Fatal("freshly allocated page not zeroed")
+		}
 	}
 }

@@ -1,0 +1,60 @@
+// Package fanout provides the bounded, order-preserving worker pool shared
+// by the experiment harness and the CLI drivers: n independent jobs are
+// handed to at most `workers` goroutines, callers write results into
+// caller-owned slices at the job index, and the first error wins.
+package fanout
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run invokes fn(i) for every i in [0, n) using at most workers concurrent
+// goroutines (workers <= 0 means GOMAXPROCS). Jobs are dispatched in index
+// order; output ordering is the caller's responsibility (write to slot i).
+// The first error stops the dispatch of not-yet-started jobs and is
+// returned after all running jobs finish.
+func Run(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if failed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,74 @@
+package fanout
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCoversAllJobs(t *testing.T) {
+	const n = 100
+	done := make([]int32, n)
+	if err := Run(n, 7, func(i int) error {
+		atomic.AddInt32(&done[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range done {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestRunBoundsWorkers(t *testing.T) {
+	const workers = 3
+	var cur, peak int32
+	var mu sync.Mutex
+	err := Run(50, workers, func(int) error {
+		mu.Lock()
+		cur++
+		if cur > peak {
+			peak = cur
+		}
+		mu.Unlock()
+		time.Sleep(100 * time.Microsecond) // let jobs overlap
+		mu.Lock()
+		cur--
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Errorf("observed %d concurrent jobs, bound is %d", peak, workers)
+	}
+}
+
+func TestRunReturnsFirstErrorAndStopsDispatch(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := Run(1000, 2, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Error("error did not stop dispatch of remaining jobs")
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	if err := Run(0, 4, func(int) error { t.Fatal("fn called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
