@@ -6,11 +6,14 @@
 //	cobench [-model all|dsm|ddsm|nsm|nsmx|dnsm] [-query all|1a|1b|1c|2a|2b|3a|3b]
 //	        [-n 1500] [-buffer 1200] [-loops 300] [-samples 40] [-seed 1993]
 //	        [-skew] [-maxseeing 15] [-metric pages|calls|fixes|writes]
-//	        [-workers 0]
+//	        [-workers 0] [-backend mem|file|file:DIR] [-db snapshot.codb]
 //
 // Each storage model owns an independent simulated engine, so the model
 // rows are measured concurrently by a bounded worker pool (-workers, 0 =
-// GOMAXPROCS); the printed table is identical to a serial run.
+// GOMAXPROCS); the printed table is identical to a serial run. -backend
+// selects where each engine keeps its page images (counters are identical
+// across backends); -db restores the models from a cogen-built snapshot
+// instead of regenerating and loading the extension.
 package main
 
 import (
@@ -37,6 +40,8 @@ func main() {
 		maxSeeing = flag.Int("maxseeing", 15, "maximum sightseeings per station")
 		metric    = flag.String("metric", "pages", "reported metric: pages, calls, fixes or writes")
 		workers   = flag.Int("workers", 0, "concurrent model workers (0 = GOMAXPROCS, 1 = serial)")
+		backend   = flag.String("backend", "mem", "device backend: mem, file or file:DIR")
+		dbPath    = flag.String("db", "", "restore models from this cogen-built .codb snapshot instead of generating")
 	)
 	flag.Parse()
 
@@ -68,6 +73,16 @@ func main() {
 		fatal(fmt.Errorf("unknown metric %q", *metric))
 	}
 
+	if *dbPath != "" {
+		info, err := complexobj.StatSnapshot(*dbPath)
+		if err != nil {
+			fatal(err)
+		}
+		if info.Gen != gen {
+			fatal(fmt.Errorf("snapshot %s was built from %+v, flags request %+v", *dbPath, info.Gen, gen))
+		}
+	}
+
 	t := &report.Table{
 		Title:  fmt.Sprintf("measured %s per object/loop (N=%d, buffer=%d pages, loops=%d)", *metric, *n, *buffer, *loops),
 		Header: []string{"MODEL"},
@@ -75,7 +90,8 @@ func main() {
 	for _, q := range queries {
 		t.Header = append(t.Header, q.String())
 	}
-	rows, err := measureModels(models, queries, gen, w, *buffer, *workers, get)
+	opts := complexobj.Options{BufferPages: *buffer, Backend: *backend}
+	rows, err := measureModels(models, queries, gen, w, opts, *dbPath, *workers, get)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,19 +103,28 @@ func main() {
 
 // measureModels runs the selected queries on every model with a bounded
 // worker pool. Each job opens its own database (independent simulated
-// device and buffer pool), so no storage state is shared; rows come back in
-// model order regardless of scheduling.
+// device and buffer pool) — freshly generated and loaded, or restored from
+// the snapshot — so no storage state is shared; rows come back in model
+// order regardless of scheduling.
 func measureModels(models []complexobj.ModelKind, queries []cobench.Query,
-	gen cobench.Config, w cobench.Workload, bufferPages, workers int,
+	gen cobench.Config, w cobench.Workload, opts complexobj.Options,
+	dbPath string, workers int,
 	get func(complexobj.QueryResult) float64) ([][]string, error) {
 
 	rows := make([][]string, len(models))
 	err := fanout.Run(len(models), workers, func(idx int) error {
 		k := models[idx]
-		db, err := complexobj.OpenLoaded(k, complexobj.Options{BufferPages: bufferPages}, gen)
+		var db *complexobj.DB
+		var err error
+		if dbPath != "" {
+			db, err = complexobj.OpenSnapshot(dbPath, k, opts)
+		} else {
+			db, err = complexobj.OpenLoaded(k, opts, gen)
+		}
 		if err != nil {
 			return err
 		}
+		defer db.Close()
 		row := []string{k.String()}
 		for _, q := range queries {
 			res, err := db.Run(q, w)

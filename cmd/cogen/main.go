@@ -1,10 +1,17 @@
 // Command cogen generates a benchmark extension (paper §2.1) and reports
-// its distribution statistics, optionally dumping individual objects.
+// its distribution statistics, optionally dumping individual objects or
+// building a reusable database snapshot.
 //
 // Usage:
 //
 //	cogen [-n 1500] [-seed 1993] [-prob 0.8] [-fanout 2] [-maxseeing 15] [-skew]
-//	      [-dump 42]
+//	      [-dump 42] [-db bench.codb] [-buffer 1200]
+//
+// With -db, the extension is loaded into every storage model and the
+// result is serialized as a .codb snapshot (device arenas + directory
+// metadata), which cotables -db / cobench -db replay without regenerating
+// or reloading anything. The models load concurrently, each over its own
+// engine.
 package main
 
 import (
@@ -13,7 +20,9 @@ import (
 	"os"
 	"strings"
 
+	"complexobj"
 	"complexobj/cobench"
+	"complexobj/internal/fanout"
 	"complexobj/report"
 )
 
@@ -27,6 +36,8 @@ func main() {
 		skew      = flag.Bool("skew", false, "data-skew preset (prob 0.2, fanout 8)")
 		dump      = flag.Int("dump", -1, "print this station in full")
 		hist      = flag.Bool("hist", false, "print the object-size histogram (pages per object)")
+		dbPath    = flag.String("db", "", "load every storage model and write a reusable .codb snapshot here")
+		buffer    = flag.Int("buffer", 1200, "buffer pool pages used while loading the snapshot models")
 	)
 	flag.Parse()
 
@@ -81,6 +92,52 @@ func main() {
 		}
 		printStation(stations[*dump])
 	}
+
+	if *dbPath != "" {
+		if err := buildSnapshot(*dbPath, cfg, stations, *buffer); err != nil {
+			fmt.Fprintln(os.Stderr, "cogen:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// buildSnapshot loads the generated extension into every storage model
+// (concurrently, each over its own engine) and writes the .codb snapshot.
+func buildSnapshot(path string, cfg cobench.Config, stations []*cobench.Station, bufferPages int) error {
+	kinds := complexobj.AllModels()
+	dbs := make([]*complexobj.DB, len(kinds))
+	defer func() {
+		for _, db := range dbs {
+			if db != nil {
+				db.Close()
+			}
+		}
+	}()
+	err := fanout.Run(len(kinds), 0, func(i int) error {
+		db, err := complexobj.Open(kinds[i], complexobj.Options{BufferPages: bufferPages})
+		if err != nil {
+			return err
+		}
+		if err := db.Load(stations); err != nil {
+			db.Close()
+			return fmt.Errorf("load %s: %w", kinds[i], err)
+		}
+		dbs[i] = db
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := complexobj.WriteSnapshot(path, cfg, dbs...); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote snapshot %s: %d models, N=%d, %.1f MiB\n",
+		path, len(kinds), cfg.N, float64(st.Size())/(1<<20))
+	return nil
 }
 
 func printStation(s *cobench.Station) {

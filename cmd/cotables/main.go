@@ -7,10 +7,20 @@
 //	cotables [-format text|markdown|csv] [-out DIR]
 //	         [-n 1500] [-buffer 1200] [-loops 300] [-seed 1993] [-clock]
 //	         [-only table4,fig6] [-workers 0]
+//	         [-backend mem|file|file:DIR] [-db snapshot.codb]
 //
-// The measurement matrix behind Tables 4-6 and 8 is computed by a bounded
-// pool of (model, query) workers with independent engines (-workers, 0 =
-// GOMAXPROCS); the emitted tables are identical to a serial run.
+// The measurement matrix behind Tables 4-6 and 8 and the sweep
+// experiments are computed by bounded worker pools with independent
+// engines (-workers, 0 = GOMAXPROCS); the emitted tables are identical to
+// a serial run. -backend selects where the simulated devices keep their
+// page images (the counters are identical across backends). -db opens a
+// cogen-built snapshot for the default-extension models instead of
+// regenerating and reloading them; combined with -only (sections are only
+// computed when they match the filter), e.g.
+//
+//	cotables -db bench.codb -only 'table 4,table 5,table 6'
+//
+// reproduces the measured tables without generating the extension at all.
 package main
 
 import (
@@ -25,6 +35,16 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cotables:", err)
+		os.Exit(1)
+	}
+}
+
+// run does all the work, so deferred cleanup (closing the suite's
+// engines, which deletes anonymous file-backend arenas) also happens on
+// the error path — os.Exit lives only in main.
+func run() error {
 	var (
 		format  = flag.String("format", "text", "output format: text, markdown or csv")
 		outDir  = flag.String("out", "", "write one file per table into this directory instead of stdout")
@@ -33,9 +53,11 @@ func main() {
 		loops   = flag.Int("loops", 300, "navigation loops for queries 2b/3b")
 		seed    = flag.Uint64("seed", 1993, "generator seed")
 		clock   = flag.Bool("clock", false, "use Clock replacement instead of LRU (ablation)")
-		only    = flag.String("only", "", "comma-separated filter over table titles (e.g. 'table 4,figure 6')")
+		only    = flag.String("only", "", "comma-separated filter over table titles (e.g. 'table 4,figure 6'); unmatched sections are not computed")
 		charts  = flag.Bool("charts", false, "append ASCII charts of Figures 5 and 6")
-		workers = flag.Int("workers", 0, "concurrent (model, query) workers for the measurement matrix (0 = GOMAXPROCS, 1 = serial)")
+		workers = flag.Int("workers", 0, "concurrent workers for the measurement matrix and sweeps (0 = GOMAXPROCS, 1 = serial)")
+		backend = flag.String("backend", "mem", "device backend: mem, file or file:DIR")
+		dbPath  = flag.String("db", "", "open this cogen-built .codb snapshot for the default-extension models instead of regenerating")
 	)
 	flag.Parse()
 
@@ -46,81 +68,136 @@ func main() {
 	cfg.Workload.Loops = *loops
 	cfg.UseClock = *clock
 	cfg.Workers = *workers
+	cfg.Backend = *backend
+	cfg.Snapshot = *dbPath
 
 	suite := experiments.New(cfg)
-	tables, err := suite.All()
-	if err != nil {
-		fatal(err)
+	defer suite.Close()
+
+	var tables []*report.Table
+	for _, sec := range experiments.Sections() {
+		if !matches(sec.Titles, *only) {
+			continue
+		}
+		ts, err := sec.Build(suite)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, ts...)
 	}
 	tables = filterTables(tables, *only)
 	if len(tables) == 0 {
-		fatal(fmt.Errorf("no table matches filter %q", *only))
+		return fmt.Errorf("no table matches filter %q", *only)
 	}
 
-	render := renderer(*format)
+	render, err := renderer(*format)
+	if err != nil {
+		return err
+	}
 	if *outDir == "" {
 		for _, t := range tables {
 			fmt.Println(render(t))
 		}
 		if *charts {
-			printCharts(suite)
+			return printCharts(suite)
 		}
-		return
+		return nil
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		fatal(err)
+		return err
 	}
 	ext := map[string]string{"text": "txt", "markdown": "md", "csv": "csv"}[*format]
 	for _, t := range tables {
 		name := slug(t.Title) + "." + ext
 		path := filepath.Join(*outDir, name)
 		if err := os.WriteFile(path, []byte(render(t)+"\n"), 0o644); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("wrote %s\n", path)
 	}
+	return nil
 }
 
-func printCharts(suite *experiments.Suite) {
+// filterTerms parses the -only value into lowercase substring terms; nil
+// means "match everything". Section gating and per-table filtering share
+// this parse so the two can never disagree on the filter syntax.
+func filterTerms(only string) []string {
+	var terms []string
+	for _, f := range strings.Split(strings.ToLower(only), ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			terms = append(terms, f)
+		}
+	}
+	return terms
+}
+
+// matchesAny reports whether any term occurs in the title
+// (case-insensitive substring); an empty term list matches everything.
+func matchesAny(title string, terms []string) bool {
+	if len(terms) == 0 {
+		return true
+	}
+	lower := strings.ToLower(title)
+	for _, f := range terms {
+		if strings.Contains(lower, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// matches reports whether any filter term occurs in any of the section's
+// static titles.
+func matches(titles []string, only string) bool {
+	terms := filterTerms(only)
+	if len(terms) == 0 {
+		return true
+	}
+	for _, title := range titles {
+		if matchesAny(title, terms) {
+			return true
+		}
+	}
+	return false
+}
+
+func printCharts(suite *experiments.Suite) error {
 	f5, err := suite.ChartFigure5()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	f6, err := suite.ChartFigure6()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for _, c := range append(f5, f6...) {
 		fmt.Println(c)
 	}
+	return nil
 }
 
-func renderer(format string) func(*report.Table) string {
+func renderer(format string) (func(*report.Table) string, error) {
 	switch format {
 	case "text":
-		return (*report.Table).Text
+		return (*report.Table).Text, nil
 	case "markdown":
-		return (*report.Table).Markdown
+		return (*report.Table).Markdown, nil
 	case "csv":
-		return (*report.Table).CSV
+		return (*report.Table).CSV, nil
 	default:
-		fatal(fmt.Errorf("unknown format %q", format))
-		return nil
+		return nil, fmt.Errorf("unknown format %q", format)
 	}
 }
 
 func filterTables(tables []*report.Table, only string) []*report.Table {
-	if only == "" {
+	terms := filterTerms(only)
+	if len(terms) == 0 {
 		return tables
 	}
 	var keep []*report.Table
 	for _, t := range tables {
-		title := strings.ToLower(t.Title)
-		for _, f := range strings.Split(strings.ToLower(only), ",") {
-			if f = strings.TrimSpace(f); f != "" && strings.Contains(title, f) {
-				keep = append(keep, t)
-				break
-			}
+		if matchesAny(t.Title, terms) {
+			keep = append(keep, t)
 		}
 	}
 	return keep
@@ -137,9 +214,4 @@ func slug(title string) string {
 		}
 	}
 	return strings.Trim(b.String(), "-")
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cotables:", err)
-	os.Exit(1)
 }

@@ -56,9 +56,25 @@ func TestRendererSelection(t *testing.T) {
 	tbl := &report.Table{Title: "t", Header: []string{"a"}}
 	tbl.AddRow("1")
 	for _, format := range []string{"text", "markdown", "csv"} {
-		fn := renderer(format)
-		if fn == nil || fn(tbl) == "" {
-			t.Errorf("renderer(%q) unusable", format)
+		fn, err := renderer(format)
+		if err != nil || fn == nil || fn(tbl) == "" {
+			t.Errorf("renderer(%q) unusable (err %v)", format, err)
 		}
+	}
+	if _, err := renderer("pdf"); err == nil {
+		t.Error("renderer accepted unknown format")
+	}
+}
+
+func TestSectionMatches(t *testing.T) {
+	titles := []string{"Table 4: measured physical page I/Os", "Table 5: measured I/O calls"}
+	if !matches(titles, "") {
+		t.Error("empty filter must match every section")
+	}
+	if !matches(titles, "table 5") {
+		t.Error("filter missed a declared title")
+	}
+	if matches(titles, "figure 6") {
+		t.Error("filter matched an undeclared title")
 	}
 }

@@ -23,6 +23,8 @@ import (
 
 	"complexobj/cobench"
 	"complexobj/internal/buffer"
+	"complexobj/internal/disk"
+	"complexobj/internal/snapshot"
 	"complexobj/internal/store"
 	"complexobj/internal/workload"
 )
@@ -90,7 +92,8 @@ func ModelByName(name string) (ModelKind, error) {
 }
 
 // Options configure the simulated installation. The zero value uses the
-// paper's setup: 2048-byte pages, a 1200-page LRU cache, free index I/O.
+// paper's setup: 2048-byte pages, a 1200-page LRU cache, free index I/O,
+// page images in memory.
 type Options struct {
 	// PageSize is the raw page size in bytes (default 2048).
 	PageSize int
@@ -103,18 +106,29 @@ type Options struct {
 	// free in-memory address tables (§5.1). See experiments.IndexAblation
 	// for the quantified effect.
 	CountIndexIO bool
+	// Backend selects where the simulated device keeps its page images:
+	// "" or "mem" for the in-memory arena (default), "file" for an arena
+	// file in the OS temp directory, or "file:DIR" for an arena file in
+	// DIR. The backend changes only where the bytes live; the measured
+	// counters are bit-identical across backends.
+	Backend string
 }
 
-func (o Options) internal() store.Options {
+func (o Options) internal() (store.Options, error) {
+	spec, err := disk.ParseBackendSpec(o.Backend)
+	if err != nil {
+		return store.Options{}, err
+	}
 	so := store.Options{
 		PageSize:     o.PageSize,
 		BufferPages:  o.BufferPages,
 		CountIndexIO: o.CountIndexIO,
+		Backend:      spec,
 	}
 	if o.ClockReplacement {
 		so.Policy = buffer.Clock
 	}
-	return so
+	return so, nil
 }
 
 // Stats are the I/O counters of a database, the quantities the paper
@@ -142,9 +156,18 @@ type DB struct {
 	model store.Model
 }
 
-// Open creates an empty database under the given storage model.
-func Open(kind ModelKind, opts Options) *DB {
-	return &DB{kind: kind, model: store.New(kind.internal(), opts.internal())}
+// Open creates an empty database under the given storage model and
+// backend spec.
+func Open(kind ModelKind, opts Options) (*DB, error) {
+	so, err := opts.internal()
+	if err != nil {
+		return nil, err
+	}
+	m, err := store.New(kind.internal(), so)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{kind: kind, model: m}, nil
 }
 
 // OpenLoaded creates a database and loads a freshly generated benchmark
@@ -154,8 +177,12 @@ func OpenLoaded(kind ModelKind, opts Options, gen cobench.Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := Open(kind, opts)
+	db, err := Open(kind, opts)
+	if err != nil {
+		return nil, err
+	}
 	if err := db.Load(stations); err != nil {
+		db.Close()
 		return nil, err
 	}
 	return db, nil
@@ -163,6 +190,67 @@ func OpenLoaded(kind ModelKind, opts Options, gen cobench.Config) (*DB, error) {
 
 // Kind returns the database's storage model.
 func (db *DB) Kind() ModelKind { return db.kind }
+
+// Close flushes dirty pages and releases the storage backend (unmapping
+// and, for anonymous file arenas, deleting the arena file). The database
+// must not be used afterwards. Close is a no-op for repeated calls only
+// in the sense that errors repeat; call it once.
+func (db *DB) Close() error { return db.model.Engine().Close() }
+
+// WriteSnapshot serializes the loaded databases into a .codb snapshot
+// file. The generator configuration is stored alongside so consumers can
+// verify which extension the snapshot holds. Each database keeps working
+// after the snapshot (dirty pages are flushed as a side effect).
+func WriteSnapshot(path string, gen cobench.Config, dbs ...*DB) error {
+	models := make([]store.Model, len(dbs))
+	for i, db := range dbs {
+		models[i] = db.model
+	}
+	return snapshot.Write(path, gen, models...)
+}
+
+// OpenSnapshot restores one storage model from a .codb snapshot file,
+// skipping generation and loading entirely. The restored database starts
+// with a cold cache and zeroed counters and measures bit-identically to a
+// freshly loaded one.
+func OpenSnapshot(path string, kind ModelKind, opts Options) (*DB, error) {
+	so, err := opts.internal()
+	if err != nil {
+		return nil, err
+	}
+	m, err := snapshot.Open(path, kind.internal(), so)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{kind: kind, model: m}, nil
+}
+
+// SnapshotInfo describes a .codb snapshot file.
+type SnapshotInfo struct {
+	// Gen is the generator configuration the snapshot was built from.
+	Gen cobench.Config
+	// Models lists the stored storage models in file order.
+	Models []ModelKind
+	// PageSize is the device page size of the stored models.
+	PageSize int
+}
+
+// StatSnapshot reads a snapshot file's header without restoring anything.
+func StatSnapshot(path string) (SnapshotInfo, error) {
+	info, err := snapshot.Stat(path)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	out := SnapshotInfo{Gen: info.Gen, PageSize: info.PageSize}
+	for _, k := range info.Kinds {
+		for _, mk := range AllModels() {
+			if mk.internal() == k {
+				out.Models = append(out.Models, mk)
+			}
+		}
+	}
+	return out, nil
+}
 
 // Load bulk-loads the given stations. Load may be called once; it leaves
 // the cache cold and the statistics zeroed, so subsequent measurements

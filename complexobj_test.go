@@ -77,8 +77,11 @@ func TestAddressAccessErrors(t *testing.T) {
 }
 
 func TestEmptyDatabase(t *testing.T) {
-	db := Open(DSM, Options{BufferPages: 16})
-	_, err := db.FetchByKey(1)
+	db, err := Open(DSM, Options{BufferPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = db.FetchByKey(1)
 	if !IsNotLoaded(err) {
 		t.Errorf("empty fetch err = %v", err)
 	}

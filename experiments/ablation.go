@@ -50,9 +50,16 @@ func (s *Suite) IndexAblation() (*IndexAblation, error) {
 		return nil, err
 	}
 	run := func(counted bool) (map[cobench.Query]Measured, int, int, error) {
-		opts := s.storeOptions()
+		opts, err := s.storeOptions()
+		if err != nil {
+			return nil, 0, 0, err
+		}
 		opts.CountIndexIO = counted
-		m := store.New(store.NSMIndex, opts)
+		m, err := store.New(store.NSMIndex, opts)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		defer m.Engine().Close()
 		if err := m.Load(stations); err != nil {
 			return nil, 0, 0, err
 		}
@@ -130,16 +137,25 @@ func (s *Suite) PolicyAblation() ([]PolicyRow, error) {
 	for _, k := range fig5Models {
 		row := PolicyRow{Model: k.String()}
 		for _, clock := range []bool{false, true} {
-			opts := s.storeOptions()
+			opts, err := s.storeOptions()
+			if err != nil {
+				return nil, err
+			}
 			opts.Policy = buffer.LRU
 			if clock {
 				opts.Policy = buffer.Clock
 			}
-			m := store.New(k, opts)
-			if err := m.Load(stations); err != nil {
-				return nil, err
-			}
-			res, err := workload.NewRunner(m, s.cfg.Workload).Run(cobench.Q2b)
+			res, err := func() (workload.Result, error) {
+				m, err := store.New(k, opts)
+				if err != nil {
+					return workload.Result{}, err
+				}
+				defer m.Engine().Close()
+				if err := m.Load(stations); err != nil {
+					return workload.Result{}, err
+				}
+				return workload.NewRunner(m, s.cfg.Workload).Run(cobench.Q2b)
+			}()
 			if err != nil {
 				return nil, err
 			}

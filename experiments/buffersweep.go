@@ -3,6 +3,7 @@ package experiments
 import (
 	"complexobj/cobench"
 	"complexobj/costmodel"
+	"complexobj/internal/fanout"
 	"complexobj/report"
 )
 
@@ -27,11 +28,18 @@ var BufferSizes = []int{150, 300, 600, 1200, 2400, 4800}
 // working set every model sits at its best case; below that the direct
 // models degrade toward the worst case first because their working set is
 // p pages per touched object.
+//
+// The (buffer size, model) cells fan out over the suite's worker pool;
+// each cell builds a private engine with its own cache capacity.
 func (s *Suite) BufferSweep() ([]BufferPoint, error) {
 	if s.bufferSweep != nil {
 		return s.bufferSweep, nil
 	}
 	params, _, err := s.DerivedParams()
+	if err != nil {
+		return nil, err
+	}
+	baseOpts, err := s.storeOptions()
 	if err != nil {
 		return nil, err
 	}
@@ -41,33 +49,40 @@ func (s *Suite) BufferSweep() ([]BufferPoint, error) {
 		Grand:    costmodel.PaperWorkload().Grand,
 		Loops:    float64(s.cfg.Workload.Loops),
 	}
-	var points []BufferPoint
-	for _, bp := range BufferSizes {
-		for _, k := range fig5Models {
-			cfg := s.cfg
-			cfg.BufferPages = bp
-			sub := New(cfg)
-			sub.stations = s.stations // share the generated extension
-			sub.genStats = s.genStats
-			res, err := sub.runQueriesOn(k, cfg.Gen, cfg.Workload, cobench.Q2b)
-			if err != nil {
-				return nil, err
-			}
-			m := res[cobench.Q2b]
-			hit := 0.0
-			if m.Fixes > 0 {
-				hit = m.Hits / m.Fixes
-			}
-			est := costmodel.Estimate(kindToCostModel(k), params, wl)
-			points = append(points, BufferPoint{
-				Model:       k.String(),
-				BufferPages: bp,
-				Measured:    m.Pages,
-				BestCase:    est.Q2b,
-				WorstCase:   est.Q2a,
-				HitRatio:    hit,
-			})
+	// All cells measure the default extension; generate it once and share
+	// it read-only across the workers.
+	stations, err := s.extension()
+	if err != nil {
+		return nil, err
+	}
+	points := make([]BufferPoint, len(BufferSizes)*len(fig5Models))
+	err = fanout.Run(len(points), s.workers(), func(i int) error {
+		bp := BufferSizes[i/len(fig5Models)]
+		k := fig5Models[i%len(fig5Models)]
+		opts := baseOpts
+		opts.BufferPages = bp
+		res, err := runQueriesLoaded(k, opts, stations, s.cfg.Workload, cobench.Q2b)
+		if err != nil {
+			return err
 		}
+		m := res[cobench.Q2b]
+		hit := 0.0
+		if m.Fixes > 0 {
+			hit = m.Hits / m.Fixes
+		}
+		est := costmodel.Estimate(kindToCostModel(k), params, wl)
+		points[i] = BufferPoint{
+			Model:       k.String(),
+			BufferPages: bp,
+			Measured:    m.Pages,
+			BestCase:    est.Q2b,
+			WorstCase:   est.Q2a,
+			HitRatio:    hit,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	s.bufferSweep = points
 	return points, nil

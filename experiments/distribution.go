@@ -66,7 +66,15 @@ func (s *Suite) nodeBalance(name string, gen cobench.Config, nodes int) (NodeBal
 	}
 	// Per-object page footprint under direct storage: measure the loaded
 	// layout rather than guessing from byte counts.
-	m := store.New(store.DSM, s.storeOptions())
+	opts, err := s.storeOptions()
+	if err != nil {
+		return NodeBalance{}, err
+	}
+	m, err := store.New(store.DSM, opts)
+	if err != nil {
+		return NodeBalance{}, err
+	}
+	defer m.Engine().Close()
 	if err := m.Load(stations); err != nil {
 		return NodeBalance{}, err
 	}

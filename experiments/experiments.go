@@ -17,7 +17,9 @@ import (
 
 	"complexobj/cobench"
 	"complexobj/internal/buffer"
+	"complexobj/internal/disk"
 	"complexobj/internal/fanout"
+	"complexobj/internal/snapshot"
 	"complexobj/internal/store"
 	"complexobj/internal/workload"
 )
@@ -36,12 +38,24 @@ type Config struct {
 	// UseClock switches the buffer replacement policy from LRU to Clock
 	// (an ablation; the paper does not name DASDBS's policy).
 	UseClock bool
-	// Workers bounds the number of concurrent (model, query) workers used
-	// by Matrix. 0 means GOMAXPROCS; 1 forces the serial path. Every
-	// worker owns its engines (device + buffer pool), so workers never
-	// share mutable state and the measured counters are identical to a
-	// serial run regardless of scheduling.
+	// Workers bounds the number of concurrent workers used by Matrix and
+	// by the sweep experiments (Figures 5/6, the buffer sweep, Table 7).
+	// 0 means GOMAXPROCS; 1 forces the serial path. Every worker owns
+	// its engines (device + buffer pool), so workers never share mutable
+	// state and the measured counters are identical to a serial run
+	// regardless of scheduling.
 	Workers int
+	// Backend selects the device backend for every engine the suite
+	// builds: "" or "mem" (default), "file" or "file:DIR". Counters are
+	// bit-identical across backends; the choice only moves the page
+	// bytes.
+	Backend string
+	// Snapshot is the path of a cogen-built .codb snapshot. When set,
+	// the default-configuration models behind Tables 2-6 and 8 are
+	// restored from the snapshot instead of regenerating and reloading
+	// the extension; the snapshot's stored generator configuration must
+	// match Gen. Sweeps that need non-default extensions still generate.
+	Snapshot string
 }
 
 // DefaultConfig mirrors the paper's installation.
@@ -58,6 +72,10 @@ func DefaultConfig() Config {
 // deterministic and order-independent).
 type Suite struct {
 	cfg         Config
+	storeOpts   store.Options
+	optsErr     error
+	snapChecked bool
+	snapErr     error
 	stations    []*cobench.Station
 	genStats    *cobench.Stats
 	models      map[store.Kind]store.Model
@@ -79,7 +97,13 @@ func New(cfg Config) *Suite {
 	if cfg.BufferPages == 0 {
 		cfg.BufferPages = 1200
 	}
-	return &Suite{cfg: cfg, models: make(map[store.Kind]store.Model)}
+	s := &Suite{cfg: cfg, models: make(map[store.Kind]store.Model)}
+	s.storeOpts = store.Options{PageSize: cfg.PageSize, BufferPages: cfg.BufferPages}
+	if cfg.UseClock {
+		s.storeOpts.Policy = buffer.Clock
+	}
+	s.storeOpts.Backend, s.optsErr = disk.ParseBackendSpec(cfg.Backend)
+	return s
 }
 
 // Default creates a suite with the paper's configuration.
@@ -88,12 +112,80 @@ func Default() *Suite { return New(DefaultConfig()) }
 // Config returns the suite's effective configuration.
 func (s *Suite) Config() Config { return s.cfg }
 
-func (s *Suite) storeOptions() store.Options {
-	o := store.Options{PageSize: s.cfg.PageSize, BufferPages: s.cfg.BufferPages}
-	if s.cfg.UseClock {
-		o.Policy = buffer.Clock
+// Close releases the engines of every model the suite has cached (file
+// backends unmap and delete their anonymous arena files). The suite must
+// not be used afterwards.
+func (s *Suite) Close() error {
+	var first error
+	for k, m := range s.models {
+		if err := m.Engine().Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.models, k)
 	}
-	return o
+	return first
+}
+
+func (s *Suite) storeOptions() (store.Options, error) {
+	return s.storeOpts, s.optsErr
+}
+
+// workers resolves the effective worker count shared by the matrix and
+// the sweeps.
+func (s *Suite) workers() int {
+	if s.cfg.Workers > 0 {
+		return s.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// snapshotOK validates (once) that the configured snapshot holds the
+// extension the suite is asked to measure.
+func (s *Suite) snapshotOK() error {
+	if s.cfg.Snapshot == "" {
+		return fmt.Errorf("experiments: no snapshot configured")
+	}
+	if s.snapChecked {
+		return s.snapErr
+	}
+	s.snapChecked = true
+	info, err := snapshot.Stat(s.cfg.Snapshot)
+	if err != nil {
+		s.snapErr = fmt.Errorf("experiments: snapshot: %w", err)
+	} else if info.Gen != s.cfg.Gen {
+		s.snapErr = fmt.Errorf("experiments: snapshot %s was built from %+v, configuration wants %+v",
+			s.cfg.Snapshot, info.Gen, s.cfg.Gen)
+	}
+	return s.snapErr
+}
+
+// openModel builds one loaded default-configuration model: restored from
+// the snapshot when one is configured, otherwise generated and loaded.
+// The caller owns the model's engine.
+func (s *Suite) openModel(k store.Kind) (store.Model, error) {
+	opts, err := s.storeOptions()
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Snapshot != "" {
+		if err := s.snapshotOK(); err != nil {
+			return nil, err
+		}
+		return snapshot.Open(s.cfg.Snapshot, k, opts)
+	}
+	stations, err := s.extension()
+	if err != nil {
+		return nil, err
+	}
+	m, err := store.New(k, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Load(stations); err != nil {
+		m.Engine().Close()
+		return nil, fmt.Errorf("experiments: load %s: %w", k, err)
+	}
+	return m, nil
 }
 
 // extension generates (once) and returns the benchmark database.
@@ -119,18 +211,15 @@ func (s *Suite) ExtensionStats() (cobench.Stats, error) {
 	return *s.genStats, nil
 }
 
-// model loads (once) one storage model over the suite's extension.
+// model loads (once) one storage model over the suite's extension (or
+// from the configured snapshot) and caches it on the suite.
 func (s *Suite) model(k store.Kind) (store.Model, error) {
 	if m, ok := s.models[k]; ok {
 		return m, nil
 	}
-	stations, err := s.extension()
+	m, err := s.openModel(k)
 	if err != nil {
 		return nil, err
-	}
-	m := store.New(k, s.storeOptions())
-	if err := m.Load(stations); err != nil {
-		return nil, fmt.Errorf("experiments: load %s: %w", k, err)
 	}
 	s.models[k] = m
 	return m, nil
@@ -196,10 +285,7 @@ func (s *Suite) Matrix() (*Matrix, error) {
 	if s.matrix != nil {
 		return s.matrix, nil
 	}
-	workers := s.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := s.workers()
 	kinds := store.AllKinds()
 	queries := cobench.AllQueries()
 	if workers > len(kinds)*len(queries) {
@@ -251,9 +337,35 @@ func (s *Suite) matrixSerial(kinds []store.Kind) ([]Measured, error) {
 // model cache, so later experiments that only need layout metadata
 // (Table 2, derived cost-model parameters) do not reload from scratch.
 func (s *Suite) matrixParallel(workers int, kinds []store.Kind, queries []cobench.Query) ([]Measured, error) {
-	stations, err := s.extension()
+	opts, err := s.storeOptions()
 	if err != nil {
 		return nil, err
+	}
+	// Workers either restore their model copies from the snapshot or load
+	// them over the shared, read-only extension.
+	var stations []*cobench.Station
+	if s.cfg.Snapshot != "" {
+		if err := s.snapshotOK(); err != nil {
+			return nil, err
+		}
+	} else {
+		if stations, err = s.extension(); err != nil {
+			return nil, err
+		}
+	}
+	openWorkerModel := func(k store.Kind) (store.Model, error) {
+		if s.cfg.Snapshot != "" {
+			return snapshot.Open(s.cfg.Snapshot, k, opts)
+		}
+		m, err := store.New(k, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Load(stations); err != nil {
+			m.Engine().Close()
+			return nil, err
+		}
+		return m, nil
 	}
 	rows := make([]Measured, len(kinds)*len(queries))
 	var (
@@ -306,8 +418,8 @@ func (s *Suite) matrixParallel(workers int, kinds []store.Kind, queries []cobenc
 			k, q := kinds[ki], queries[qi]
 			m, loaded := models[k]
 			if !loaded {
-				m = store.New(k, s.storeOptions())
-				if err := m.Load(stations); err != nil {
+				var err error
+				if m, err = openWorkerModel(k); err != nil {
 					abort()
 					return fmt.Errorf("experiments: load %s: %w", k, err)
 				}
@@ -322,17 +434,32 @@ func (s *Suite) matrixParallel(workers int, kinds []store.Kind, queries []cobenc
 		}
 	})
 	if err != nil {
+		// Release every worker's engines: with a file backend each holds
+		// an mmap, a descriptor and an anonymous arena file.
+		for _, wm := range workerModels {
+			for _, m := range wm {
+				m.Engine().Close()
+			}
+		}
 		return nil, err
 	}
-	// Adopt one loaded copy of each model into the Suite cache. The copies
-	// differ from a serial run only in which queries they executed, which
-	// cannot affect the layout metadata (Sizes) that cached models serve.
+	// Adopt one loaded copy of each model into the Suite cache; close the
+	// engines of redundant copies so file-backed arenas are released. The
+	// adopted copies differ from a serial run only in which queries they
+	// executed, which cannot affect the layout metadata (Sizes) that
+	// cached models serve.
+	var closeErr error
 	for _, wm := range workerModels {
 		for k, m := range wm {
 			if _, ok := s.models[k]; !ok {
 				s.models[k] = m
+			} else if err := m.Engine().Close(); err != nil && closeErr == nil {
+				closeErr = err
 			}
 		}
+	}
+	if closeErr != nil {
+		return nil, closeErr
 	}
 	return rows, nil
 }
@@ -360,15 +487,26 @@ func toMeasured(res workload.Result) Measured {
 }
 
 // runQueriesOn builds a fresh model of kind k over the given extension and
-// runs the selected queries with the given workload. Used by the sweeps
-// (Table 7, Figures 5 and 6), which need configurations other than the
-// suite default.
-func (s *Suite) runQueriesOn(k store.Kind, gen cobench.Config, w cobench.Workload, queries ...cobench.Query) (map[cobench.Query]Measured, error) {
+// runs the selected queries with the given workload, releasing the
+// throwaway engine afterwards. Used by the sweeps (Table 7, Figures 5 and
+// 6), which need configurations other than the suite default. It touches
+// no Suite state beyond the immutable resolved options, so sweep cells
+// can fan out over a worker pool.
+func (s *Suite) runQueriesOn(k store.Kind, opts store.Options, gen cobench.Config, w cobench.Workload, queries ...cobench.Query) (map[cobench.Query]Measured, error) {
 	stations, err := cobench.Generate(gen)
 	if err != nil {
 		return nil, err
 	}
-	m := store.New(k, s.storeOptions())
+	return runQueriesLoaded(k, opts, stations, w, queries...)
+}
+
+// runQueriesLoaded is runQueriesOn over pre-generated stations.
+func runQueriesLoaded(k store.Kind, opts store.Options, stations []*cobench.Station, w cobench.Workload, queries ...cobench.Query) (map[cobench.Query]Measured, error) {
+	m, err := store.New(k, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Engine().Close()
 	if err := m.Load(stations); err != nil {
 		return nil, err
 	}

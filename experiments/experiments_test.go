@@ -2,13 +2,17 @@ package experiments
 
 import (
 	"math"
+	"os"
 	"strings"
 	"sync"
 	"testing"
 )
 
 // The paper-scale suite is expensive enough (~seconds) to share across
-// tests; every experiment is deterministic, so sharing is safe.
+// tests; every experiment is deterministic, so sharing is safe. The
+// COMPLEXOBJ_BACKEND environment variable (the CI matrix axis) selects
+// the device backend — every assertion in this package must hold
+// identically for "mem" and "file".
 var (
 	suiteOnce sync.Once
 	suite     *Suite
@@ -16,8 +20,22 @@ var (
 
 func paperSuite(t *testing.T) *Suite {
 	t.Helper()
-	suiteOnce.Do(func() { suite = Default() })
+	suiteOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.Backend = os.Getenv("COMPLEXOBJ_BACKEND")
+		suite = New(cfg)
+	})
 	return suite
+}
+
+// TestMain closes the shared suite so file-backend runs do not leave
+// anonymous arena files behind.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if suite != nil {
+		suite.Close()
+	}
+	os.Exit(code)
 }
 
 func cell(t *testing.T, m *Matrix, model, query string) Measured {

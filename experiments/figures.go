@@ -5,6 +5,7 @@ import (
 
 	"complexobj/cobench"
 	"complexobj/costmodel"
+	"complexobj/internal/fanout"
 	"complexobj/internal/store"
 	"complexobj/report"
 )
@@ -31,33 +32,52 @@ type Fig5Cell struct {
 // DASDBS-DSM and DASDBS-NSM. The generator draws sightseeings from an
 // independent random stream, so the platform/connection graph is identical
 // across the sweep and the figure isolates the pure object-size effect.
+//
+// The (maxSeeing, model) cells are independent — each builds its own
+// extension and engine — so they fan out over the suite's worker pool;
+// results land at fixed indices and are byte-identical to a serial run.
 func (s *Suite) Figure5() ([]Fig5Cell, error) {
 	if s.fig5 != nil {
 		return s.fig5, nil
 	}
-	var cells []Fig5Cell
-	for _, maxSee := range []int{0, 15, 30} {
-		gen := s.cfg.Gen.WithMaxSeeing(maxSee)
-		stations, err := cobench.Generate(gen)
+	opts, err := s.storeOptions()
+	if err != nil {
+		return nil, err
+	}
+	maxSees := []int{0, 15, 30}
+	// Generate each maxSeeing extension once; the three model cells of a
+	// column share it read-only.
+	extensions := make([][]*cobench.Station, len(maxSees))
+	genStats := make([]cobench.Stats, len(maxSees))
+	for i, maxSee := range maxSees {
+		stations, err := cobench.Generate(s.cfg.Gen.WithMaxSeeing(maxSee))
 		if err != nil {
 			return nil, err
 		}
-		gs := cobench.Describe(stations)
-		for _, k := range fig5Models {
-			res, err := s.runQueriesOn(k, gen, s.cfg.Workload,
-				cobench.Q1c, cobench.Q2b, cobench.Q3b)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, Fig5Cell{
-				Model:      k.String(),
-				MaxSeeing:  maxSee,
-				AvgSeeings: gs.AvgSeeings,
-				Q1c:        res[cobench.Q1c].Pages,
-				Q2b:        res[cobench.Q2b].Pages,
-				Q3b:        res[cobench.Q3b].Pages,
-			})
+		extensions[i] = stations
+		genStats[i] = cobench.Describe(stations)
+	}
+	cells := make([]Fig5Cell, len(maxSees)*len(fig5Models))
+	err = fanout.Run(len(cells), s.workers(), func(i int) error {
+		col := i / len(fig5Models)
+		k := fig5Models[i%len(fig5Models)]
+		res, err := runQueriesLoaded(k, opts, extensions[col], s.cfg.Workload,
+			cobench.Q1c, cobench.Q2b, cobench.Q3b)
+		if err != nil {
+			return err
 		}
+		cells[i] = Fig5Cell{
+			Model:      k.String(),
+			MaxSeeing:  maxSees[col],
+			AvgSeeings: genStats[col].AvgSeeings,
+			Q1c:        res[cobench.Q1c].Pages,
+			Q2b:        res[cobench.Q2b].Pages,
+			Q3b:        res[cobench.Q3b].Pages,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	s.fig5 = cells
 	return cells, nil
@@ -115,6 +135,9 @@ var Fig6Sizes = []int{100, 200, 400, 700, 1000, 1500}
 // loops = N/5 for increasing database sizes; without cache overflow the
 // measured values sit at the analytical best case, with overflow the
 // direct models degrade toward the worst case (the query 2a estimate).
+//
+// The (N, model) points fan out over the suite's worker pool with
+// per-point engines; only the analytical envelope is computed up front.
 func (s *Suite) Figure6() ([]Fig6Point, error) {
 	if s.fig6 != nil {
 		return s.fig6, nil
@@ -123,34 +146,42 @@ func (s *Suite) Figure6() ([]Fig6Point, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts, err := s.storeOptions()
+	if err != nil {
+		return nil, err
+	}
 	baseN := float64(s.cfg.Gen.N)
-	var points []Fig6Point
-	for _, n := range Fig6Sizes {
+	points := make([]Fig6Point, len(Fig6Sizes)*len(fig5Models))
+	err = fanout.Run(len(points), s.workers(), func(i int) error {
+		n := Fig6Sizes[i/len(fig5Models)]
+		k := fig5Models[i%len(fig5Models)]
 		gen := s.cfg.Gen.WithN(n)
 		w := s.cfg.Workload
 		w.Loops = cobench.LoopsFor(n)
-		for _, k := range fig5Models {
-			res, err := s.runQueriesOn(k, gen, w, cobench.Q2b)
-			if err != nil {
-				return nil, err
-			}
-			cm := kindToCostModel(k)
-			scaled := params.Scaled(float64(n), baseN)
-			wl := costmodel.Workload{
-				N:        float64(n),
-				Children: costmodel.PaperWorkload().Children,
-				Grand:    costmodel.PaperWorkload().Grand,
-				Loops:    float64(w.Loops),
-			}
-			points = append(points, Fig6Point{
-				Model:     k.String(),
-				N:         n,
-				Loops:     w.Loops,
-				Measured:  res[cobench.Q2b].Pages,
-				BestCase:  costmodel.Estimate(cm, scaled, wl).Q2b,
-				WorstCase: costmodel.Estimate(cm, scaled, wl).Q2a,
-			})
+		res, err := s.runQueriesOn(k, opts, gen, w, cobench.Q2b)
+		if err != nil {
+			return err
 		}
+		cm := kindToCostModel(k)
+		scaled := params.Scaled(float64(n), baseN)
+		wl := costmodel.Workload{
+			N:        float64(n),
+			Children: costmodel.PaperWorkload().Children,
+			Grand:    costmodel.PaperWorkload().Grand,
+			Loops:    float64(w.Loops),
+		}
+		points[i] = Fig6Point{
+			Model:     k.String(),
+			N:         n,
+			Loops:     w.Loops,
+			Measured:  res[cobench.Q2b].Pages,
+			BestCase:  costmodel.Estimate(cm, scaled, wl).Q2b,
+			WorstCase: costmodel.Estimate(cm, scaled, wl).Q2a,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	s.fig6 = points
 	return points, nil
@@ -194,19 +225,13 @@ func RenderFigure6(points []Fig6Point) []*report.Table {
 	return out
 }
 
-// All regenerates every table and figure in paper order and returns the
-// rendered tables.
-func (s *Suite) All() ([]*report.Table, error) {
-	var out []*report.Table
-	out = append(out, Table1())
-
-	t2, err := s.Table2()
-	if err != nil {
-		return nil, err
+// Table3Sections renders the analytical-estimate block: Table 3 under the
+// paper's and under the derived layout constants plus the analytical
+// I/O-call counterpart.
+func (s *Suite) Table3Sections() ([]*report.Table, error) {
+	out := []*report.Table{
+		RenderTable3("Table 3 (paper layout constants): estimated page I/Os", s.Table3Paper()),
 	}
-	out = append(out, RenderTable2(t2))
-
-	out = append(out, RenderTable3("Table 3 (paper layout constants): estimated page I/Os", s.Table3Paper()))
 	t3d, err := s.Table3Derived()
 	if err != nil {
 		return nil, err
@@ -214,49 +239,13 @@ func (s *Suite) All() ([]*report.Table, error) {
 	out = append(out, RenderTable3("Table 3 (derived layout constants): estimated page I/Os", t3d))
 	out = append(out, RenderTable3("Analytical I/O calls (Table 5 counterpart, paper layout constants)",
 		costmodel.EstimateAllCalls(costmodel.PaperParams(), costmodel.PaperWorkload())))
+	return out, nil
+}
 
-	m, err := s.Matrix()
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, m.Table4(), m.Table5(), m.Table6())
-
-	t7, err := s.Table7()
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, RenderTable7(t7))
-
-	t8, err := m.Table8()
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, RenderTable8(t8))
-
-	f5, err := s.Figure5()
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, RenderFigure5(f5)...)
-
-	f6, err := s.Figure6()
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, RenderFigure6(f6)...)
-
-	ia, err := s.IndexAblation()
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, RenderIndexAblation(ia))
-
-	pa, err := s.PolicyAblation()
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, RenderPolicyAblation(pa))
-
+// CostSections renders the estimated-device-time tables for the 1990 disk
+// and a modern flash device.
+func (s *Suite) CostSections() ([]*report.Table, error) {
+	var out []*report.Table
 	for _, dev := range []struct {
 		name string
 		w    DeviceWeights
@@ -270,17 +259,19 @@ func (s *Suite) All() ([]*report.Table, error) {
 		}
 		out = append(out, RenderTableCosts(dev.name, dev.w, rows))
 	}
+	return out, nil
+}
 
-	dist, err := s.DistributionAblation(8)
-	if err != nil {
-		return nil, err
+// All regenerates every table and figure in paper order and returns the
+// rendered tables: the concatenation of every Section.
+func (s *Suite) All() ([]*report.Table, error) {
+	var out []*report.Table
+	for _, sec := range Sections() {
+		ts, err := sec.Build(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts...)
 	}
-	out = append(out, RenderDistribution(dist))
-
-	bs, err := s.BufferSweep()
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, RenderBufferSweep(bs)...)
 	return out, nil
 }

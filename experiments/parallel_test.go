@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"os"
 	"reflect"
 	"testing"
 
@@ -10,11 +11,14 @@ import (
 // smallConfig is a reduced-scale configuration that keeps the determinism
 // tests fast while still exercising every model × query cell, including the
 // update queries whose write-back paths are the most scheduling-sensitive.
+// The backend follows the CI matrix axis (COMPLEXOBJ_BACKEND), so all
+// determinism guarantees are pinned on the file backend too.
 func smallConfig() Config {
 	cfg := DefaultConfig()
 	cfg.Gen = cobench.DefaultConfig().WithN(150)
 	cfg.Workload = cobench.Workload{Loops: 40, Samples: 8, Seed: 1993}
 	cfg.BufferPages = 300
+	cfg.Backend = os.Getenv("COMPLEXOBJ_BACKEND")
 	return cfg
 }
 
@@ -26,14 +30,18 @@ func smallConfig() Config {
 func TestMatrixParallelDeterminism(t *testing.T) {
 	serialCfg := smallConfig()
 	serialCfg.Workers = 1
-	serial, err := New(serialCfg).Matrix()
+	serialSuite := New(serialCfg)
+	defer serialSuite.Close()
+	serial, err := serialSuite.Matrix()
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 16} {
 		cfg := smallConfig()
 		cfg.Workers = workers
-		parallel, err := New(cfg).Matrix()
+		parSuite := New(cfg)
+		parallel, err := parSuite.Matrix()
+		parSuite.Close()
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -55,13 +63,17 @@ func TestMatrixParallelDeterminism(t *testing.T) {
 func TestMatrixParallelTableBytes(t *testing.T) {
 	serialCfg := smallConfig()
 	serialCfg.Workers = 1
-	ms, err := New(serialCfg).Matrix()
+	serialSuite := New(serialCfg)
+	defer serialSuite.Close()
+	ms, err := serialSuite.Matrix()
 	if err != nil {
 		t.Fatal(err)
 	}
 	parCfg := smallConfig()
 	parCfg.Workers = 8
-	mp, err := New(parCfg).Matrix()
+	parSuite := New(parCfg)
+	defer parSuite.Close()
+	mp, err := parSuite.Matrix()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +99,9 @@ func TestMatrixParallelTableBytes(t *testing.T) {
 func TestMatrixRowOrder(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Workers = 8
-	m, err := New(cfg).Matrix()
+	s := New(cfg)
+	defer s.Close()
+	m, err := s.Matrix()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"complexobj/internal/snapshot"
+	"complexobj/internal/store"
+)
+
+// shrinkSweeps temporarily reduces the sweep axes so the determinism tests
+// stay fast, restoring the paper axes afterwards.
+func shrinkSweeps(t *testing.T) {
+	t.Helper()
+	savedFig6, savedBuf := Fig6Sizes, BufferSizes
+	Fig6Sizes = []int{60, 120}
+	BufferSizes = []int{100, 300}
+	t.Cleanup(func() { Fig6Sizes, BufferSizes = savedFig6, savedBuf })
+}
+
+// TestSweepParallelDeterminism pins the satellite guarantee for the
+// parallelized sweeps: Figure 5, Figure 6, the buffer sweep and Table 7
+// produce byte-identical results for any worker count, because every cell
+// owns a private engine over a deterministic generation.
+func TestSweepParallelDeterminism(t *testing.T) {
+	shrinkSweeps(t)
+	type sweeps struct {
+		fig5 []Fig5Cell
+		fig6 []Fig6Point
+		buf  []BufferPoint
+		t7   []SkewRow
+	}
+	run := func(workers int) sweeps {
+		cfg := smallConfig()
+		cfg.Workers = workers
+		s := New(cfg)
+		defer s.Close()
+		var out sweeps
+		var err error
+		if out.fig5, err = s.Figure5(); err != nil {
+			t.Fatalf("workers=%d figure5: %v", workers, err)
+		}
+		if out.fig6, err = s.Figure6(); err != nil {
+			t.Fatalf("workers=%d figure6: %v", workers, err)
+		}
+		if out.buf, err = s.BufferSweep(); err != nil {
+			t.Fatalf("workers=%d buffersweep: %v", workers, err)
+		}
+		if out.t7, err = s.Table7(); err != nil {
+			t.Fatalf("workers=%d table7: %v", workers, err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, workers := range []int{3, 8} {
+		parallel := run(workers)
+		if !reflect.DeepEqual(serial.fig5, parallel.fig5) {
+			t.Errorf("workers=%d: Figure 5 differs from serial", workers)
+		}
+		if !reflect.DeepEqual(serial.fig6, parallel.fig6) {
+			t.Errorf("workers=%d: Figure 6 differs from serial", workers)
+		}
+		if !reflect.DeepEqual(serial.buf, parallel.buf) {
+			t.Errorf("workers=%d: buffer sweep differs from serial", workers)
+		}
+		if !reflect.DeepEqual(serial.t7, parallel.t7) {
+			t.Errorf("workers=%d: Table 7 differs from serial", workers)
+		}
+	}
+}
+
+// TestMatrixBackendEquivalence asserts the acceptance property at the
+// harness level: the full paper query matrix is bit-identical between the
+// memory and the file backend.
+func TestMatrixBackendEquivalence(t *testing.T) {
+	memCfg := smallConfig()
+	memCfg.Backend = "mem"
+	memSuite := New(memCfg)
+	defer memSuite.Close()
+	mem, err := memSuite.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileCfg := smallConfig()
+	fileCfg.Backend = "file:" + t.TempDir()
+	fileSuite := New(fileCfg)
+	defer fileSuite.Close()
+	file, err := fileSuite.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mem.Rows, file.Rows) {
+		t.Error("matrix differs between memory and file backend")
+	}
+}
+
+// TestMatrixFromSnapshot asserts the cotables -db path: a matrix computed
+// from snapshot-restored models equals the matrix from freshly generated
+// and loaded ones, and mismatched snapshots are rejected.
+func TestMatrixFromSnapshot(t *testing.T) {
+	cfg := smallConfig()
+	freshSuite := New(cfg)
+	defer freshSuite.Close()
+	fresh, err := freshSuite.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build the snapshot the way cogen does: load every model with the
+	// suite's options, then serialize.
+	opts := store.Options{BufferPages: cfg.BufferPages}
+	stations, err := freshSuite.extension()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var models []store.Model
+	for _, k := range store.AllKinds() {
+		m, err := store.New(k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Engine().Close()
+		if err := m.Load(stations); err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	path := filepath.Join(t.TempDir(), "matrix.codb")
+	if err := snapshot.Write(path, cfg.Gen, models...); err != nil {
+		t.Fatal(err)
+	}
+
+	snapCfg := smallConfig()
+	snapCfg.Snapshot = path
+	snapSuite := New(snapCfg)
+	defer snapSuite.Close()
+	snap, err := snapSuite.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.Rows, snap.Rows) {
+		t.Error("matrix from snapshot differs from freshly loaded matrix")
+	}
+
+	// A snapshot of a different extension must be refused, not measured.
+	wrongCfg := smallConfig()
+	wrongCfg.Gen = wrongCfg.Gen.WithN(wrongCfg.Gen.N + 1)
+	wrongCfg.Snapshot = path
+	wrongSuite := New(wrongCfg)
+	defer wrongSuite.Close()
+	if _, err := wrongSuite.Matrix(); err == nil {
+		t.Error("mismatched snapshot accepted")
+	}
+}
+
+// TestSectionTitlesMatch pins the static Section.Titles (which drive
+// cotables' compute-only-what--only-matches behaviour) against the titles
+// the Build functions actually emit: every emitted title must begin with
+// its declared static title, one declaration per table, in order.
+func TestSectionTitlesMatch(t *testing.T) {
+	s := paperSuite(t)
+	for si, sec := range Sections() {
+		tables, err := sec.Build(s)
+		if err != nil {
+			t.Fatalf("section %d: %v", si, err)
+		}
+		if len(tables) != len(sec.Titles) {
+			t.Errorf("section %d emits %d tables but declares %d titles", si, len(tables), len(sec.Titles))
+			continue
+		}
+		for i, tbl := range tables {
+			if !strings.HasPrefix(tbl.Title, sec.Titles[i]) {
+				t.Errorf("section %d table %d: emitted title %q does not start with declared %q",
+					si, i, tbl.Title, sec.Titles[i])
+			}
+		}
+	}
+}

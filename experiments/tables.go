@@ -7,6 +7,7 @@ import (
 
 	"complexobj/cobench"
 	"complexobj/costmodel"
+	"complexobj/internal/fanout"
 	"complexobj/internal/store"
 	"complexobj/report"
 )
@@ -410,34 +411,48 @@ type SkewRow struct {
 }
 
 // Table7 compares the default extension with the §5.5 data-skew extension
-// (probability 20%, fanout 8) on the navigation queries.
+// (probability 20%, fanout 8) on the navigation queries. The default
+// columns come from the (already parallel) matrix; the per-model skew
+// runs fan out over the suite's worker pool.
 func (s *Suite) Table7() ([]SkewRow, error) {
 	if s.table7 != nil {
 		return s.table7, nil
 	}
+	m, err := s.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	opts, err := s.storeOptions()
+	if err != nil {
+		return nil, err
+	}
 	skewGen := s.cfg.Gen.Skewed()
-	var rows []SkewRow
+	var kinds []store.Kind
 	for _, k := range store.AllKinds() {
-		if k == store.NSM {
-			continue // the paper drops pure NSM after §5.2
+		if k != store.NSM { // the paper drops pure NSM after §5.2
+			kinds = append(kinds, k)
 		}
-		m, err := s.Matrix()
-		if err != nil {
-			return nil, err
-		}
+	}
+	rows := make([]SkewRow, len(kinds))
+	err = fanout.Run(len(kinds), s.workers(), func(i int) error {
+		k := kinds[i]
 		def2a, _ := m.Get(k.String(), "2a")
 		def2b, _ := m.Get(k.String(), "2b")
-		skew, err := s.runQueriesOn(k, skewGen, s.cfg.Workload, cobench.Q2a, cobench.Q2b)
+		skew, err := s.runQueriesOn(k, opts, skewGen, s.cfg.Workload, cobench.Q2a, cobench.Q2b)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, SkewRow{
+		rows[i] = SkewRow{
 			Model:      k.String(),
 			DefaultQ2a: def2a.Pages,
 			DefaultQ2b: def2b.Pages,
 			SkewQ2a:    skew[cobench.Q2a].Pages,
 			SkewQ2b:    skew[cobench.Q2b].Pages,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	s.table7 = rows
 	return rows, nil

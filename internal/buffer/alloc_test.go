@@ -1,78 +1,112 @@
 package buffer
 
 import (
+	"fmt"
+	"path/filepath"
 	"testing"
 
 	"complexobj/internal/disk"
 )
+
+// testDevices builds one fresh device per backend kind, so every alloc
+// budget below is pinned against the memory arena and the mmap'ed file
+// arena alike: the recycled-frame read path must stay allocation-free no
+// matter where the page bytes live.
+func testDevices(t *testing.T) map[string]func() *disk.Disk {
+	t.Helper()
+	dir := t.TempDir()
+	n := 0
+	return map[string]func() *disk.Disk{
+		"mem": func() *disk.Disk { return disk.New(disk.DefaultPageSize) },
+		"file": func() *disk.Disk {
+			n++
+			b, err := disk.OpenFileBackend(filepath.Join(dir, fmt.Sprintf("arena%d", n)), disk.FileBackendOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return disk.NewWithBackend(disk.DefaultPageSize, b)
+		},
+	}
+}
 
 // TestFixHitZeroAllocs pins the allocation budget of the cache-hit fix —
 // the hottest operation of the simulation. The dense PageID index and the
 // intrusive LRU list make it allocation-free; a regression here slows every
 // experiment.
 func TestFixHitZeroAllocs(t *testing.T) {
-	d := disk.New(disk.DefaultPageSize)
-	if _, err := d.Allocate(4); err != nil {
-		t.Fatal(err)
-	}
-	p := New(d, 4, LRU)
-	if _, err := p.Fix(2); err != nil {
-		t.Fatal(err)
-	}
-	if err := p.Unfix(2, false); err != nil {
-		t.Fatal(err)
-	}
-	allocs := testing.AllocsPerRun(1000, func() {
-		f, err := p.Fix(2)
-		if err != nil {
-			t.Fatal(err)
-		}
-		_ = f
-		if err := p.Unfix(2, false); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs != 0 {
-		t.Errorf("fix-hit path allocates %.1f objects per op, want 0", allocs)
+	for name, newDev := range testDevices(t) {
+		t.Run(name, func(t *testing.T) {
+			d := newDev()
+			defer d.Close()
+			if _, err := d.Allocate(4); err != nil {
+				t.Fatal(err)
+			}
+			p := New(d, 4, LRU)
+			if _, err := p.Fix(2); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Unfix(2, false); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(1000, func() {
+				f, err := p.Fix(2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_ = f
+				if err := p.Unfix(2, false); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("fix-hit path allocates %.1f objects per op, want 0", allocs)
+			}
+		})
 	}
 }
 
 // TestFixMissSteadyStateZeroAllocs asserts that the miss/evict cycle
 // recycles frame buffers and Frame structs through the free-lists: once the
 // pool has warmed up, churning a working set larger than the pool allocates
-// nothing per fix.
+// nothing per fix — against either backend, since ReadRun always lands in
+// recycled frame memory.
 func TestFixMissSteadyStateZeroAllocs(t *testing.T) {
 	const pages = 64
-	d := disk.New(disk.DefaultPageSize)
-	if _, err := d.Allocate(pages); err != nil {
-		t.Fatal(err)
-	}
-	p := New(d, 8, LRU)
-	// Warm up: touch every page once so index, free-lists and scratch
-	// buffers reach steady-state capacity.
-	for i := 0; i < pages; i++ {
-		if _, err := p.Fix(disk.PageID(i)); err != nil {
-			t.Fatal(err)
-		}
-		if err := p.Unfix(disk.PageID(i), false); err != nil {
-			t.Fatal(err)
-		}
-	}
-	next := 0
-	allocs := testing.AllocsPerRun(1000, func() {
-		id := disk.PageID(next % pages)
-		next++
-		f, err := p.Fix(id)
-		if err != nil {
-			t.Fatal(err)
-		}
-		_ = f
-		if err := p.Unfix(id, false); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs != 0 {
-		t.Errorf("steady-state miss path allocates %.1f objects per op, want 0", allocs)
+	for name, newDev := range testDevices(t) {
+		t.Run(name, func(t *testing.T) {
+			d := newDev()
+			defer d.Close()
+			if _, err := d.Allocate(pages); err != nil {
+				t.Fatal(err)
+			}
+			p := New(d, 8, LRU)
+			// Warm up: touch every page once so index, free-lists and scratch
+			// buffers reach steady-state capacity.
+			for i := 0; i < pages; i++ {
+				if _, err := p.Fix(disk.PageID(i)); err != nil {
+					t.Fatal(err)
+				}
+				if err := p.Unfix(disk.PageID(i), false); err != nil {
+					t.Fatal(err)
+				}
+			}
+			next := 0
+			allocs := testing.AllocsPerRun(1000, func() {
+				id := disk.PageID(next % pages)
+				next++
+				f, err := p.Fix(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_ = f
+				if err := p.Unfix(id, false); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state miss path allocates %.1f objects per op, want 0", allocs)
+			}
+		})
 	}
 }
 
@@ -80,33 +114,38 @@ func TestFixMissSteadyStateZeroAllocs(t *testing.T) {
 // scratch space has warmed up: no full-frame scan, no fresh victim slices.
 func TestFlushZeroAllocs(t *testing.T) {
 	const pages = 32
-	d := disk.New(disk.DefaultPageSize)
-	if _, err := d.Allocate(pages); err != nil {
-		t.Fatal(err)
-	}
-	p := New(d, pages, LRU)
-	dirtyAll := func() {
-		for i := 0; i < pages; i++ {
-			if _, err := p.Fix(disk.PageID(i)); err != nil {
+	for name, newDev := range testDevices(t) {
+		t.Run(name, func(t *testing.T) {
+			d := newDev()
+			defer d.Close()
+			if _, err := d.Allocate(pages); err != nil {
 				t.Fatal(err)
 			}
-			if err := p.Unfix(disk.PageID(i), true); err != nil {
+			p := New(d, pages, LRU)
+			dirtyAll := func() {
+				for i := 0; i < pages; i++ {
+					if _, err := p.Fix(disk.PageID(i)); err != nil {
+						t.Fatal(err)
+					}
+					if err := p.Unfix(disk.PageID(i), true); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			dirtyAll()
+			if err := p.FlushAll(); err != nil {
 				t.Fatal(err)
 			}
-		}
-	}
-	dirtyAll()
-	if err := p.FlushAll(); err != nil {
-		t.Fatal(err)
-	}
-	allocs := testing.AllocsPerRun(100, func() {
-		dirtyAll()
-		if err := p.FlushAll(); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs != 0 {
-		t.Errorf("flush cycle allocates %.1f objects per op, want 0", allocs)
+			allocs := testing.AllocsPerRun(100, func() {
+				dirtyAll()
+				if err := p.FlushAll(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("flush cycle allocates %.1f objects per op, want 0", allocs)
+			}
+		})
 	}
 }
 
@@ -140,5 +179,53 @@ func TestBufferMemoryRecycled(t *testing.T) {
 	// briefly-free spares), not by the 3*128 page visits.
 	if len(seen) > 2*capacity {
 		t.Errorf("pool handed out %d distinct page buffers for capacity %d; recycling broken", len(seen), capacity)
+	}
+}
+
+// TestDropDiscardsWithoutIO pins Drop's contract: resident frames leave
+// the pool with no disk traffic and no counter movement, dirty or not.
+func TestDropDiscardsWithoutIO(t *testing.T) {
+	d := disk.New(disk.DefaultPageSize)
+	if _, err := d.Allocate(4); err != nil {
+		t.Fatal(err)
+	}
+	p := New(d, 4, LRU)
+	for i := 0; i < 3; i++ {
+		if _, err := p.Fix(disk.PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Unfix(disk.PageID(i), i == 1); err != nil { // page 1 dirty
+			t.Fatal(err)
+		}
+	}
+	before := d.Stats()
+	if err := p.Drop([]disk.PageID{0, 1, 3}); err != nil { // 3 is non-resident
+		t.Fatal(err)
+	}
+	if after := d.Stats(); after != before {
+		t.Errorf("Drop moved device counters: %+v -> %+v", before, after)
+	}
+	if p.Contains(0) || p.Contains(1) {
+		t.Error("dropped pages still resident")
+	}
+	if !p.Contains(2) {
+		t.Error("unrelated page evicted by Drop")
+	}
+	// A dropped dirty page must not resurface at the next flush.
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats(); got.PagesWritten != 0 {
+		t.Errorf("dropped dirty page written back: %+v", got)
+	}
+	// Dropping a pinned page is refused.
+	if _, err := p.Fix(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Drop([]disk.PageID{2}); err == nil {
+		t.Error("Drop of pinned page succeeded")
+	}
+	if err := p.Unfix(2, false); err != nil {
+		t.Fatal(err)
 	}
 }

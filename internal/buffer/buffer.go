@@ -522,6 +522,35 @@ func (p *Pool) FlushPages(ids []disk.PageID) error {
 	return p.writeVictims()
 }
 
+// Drop discards the resident frames of the given pages without writing
+// them back, recycling their memory. It is the cache-coherence hook for
+// page recycling: when the free-space map hands a dead page to a new
+// object, any stale frame (clean or dirty — its content belongs to the
+// relocated object's old incarnation) must leave the pool before the new
+// image is written to the device directly. Dropping performs no I/O and
+// touches no counter. Non-resident pages are ignored; dropping a pinned
+// page is an error.
+func (p *Pool) Drop(ids []disk.PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, id := range ids {
+		f := p.frameAt(id)
+		if f == nil {
+			continue
+		}
+		if f.pins > 0 {
+			return fmt.Errorf("buffer: drop of pinned page %d", id)
+		}
+		p.remove(f)
+		p.index[f.ID] = nil
+		p.resident--
+		p.freeData = append(p.freeData, f.Data)
+		*f = Frame{}
+		p.freeFrames = append(p.freeFrames, f)
+	}
+	return nil
+}
+
 // Reset flushes all dirty pages and then empties the pool, so the next
 // queries start with a cold cache. Returns an error if a page is still
 // pinned.

@@ -1,0 +1,205 @@
+package disk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Backend is the storage substrate behind a Disk: one contiguous byte
+// arena holding every page image. The device layer owns all page-level
+// semantics (allocation, run transfers, I/O accounting); a backend only
+// decides where the arena bytes live — on the Go heap or mapped onto a
+// real file. Swapping backends therefore can never change the counters
+// the paper measures, only the persistence of the bytes.
+//
+// Backends are not safe for concurrent use; the owning Disk serializes
+// access under its own mutex.
+type Backend interface {
+	// Bytes returns the current arena. The slice stays valid until the
+	// next Grow or Close.
+	Bytes() []byte
+	// Grow extends the arena to exactly n bytes (n never shrinks) and
+	// returns the new arena slice. Fresh bytes are zeroed. The returned
+	// slice may alias different memory than the previous one.
+	Grow(n int) ([]byte, error)
+	// Flush persists the arena contents (no-op for memory backends).
+	Flush() error
+	// Close flushes and releases the backend. The arena slice is invalid
+	// afterwards.
+	Close() error
+}
+
+// memBackend keeps the arena on the Go heap: the zero-dependency default
+// matching the original in-memory device. Growth doubles capacity so the
+// allocator sees one object regardless of database size.
+type memBackend struct {
+	arena []byte
+}
+
+// NewMemBackend returns an in-memory arena backend.
+func NewMemBackend() Backend { return &memBackend{} }
+
+func (b *memBackend) Bytes() []byte { return b.arena }
+
+func (b *memBackend) Grow(n int) ([]byte, error) {
+	if n <= len(b.arena) {
+		return b.arena, nil
+	}
+	if n > cap(b.arena) {
+		grown := 2 * cap(b.arena)
+		if grown < n {
+			grown = n
+		}
+		arena := make([]byte, n, grown)
+		copy(arena, b.arena)
+		b.arena = arena
+	} else {
+		b.arena = b.arena[:n]
+	}
+	return b.arena, nil
+}
+
+func (b *memBackend) Flush() error { return nil }
+func (b *memBackend) Close() error { b.arena = nil; return nil }
+
+// BackendKind enumerates the built-in backend implementations.
+type BackendKind int
+
+const (
+	// MemArena keeps page images on the Go heap (default).
+	MemArena BackendKind = iota
+	// FileArena maps the page arena onto a real file, grown in
+	// page-aligned extents and flushed on Close.
+	FileArena
+)
+
+// String implements fmt.Stringer.
+func (k BackendKind) String() string {
+	switch k {
+	case MemArena:
+		return "mem"
+	case FileArena:
+		return "file"
+	default:
+		return fmt.Sprintf("BackendKind(%d)", int(k))
+	}
+}
+
+// BackendSpec describes how to construct a backend. Specs (not Backend
+// instances) are what flows through configuration: every engine opens its
+// own arena from the shared spec, so independent engines never collide.
+type BackendSpec struct {
+	Kind BackendKind
+	// Path names an explicit arena file (FileArena only). When set, the
+	// file is kept on Close and its existing contents are adopted.
+	Path string
+	// Dir is the directory for anonymous arena files (FileArena with no
+	// Path; "" means the OS temp directory). Anonymous arenas are
+	// removed on Close.
+	Dir string
+	// KeepFiles retains anonymous arena files on Close (diagnostics).
+	KeepFiles bool
+}
+
+// ParseBackendSpec parses the CLI/config syntax:
+//
+//	""            -> memory arena (default)
+//	"mem"         -> memory arena
+//	"file"        -> file arenas in the OS temp directory
+//	"file:DIR"    -> file arenas in DIR
+func ParseBackendSpec(s string) (BackendSpec, error) {
+	switch {
+	case s == "" || s == "mem":
+		return BackendSpec{Kind: MemArena}, nil
+	case s == "file":
+		return BackendSpec{Kind: FileArena}, nil
+	case strings.HasPrefix(s, "file:"):
+		return BackendSpec{Kind: FileArena, Dir: s[len("file:"):]}, nil
+	default:
+		return BackendSpec{}, fmt.Errorf("disk: unknown backend spec %q (want mem, file or file:DIR)", s)
+	}
+}
+
+// String renders the spec back in ParseBackendSpec syntax.
+func (s BackendSpec) String() string {
+	if s.Kind == FileArena {
+		if s.Path != "" {
+			return "file:" + s.Path
+		}
+		if s.Dir != "" {
+			return "file:" + s.Dir
+		}
+		return "file"
+	}
+	return "mem"
+}
+
+// Open constructs a fresh backend per the spec. FileArena specs without an
+// explicit Path create a uniquely named arena file, so one spec can open
+// arbitrarily many independent engines.
+func (s BackendSpec) Open() (Backend, error) {
+	switch s.Kind {
+	case MemArena:
+		return NewMemBackend(), nil
+	case FileArena:
+		if s.Path != "" {
+			return OpenFileBackend(s.Path, FileBackendOptions{})
+		}
+		dir := s.Dir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("disk: backend dir: %w", err)
+		}
+		f, err := os.CreateTemp(dir, "arena-*.pages")
+		if err != nil {
+			return nil, fmt.Errorf("disk: create arena file: %w", err)
+		}
+		path := f.Name()
+		f.Close()
+		return OpenFileBackend(path, FileBackendOptions{RemoveOnClose: !s.KeepFiles})
+	default:
+		return nil, fmt.Errorf("disk: unknown backend kind %d", int(s.Kind))
+	}
+}
+
+// FileBackendOptions tune the file-backed arena.
+type FileBackendOptions struct {
+	// ExtentBytes is the granularity the arena file grows in (rounded up
+	// to a multiple of the page size by the caller's layout; default
+	// DefaultExtentBytes). Growing in extents keeps the remap/truncate
+	// frequency O(log n) in the database size.
+	ExtentBytes int
+	// RemoveOnClose deletes the arena file on Close (anonymous arenas).
+	RemoveOnClose bool
+}
+
+// DefaultExtentBytes is the default arena-file growth granularity: 1 MiB,
+// i.e. 512 DASDBS pages per extent.
+const DefaultExtentBytes = 1 << 20
+
+func (o FileBackendOptions) extent() int {
+	if o.ExtentBytes > 0 {
+		return o.ExtentBytes
+	}
+	return DefaultExtentBytes
+}
+
+// roundUp rounds n up to a multiple of quantum.
+func roundUp(n, quantum int) int {
+	return (n + quantum - 1) / quantum * quantum
+}
+
+// removeIfRequested deletes an arena file if its options ask for it.
+func removeIfRequested(path string, o FileBackendOptions) error {
+	if !o.RemoveOnClose {
+		return nil
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("disk: remove arena %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}

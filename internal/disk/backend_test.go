@@ -1,0 +1,219 @@
+package disk
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"complexobj/internal/iostat"
+)
+
+// backends lists the built-in backends for table-driven device tests.
+func backends(t *testing.T) map[string]func() Backend {
+	t.Helper()
+	dir := t.TempDir()
+	n := 0
+	return map[string]func() Backend{
+		"mem": func() Backend { return NewMemBackend() },
+		"file": func() Backend {
+			n++
+			b, err := OpenFileBackend(filepath.Join(dir, "arena"+string(rune('0'+n))), FileBackendOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		},
+	}
+}
+
+// TestBackendGrowZeroes asserts fresh arena bytes read as zero on every
+// backend, the invariant Allocate's "fresh zeroed pages" contract rests on.
+func TestBackendGrowZeroes(t *testing.T) {
+	for name, open := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			b := open()
+			defer b.Close()
+			arena, err := b.Grow(4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(arena) != 4096 {
+				t.Fatalf("Grow(4096) returned %d bytes", len(arena))
+			}
+			for i, v := range arena {
+				if v != 0 {
+					t.Fatalf("fresh byte %d is %d, want 0", i, v)
+				}
+			}
+			copy(arena, []byte("mark"))
+			arena2, err := b.Grow(3 * DefaultExtentBytes / 2) // force a remap past one extent
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(arena2[:4]) != "mark" {
+				t.Fatalf("contents lost across grow: %q", arena2[:4])
+			}
+			for i, v := range arena2[4096:] {
+				if v != 0 {
+					t.Fatalf("grown byte %d is %d, want 0", 4096+i, v)
+				}
+			}
+		})
+	}
+}
+
+// TestFileBackendPersistsAcrossReopen pins the tentpole property: a device
+// over a file backend survives Close and reopens with identical pages and
+// identical page count.
+func TestFileBackendPersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arena.pages")
+	b, err := OpenFileBackend(path, FileBackendOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewWithBackend(DefaultPageSize, b)
+	if _, err := d.Allocate(7); err != nil {
+		t.Fatal(err)
+	}
+	img := make([]byte, DefaultPageSize)
+	for i := range img {
+		img[i] = byte(i % 251)
+	}
+	if err := d.WriteRun(3, [][]byte{img}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := st.Size(), int64(7*DefaultPageSize); got != want {
+		t.Fatalf("closed arena file is %d bytes, want %d (truncated to allocated pages)", got, want)
+	}
+
+	b2, err := OpenFileBackend(path, FileBackendOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(DefaultPageSize, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := d2.NumPages(); got != 7 {
+		t.Fatalf("reopened device has %d pages, want 7", got)
+	}
+	back, err := d2.ReadCopy(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back[0], img) {
+		t.Fatal("page image changed across close/reopen")
+	}
+	// Reopened devices keep allocating after the existing pages.
+	id, err := d2.Allocate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 7 {
+		t.Fatalf("post-reopen allocation starts at page %d, want 7", id)
+	}
+}
+
+// TestFileBackendRemoveOnClose asserts anonymous arenas clean up.
+func TestFileBackendRemoveOnClose(t *testing.T) {
+	spec := BackendSpec{Kind: FileArena, Dir: t.TempDir()}
+	b, err := spec.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Grow(DefaultPageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	left, err := os.ReadDir(spec.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("anonymous arena left %d files behind", len(left))
+	}
+}
+
+// TestParseBackendSpec pins the CLI syntax.
+func TestParseBackendSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want BackendSpec
+		err  bool
+	}{
+		{in: "", want: BackendSpec{Kind: MemArena}},
+		{in: "mem", want: BackendSpec{Kind: MemArena}},
+		{in: "file", want: BackendSpec{Kind: FileArena}},
+		{in: "file:/tmp/x", want: BackendSpec{Kind: FileArena, Dir: "/tmp/x"}},
+		{in: "mmap", err: true},
+	}
+	for _, c := range cases {
+		got, err := ParseBackendSpec(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseBackendSpec(%q): want error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseBackendSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBackendSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestDiskRestoreDump round-trips a device through DumpTo/Restore across
+// backend kinds and checks counters are untouched by both.
+func TestDiskRestoreDump(t *testing.T) {
+	src := New(512)
+	if _, err := src.Allocate(5); err != nil {
+		t.Fatal(err)
+	}
+	img := make([]byte, 512)
+	copy(img, []byte("snapshot me"))
+	if err := src.WriteRun(2, [][]byte{img}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.DumpTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, open := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			dst := NewWithBackend(512, open())
+			defer dst.Close()
+			if err := dst.Restore(bytes.NewReader(buf.Bytes()), 5); err != nil {
+				t.Fatal(err)
+			}
+			if got := dst.Stats(); got != (iostat.Stats{}) {
+				t.Fatalf("restore touched counters: %+v", got)
+			}
+			if dst.NumPages() != 5 {
+				t.Fatalf("restored %d pages, want 5", dst.NumPages())
+			}
+			back, err := dst.ReadCopy(2, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back[0], img) {
+				t.Fatal("restored page differs")
+			}
+		})
+	}
+}

@@ -15,11 +15,18 @@
 // memmoves over adjacent memory. ReadRun transfers into caller-provided
 // buffers (the buffer pool passes recycled frame memory), so the
 // steady-state read path performs no allocation at all.
+//
+// Where the arena bytes live is a pluggable Backend: the default keeps
+// them on the Go heap (the original in-memory device), the file backend
+// maps them onto a real file so a device survives the process. Backends
+// change only the storage substrate — allocation, run transfers and the
+// I/O counters are identical across backends by construction.
 package disk
 
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 
 	"complexobj/internal/iostat"
@@ -62,16 +69,39 @@ type Disk struct {
 	mu       sync.Mutex
 	pageSize int
 	numPages int
-	arena    []byte
+	backend  Backend
+	arena    []byte // backend.Bytes(), refreshed after every Grow
 	stats    iostat.Stats
 }
 
-// New creates a device with the given raw page size.
+// New creates a device with the given raw page size over the default
+// in-memory backend.
 func New(pageSize int) *Disk {
+	return NewWithBackend(pageSize, NewMemBackend())
+}
+
+// NewWithBackend creates an empty device whose arena lives on the given
+// backend. A non-empty backend (a reopened arena file) must go through
+// Open instead.
+func NewWithBackend(pageSize int, b Backend) *Disk {
 	if pageSize <= SysHeaderSize {
 		panic(fmt.Sprintf("disk: page size %d not larger than system header %d", pageSize, SysHeaderSize))
 	}
-	return &Disk{pageSize: pageSize}
+	return &Disk{pageSize: pageSize, backend: b, arena: b.Bytes()}
+}
+
+// Open adopts a backend that already holds page images (a persistent
+// arena file from an earlier run): every complete page in the arena is
+// considered allocated. The arena length must be an exact multiple of the
+// page size.
+func Open(pageSize int, b Backend) (*Disk, error) {
+	d := NewWithBackend(pageSize, b)
+	n := len(d.arena)
+	if n%pageSize != 0 {
+		return nil, fmt.Errorf("disk: arena of %d bytes is not a multiple of page size %d", n, pageSize)
+	}
+	d.numPages = n / pageSize
+	return d, nil
 }
 
 // PageSize returns the raw page size in bytes.
@@ -105,17 +135,11 @@ func (d *Disk) Allocate(n int) (PageID, error) {
 	defer d.mu.Unlock()
 	start := PageID(d.numPages)
 	need := (d.numPages + n) * d.pageSize
-	if need > cap(d.arena) {
-		grown := cap(d.arena) * 2
-		if grown < need {
-			grown = need
-		}
-		arena := make([]byte, need, grown)
-		copy(arena, d.arena)
-		d.arena = arena
-	} else {
-		d.arena = d.arena[:need]
+	arena, err := d.backend.Grow(need)
+	if err != nil {
+		return InvalidPage, err
 	}
+	d.arena = arena
 	d.numPages += n
 	return start, nil
 }
@@ -182,6 +206,59 @@ func (d *Disk) WriteRun(start PageID, pages [][]byte) error {
 	}
 	d.stats.WriteCalls++
 	d.stats.PagesWritten += int64(len(pages))
+	return nil
+}
+
+// Flush persists the arena through the backend (no-op for the memory
+// backend). Flushing is a durability action, not an I/O-call in the
+// paper's sense: the counters only track page traffic between device and
+// buffer pool.
+func (d *Disk) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.backend.Flush()
+}
+
+// Close flushes and releases the backend. The device must not be used
+// afterwards.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.arena = nil
+	return d.backend.Close()
+}
+
+// DumpTo streams the raw images of all allocated pages to w, without
+// touching the I/O counters (snapshots are a dictionary-level operation,
+// like allocation).
+func (d *Disk) DumpTo(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, err := w.Write(d.arena[:d.numPages*d.pageSize])
+	return err
+}
+
+// Restore bulk-loads numPages page images from r into an empty device,
+// without touching the I/O counters. Together with DumpTo it moves whole
+// databases between backends (the snapshot path).
+func (d *Disk) Restore(r io.Reader, numPages int) error {
+	if numPages < 0 {
+		return ErrBadRun
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.numPages != 0 {
+		return fmt.Errorf("disk: restore into non-empty device (%d pages)", d.numPages)
+	}
+	arena, err := d.backend.Grow(numPages * d.pageSize)
+	if err != nil {
+		return err
+	}
+	d.arena = arena
+	if _, err := io.ReadFull(r, d.arena[:numPages*d.pageSize]); err != nil {
+		return fmt.Errorf("disk: restore arena: %w", err)
+	}
+	d.numPages = numPages
 	return nil
 }
 

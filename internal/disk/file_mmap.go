@@ -1,0 +1,121 @@
+//go:build linux
+
+package disk
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// fileBackend maps the page arena onto a real file with mmap. The file is
+// grown in extents (ftruncate + remap), so the Disk's contiguous-arena
+// invariant — page p at arena[p*pageSize:(p+1)*pageSize] — holds on real
+// storage, and a run transfer is still a pair of memmoves. The mapping is
+// MAP_SHARED: stores land in the page cache immediately and Flush/Close
+// force them to the device with msync.
+type fileBackend struct {
+	f      *os.File
+	path   string
+	opts   FileBackendOptions
+	mapped []byte // the whole mapped extent capacity
+	size   int    // logical arena length (<= len(mapped))
+}
+
+// OpenFileBackend opens (creating if absent) a file-backed arena. An
+// existing file's contents are adopted: its size becomes the initial arena
+// length, which is how a persistent device is reopened across runs.
+func OpenFileBackend(path string, opts FileBackendOptions) (Backend, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disk: open arena file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: stat arena file: %w", err)
+	}
+	b := &fileBackend{f: f, path: path, opts: opts, size: int(st.Size())}
+	if b.size > 0 {
+		if err := b.remap(roundUp(b.size, opts.extent())); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// remap grows the file to cap bytes and maps it, replacing any previous
+// mapping. ftruncate zero-fills the extension, so fresh pages read as
+// zeroes just like heap allocation.
+func (b *fileBackend) remap(capBytes int) error {
+	if b.mapped != nil {
+		if err := syscall.Munmap(b.mapped); err != nil {
+			return fmt.Errorf("disk: munmap arena: %w", err)
+		}
+		b.mapped = nil
+	}
+	if err := b.f.Truncate(int64(capBytes)); err != nil {
+		return fmt.Errorf("disk: grow arena file: %w", err)
+	}
+	m, err := syscall.Mmap(int(b.f.Fd()), 0, capBytes,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return fmt.Errorf("disk: mmap arena: %w", err)
+	}
+	b.mapped = m
+	return nil
+}
+
+func (b *fileBackend) Bytes() []byte { return b.mapped[:b.size:b.size] }
+
+func (b *fileBackend) Grow(n int) ([]byte, error) {
+	if n > len(b.mapped) {
+		if err := b.remap(roundUp(n, b.opts.extent())); err != nil {
+			return nil, err
+		}
+	}
+	if n > b.size {
+		b.size = n
+	}
+	return b.Bytes(), nil
+}
+
+func (b *fileBackend) Flush() error {
+	if len(b.mapped) == 0 {
+		return nil
+	}
+	// The stdlib syscall package does not export Msync; issue it raw.
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&b.mapped[0])), uintptr(len(b.mapped)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return fmt.Errorf("disk: msync arena: %w", errno)
+	}
+	return nil
+}
+
+// Close syncs the mapping, unmaps, and truncates the file back to the
+// logical arena length so that a later OpenFileBackend sees exactly the
+// allocated pages (not the zero tail of the last extent). An anonymous
+// arena about to be deleted skips the sync — writeback for a file that
+// is unlinked two lines later is pure wasted blocking I/O.
+func (b *fileBackend) Close() error {
+	var firstErr error
+	keep := func(err error) {
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+	}
+	if b.mapped != nil {
+		if !b.opts.RemoveOnClose {
+			keep(b.Flush())
+		}
+		keep(syscall.Munmap(b.mapped))
+		b.mapped = nil
+	}
+	keep(b.f.Truncate(int64(b.size)))
+	keep(b.f.Close())
+	keep(removeIfRequested(b.path, b.opts))
+	return firstErr
+}

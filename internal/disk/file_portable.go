@@ -1,0 +1,88 @@
+//go:build !linux
+
+package disk
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// fileBackend is the portable (no mmap) file-backed arena: pages live in a
+// heap buffer and are written back to the arena file on Flush and Close.
+// It trades write-through coherence for portability; the Disk-level
+// semantics (zeroed growth, adoption of existing contents, flush on Close)
+// are identical to the mmap implementation, which the shared backend tests
+// pin.
+type fileBackend struct {
+	f     *os.File
+	path  string
+	opts  FileBackendOptions
+	arena []byte
+}
+
+// OpenFileBackend opens (creating if absent) a file-backed arena. An
+// existing file's contents are adopted as the initial arena.
+func OpenFileBackend(path string, opts FileBackendOptions) (Backend, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disk: open arena file: %w", err)
+	}
+	b := &fileBackend{f: f, path: path, opts: opts}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: stat arena file: %w", err)
+	}
+	if n := int(st.Size()); n > 0 {
+		b.arena = make([]byte, n, roundUp(n, opts.extent()))
+		if _, err := io.ReadFull(f, b.arena); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("disk: read arena file: %w", err)
+		}
+	}
+	return b, nil
+}
+
+func (b *fileBackend) Bytes() []byte { return b.arena }
+
+func (b *fileBackend) Grow(n int) ([]byte, error) {
+	if n <= len(b.arena) {
+		return b.arena, nil
+	}
+	if n > cap(b.arena) {
+		arena := make([]byte, n, roundUp(n, b.opts.extent()))
+		copy(arena, b.arena)
+		b.arena = arena
+	} else {
+		b.arena = b.arena[:n]
+	}
+	return b.arena, nil
+}
+
+func (b *fileBackend) Flush() error {
+	if _, err := b.f.WriteAt(b.arena, 0); err != nil {
+		return fmt.Errorf("disk: write arena file: %w", err)
+	}
+	if err := b.f.Truncate(int64(len(b.arena))); err != nil {
+		return fmt.Errorf("disk: truncate arena file: %w", err)
+	}
+	return b.f.Sync()
+}
+
+func (b *fileBackend) Close() error {
+	var firstErr error
+	keep := func(err error) {
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+	}
+	if !b.opts.RemoveOnClose {
+		// Skip the full-arena writeback for a file deleted two lines on.
+		keep(b.Flush())
+	}
+	keep(b.f.Close())
+	keep(removeIfRequested(b.path, b.opts))
+	b.arena = nil
+	return firstErr
+}

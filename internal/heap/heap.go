@@ -20,6 +20,7 @@ import (
 	"complexobj/internal/buffer"
 	"complexobj/internal/disk"
 	"complexobj/internal/page"
+	"complexobj/internal/wire"
 )
 
 // RID identifies a record: page and slot.
@@ -82,6 +83,39 @@ func (h *Heap) TuplesPerPage() float64 {
 		return 0
 	}
 	return float64(h.records) / float64(len(h.pages))
+}
+
+// AppendState serializes the heap's directory state (page list and record
+// accounting) for a database snapshot. The records themselves live in the
+// device pages and are not duplicated here.
+func (h *Heap) AppendState(b []byte) []byte {
+	b = wire.AppendU32(b, uint32(len(h.pages)))
+	for _, p := range h.pages {
+		b = wire.AppendU32(b, uint32(p))
+	}
+	b = wire.AppendU64(b, uint64(h.records))
+	b = wire.AppendU64(b, uint64(h.bytes))
+	return b
+}
+
+// RestoreState rebuilds the directory state from AppendState output. The
+// heap must be empty and its device must already hold the page images.
+func (h *Heap) RestoreState(r *wire.Reader) error {
+	if len(h.pages) != 0 || h.records != 0 {
+		return fmt.Errorf("heap %s: restore into non-empty heap", h.name)
+	}
+	n := r.Len(4) // one u32 PageID per page
+	pages := make([]disk.PageID, n)
+	for i := range pages {
+		pages[i] = disk.PageID(r.U32())
+	}
+	records := int(r.U64())
+	bytes := int64(r.U64())
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("heap %s: %w", h.name, err)
+	}
+	h.pages, h.records, h.bytes = pages, records, bytes
+	return nil
 }
 
 // Insert appends rec to the heap and returns its RID. Records of one

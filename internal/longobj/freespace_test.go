@@ -1,0 +1,164 @@
+package longobj
+
+import (
+	"testing"
+
+	"complexobj/internal/buffer"
+	"complexobj/internal/disk"
+)
+
+func newFreeStore(t *testing.T, poolPages int) (*disk.Disk, *buffer.Pool, *Store) {
+	t.Helper()
+	d := disk.New(disk.DefaultPageSize)
+	p := buffer.New(d, poolPages, buffer.LRU)
+	return d, p, New(d, p, "free_test")
+}
+
+// TestRelocationReachesStableDeviceSize is the free-space-map regression
+// test: a relocate-heavy UpdateObject-style workload (objects repeatedly
+// growing and shrinking across page-count boundaries) must stop growing
+// the device once the free map holds enough recycled runs, instead of
+// leaking every dead run forever.
+func TestRelocationReachesStableDeviceSize(t *testing.T) {
+	d, _, s := newFreeStore(t, 64)
+	const objects = 8
+	refs := make([]Ref, objects)
+	for i := range refs {
+		var err error
+		refs[i], err = s.Insert([]Component{comp(0, byte(i), 3000)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizes := []int{3000, 9000, 5000, 12000, 3000}
+	var after []int
+	for round, size := range sizes {
+		for i := range refs {
+			nref, err := s.Replace(refs[i], []Component{comp(0, byte(round), size)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs[i] = nref
+		}
+		after = append(after, d.NumPages())
+	}
+	// Re-run the same size cycle: the device must not grow again — every
+	// relocation is served from runs recycled in the first cycle.
+	stable := d.NumPages()
+	for round, size := range sizes {
+		for i := range refs {
+			nref, err := s.Replace(refs[i], []Component{comp(0, byte(round), size)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs[i] = nref
+		}
+	}
+	if got := d.NumPages(); got != stable {
+		t.Fatalf("device grew from %d to %d pages on the second size cycle (growth trace %v); free-space map not recycling", stable, got, after)
+	}
+	// Content sanity after heavy recycling.
+	for i, ref := range refs {
+		comps, err := s.ReadAll(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(comps) != 1 || len(comps[i%1].Data) != sizes[len(sizes)-1] {
+			t.Fatalf("object %d corrupted after recycling", i)
+		}
+	}
+}
+
+// TestFreeRunMerging checks adjacent freed runs coalesce, so a large
+// object can recycle the space of several smaller dead neighbours.
+func TestFreeRunMerging(t *testing.T) {
+	d, _, s := newFreeStore(t, 64)
+	a, err := s.Insert([]Component{comp(0, 1, 5000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Insert([]Component{comp(0, 2, 5000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Small || b.Small || a.Start+disk.PageID(a.Pages()) != b.Start {
+		t.Fatalf("setup: objects not adjacent large runs: %+v %+v", a, b)
+	}
+	s.freeLarge(a)
+	s.freeLarge(b)
+	if len(s.free) != 1 {
+		t.Fatalf("adjacent freed runs not merged: %+v", s.free)
+	}
+	if s.FreedPages() != a.Pages()+b.Pages() {
+		t.Fatalf("FreedPages = %d, want %d", s.FreedPages(), a.Pages()+b.Pages())
+	}
+	// An object spanning both dead runs fits without growing the device.
+	before := d.NumPages()
+	big, err := s.Insert([]Component{comp(0, 3, 11000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Small {
+		t.Fatal("big object unexpectedly small")
+	}
+	if got := d.NumPages(); got != before {
+		t.Fatalf("device grew %d -> %d despite a merged free run of sufficient size", before, got)
+	}
+	got, err := s.ReadAll(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Data) != 11000 {
+		t.Fatal("recycled object content mismatch")
+	}
+}
+
+// TestRecycledRunEvictsStaleFrames pins the cache-coherence contract: a
+// page that was resident (even dirty) when its object died must not
+// shadow the recycled page's new content.
+func TestRecycledRunEvictsStaleFrames(t *testing.T) {
+	_, pool, s := newFreeStore(t, 64)
+	ref, err := s.Insert([]Component{comp(0, 1, 5000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the object's pages resident and dirty via an in-place change.
+	if _, err := s.ReadAll(ref); err != nil {
+		t.Fatal(err)
+	}
+	same := make([]byte, 5000)
+	for i := range same {
+		same[i] = 0xAB
+	}
+	if err := s.ReplaceAll(ref, []Component{comp2(0, same)}); err != nil {
+		t.Fatal(err)
+	}
+	// Relocate (shrink): the old run goes to the free map while its dirty
+	// frames are still pooled.
+	nref, err := s.Replace(ref, []Component{comp(0, 9, 12000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nref == ref {
+		t.Fatal("object did not relocate")
+	}
+	// Recycle the dead run and read the new object back through the pool.
+	reref, err := s.Insert([]Component{comp(0, 7, 5000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reref.Start != ref.Start {
+		t.Fatalf("expected recycling of run %d, got %d", ref.Start, reref.Start)
+	}
+	got, err := s.ReadAll(reref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Tag != 0 || len(got[0].Data) != 5000 || got[0].Data[0] == 0xAB {
+		t.Fatal("stale pooled frame leaked into recycled page")
+	}
+	_ = pool
+}
+
+// comp2 builds a component from explicit bytes.
+func comp2(tag uint8, data []byte) Component { return Component{Tag: tag, Data: data} }

@@ -31,11 +31,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"complexobj/internal/buffer"
 	"complexobj/internal/disk"
 	"complexobj/internal/heap"
 	"complexobj/internal/page"
+	"complexobj/internal/wire"
 )
 
 // Component is one tagged piece of an object. Tags are defined by the
@@ -83,6 +85,12 @@ const dirEntry = 9
 const inlinePrologue = 2
 const inlineEntry = 3
 
+// pageRun is a contiguous run of recyclable pages in the free-space map.
+type pageRun struct {
+	start disk.PageID
+	n     int
+}
+
 // Store manages small and large objects over one device/pool pair.
 type Store struct {
 	dev    *disk.Disk
@@ -94,6 +102,12 @@ type Store struct {
 	dataPages   int
 	dataBytes   int64
 	freedPages  int
+	// free is the free-space map: the page runs released by relocating
+	// replacements, sorted by start and with adjacent runs merged. New
+	// large objects take a first fit from here before extending the
+	// device, so relocation-heavy workloads reach a stable device size
+	// instead of growing the arena unboundedly.
+	free []pageRun
 }
 
 // New creates a store whose small objects live in a shared heap called
@@ -206,7 +220,7 @@ func (s *Store) insertLarge(comps []Component) (Ref, error) {
 	if headerPages > 0xFFFF || dataPages > 0xFFFF {
 		return Ref{}, fmt.Errorf("longobj: object too large: %d header, %d data pages", headerPages, dataPages)
 	}
-	start, err := s.dev.Allocate(headerPages + dataPages)
+	start, err := s.claimRun(headerPages + dataPages)
 	if err != nil {
 		return Ref{}, err
 	}
@@ -545,18 +559,70 @@ func (s *Store) Replace(ref Ref, comps []Component) (Ref, error) {
 	return s.Insert(comps)
 }
 
-// freeLarge releases the accounting of a relocated large object. The
-// simulated device has no free-space map, so the pages themselves stay
-// allocated; FreedPages reports how many are dead.
+// freeLarge releases a relocated large object: its accounting is undone
+// and its page run enters the free-space map for recycling by a later
+// insert.
 func (s *Store) freeLarge(ref Ref) {
 	s.large--
 	s.headerPages -= int(ref.HeaderPages)
 	s.dataPages -= int(ref.DataPages)
-	s.freedPages += ref.Pages()
+	s.freeRun(ref.Start, ref.Pages())
 }
 
-// FreedPages returns the number of dead pages left behind by relocating
-// replacements (space a real system would recycle via a free-space map).
+// freeRun inserts [start, start+n) into the free-space map, keeping it
+// sorted by start and merging adjacent runs.
+func (s *Store) freeRun(start disk.PageID, n int) {
+	i := sort.Search(len(s.free), func(i int) bool { return s.free[i].start >= start })
+	s.free = append(s.free, pageRun{})
+	copy(s.free[i+1:], s.free[i:])
+	s.free[i] = pageRun{start: start, n: n}
+	if i+1 < len(s.free) && s.free[i].start+disk.PageID(s.free[i].n) == s.free[i+1].start {
+		s.free[i].n += s.free[i+1].n
+		s.free = append(s.free[:i+1], s.free[i+2:]...)
+	}
+	if i > 0 && s.free[i-1].start+disk.PageID(s.free[i-1].n) == s.free[i].start {
+		s.free[i-1].n += s.free[i].n
+		s.free = append(s.free[:i], s.free[i+1:]...)
+	}
+	s.freedPages += n
+}
+
+// claimRun produces a contiguous run of n pages for a new large object:
+// first fit from the free-space map, falling back to extending the device.
+// A recycled run is purged from the buffer pool first — its frames, clean
+// or dirty, describe the dead object and must not shadow the bulk write
+// of the new one.
+func (s *Store) claimRun(n int) (disk.PageID, error) {
+	for i := range s.free {
+		if s.free[i].n < n {
+			continue
+		}
+		start := s.free[i].start
+		if s.free[i].n == n {
+			s.free = append(s.free[:i], s.free[i+1:]...)
+		} else {
+			s.free[i].start += disk.PageID(n)
+			s.free[i].n -= n
+		}
+		s.freedPages -= n
+		ids := make([]disk.PageID, n)
+		for j := range ids {
+			ids[j] = start + disk.PageID(j)
+		}
+		if err := s.pool.Drop(ids); err != nil {
+			// Return the run to the map: a failed claim (a still-pinned
+			// stale frame) must not leak the pages out of the free space.
+			s.freeRun(start, n)
+			return disk.InvalidPage, err
+		}
+		return start, nil
+	}
+	return s.dev.Allocate(n)
+}
+
+// FreedPages returns the number of pages currently sitting in the
+// free-space map: dead space released by relocating replacements that the
+// next large-object inserts will recycle.
 func (s *Store) FreedPages() int { return s.freedPages }
 
 // ChangeComponent overwrites component idx in place with same-length data
@@ -632,6 +698,72 @@ func (s *Store) ChangeComponent(ref Ref, idx int, data []byte) (int, error) {
 		return 0, err
 	}
 	return len(ids), nil
+}
+
+// AppendState serializes the store's directory state — object and page
+// accounting plus the free-space map — for a database snapshot, followed
+// by the shared heap's state. The page images themselves travel with the
+// device arena.
+func (s *Store) AppendState(b []byte) []byte {
+	b = wire.AppendU64(b, uint64(s.large))
+	b = wire.AppendU64(b, uint64(s.headerPages))
+	b = wire.AppendU64(b, uint64(s.dataPages))
+	b = wire.AppendU64(b, uint64(s.dataBytes))
+	b = wire.AppendU64(b, uint64(s.freedPages))
+	b = wire.AppendU32(b, uint32(len(s.free)))
+	for _, r := range s.free {
+		b = wire.AppendU32(b, uint32(r.start))
+		b = wire.AppendU32(b, uint32(r.n))
+	}
+	return s.shared.AppendState(b)
+}
+
+// RestoreState rebuilds the directory state from AppendState output, over
+// a device that already holds the page images. The store must be empty.
+func (s *Store) RestoreState(r *wire.Reader) error {
+	if s.large != 0 || s.shared.NumRecords() != 0 {
+		return errors.New("longobj: restore into non-empty store")
+	}
+	s.large = int(r.U64())
+	s.headerPages = int(r.U64())
+	s.dataPages = int(r.U64())
+	s.dataBytes = int64(r.U64())
+	s.freedPages = int(r.U64())
+	n := r.Len(8) // u32 start + u32 length per free run
+	s.free = make([]pageRun, n)
+	for i := range s.free {
+		s.free[i] = pageRun{start: disk.PageID(r.U32()), n: int(r.U32())}
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("longobj: %w", err)
+	}
+	return s.shared.RestoreState(r)
+}
+
+// AppendRef serializes a Ref (9 bytes, either variant).
+func AppendRef(b []byte, ref Ref) []byte {
+	if ref.Small {
+		b = wire.AppendU8(b, 1)
+		b = wire.AppendU32(b, uint32(ref.RID.Page))
+		b = wire.AppendU16(b, ref.RID.Slot)
+		return wire.AppendU16(b, 0)
+	}
+	b = wire.AppendU8(b, 0)
+	b = wire.AppendU32(b, uint32(ref.Start))
+	b = wire.AppendU16(b, ref.HeaderPages)
+	return wire.AppendU16(b, ref.DataPages)
+}
+
+// ReadRef consumes a Ref appended by AppendRef.
+func ReadRef(r *wire.Reader) Ref {
+	small := r.U8() == 1
+	a := r.U32()
+	h := r.U16()
+	d := r.U16()
+	if small {
+		return Ref{Small: true, RID: heap.RID{Page: disk.PageID(a), Slot: h}}
+	}
+	return Ref{Start: disk.PageID(a), HeaderPages: h, DataPages: d}
 }
 
 func sortInts(xs []int) {

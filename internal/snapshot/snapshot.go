@@ -1,0 +1,313 @@
+// Package snapshot implements the .codb database snapshot format: a
+// container holding, per storage model, the raw device arena (every page
+// image) plus the model's directory metadata. Opening a snapshot restores
+// a loaded database without regenerating or reloading the benchmark
+// extension — and because the restored arena and directories are
+// bit-identical to the originals, every query measured against a restored
+// model produces exactly the counters of a fresh load (pinned by the
+// round-trip tests).
+//
+// Layout (all integers big-endian):
+//
+//	"CODB" | u16 version | u32 genLen | gen JSON | u16 modelCount
+//	repeated per model:
+//	  u8 kind | u32 pageSize | u32 numPages | u32 metaLen | meta | arena
+//
+// The generator configuration is stored in the header so that a consumer
+// (cotables -db) can verify the snapshot matches the requested extension
+// instead of silently measuring a different database.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"complexobj/cobench"
+	"complexobj/internal/store"
+)
+
+// Version is the current container format version.
+const Version = 1
+
+var magic = [4]byte{'C', 'O', 'D', 'B'}
+
+var (
+	// ErrFormat reports a malformed or wrong-version snapshot file.
+	ErrFormat = errors.New("snapshot: invalid snapshot file")
+	// ErrNoModel reports that the requested storage model is not in the
+	// snapshot.
+	ErrNoModel = errors.New("snapshot: model not in snapshot")
+)
+
+// Info describes a snapshot file's contents.
+type Info struct {
+	// Gen is the generator configuration the snapshot was built from.
+	Gen cobench.Config
+	// Kinds lists the stored models in file order.
+	Kinds []store.Kind
+	// PageSize is the device page size shared by all stored models.
+	PageSize int
+}
+
+// Write serializes the loaded models into path (atomically: a temp file
+// in the same directory is renamed over the target). Dirty pages are
+// flushed into the device first, so the arena is the authoritative state.
+func Write(path string, gen cobench.Config, models ...store.Model) error {
+	if len(models) == 0 {
+		return errors.New("snapshot: no models to write")
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".codb-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: create: %w", err)
+	}
+	defer func() {
+		tmp.Close()
+		os.Remove(tmp.Name())
+	}()
+	w := bufio.NewWriterSize(tmp, 1<<20)
+
+	genJSON, err := json.Marshal(gen)
+	if err != nil {
+		return fmt.Errorf("snapshot: encode gen config: %w", err)
+	}
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	var u16 [2]byte
+	var u32 [4]byte
+	putU16 := func(v uint16) error {
+		binary.BigEndian.PutUint16(u16[:], v)
+		_, err := w.Write(u16[:])
+		return err
+	}
+	putU32 := func(v uint32) error {
+		binary.BigEndian.PutUint32(u32[:], v)
+		_, err := w.Write(u32[:])
+		return err
+	}
+	if err := putU16(Version); err != nil {
+		return err
+	}
+	if err := putU32(uint32(len(genJSON))); err != nil {
+		return err
+	}
+	if _, err := w.Write(genJSON); err != nil {
+		return err
+	}
+	if err := putU16(uint16(len(models))); err != nil {
+		return err
+	}
+	for _, m := range models {
+		if err := m.Flush(); err != nil {
+			return fmt.Errorf("snapshot: flush %s: %w", m.Kind(), err)
+		}
+		meta, err := m.SnapshotMeta()
+		if err != nil {
+			return fmt.Errorf("snapshot: meta %s: %w", m.Kind(), err)
+		}
+		dev := m.Engine().Dev
+		if err := w.WriteByte(byte(m.Kind())); err != nil {
+			return err
+		}
+		if err := putU32(uint32(dev.PageSize())); err != nil {
+			return err
+		}
+		if err := putU32(uint32(dev.NumPages())); err != nil {
+			return err
+		}
+		if err := putU32(uint32(len(meta))); err != nil {
+			return err
+		}
+		if _, err := w.Write(meta); err != nil {
+			return err
+		}
+		if err := dev.DumpTo(w); err != nil {
+			return fmt.Errorf("snapshot: dump %s arena: %w", m.Kind(), err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	// CreateTemp's restrictive 0600 mode would survive the rename; align
+	// with ordinary data files so another user can replay the snapshot.
+	if err := tmp.Chmod(0o644); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// entry is one model's position inside a snapshot file.
+type entry struct {
+	kind     store.Kind
+	pageSize int
+	numPages int
+	metaLen  int
+	metaOff  int64 // file offset of the meta blob; arena follows
+}
+
+// parse reads the header and the entry table. Meta blobs and arenas are
+// skipped with Seek, so describing or opening one model of a paper-scale
+// snapshot never streams the other models' arenas through memory.
+func parse(f *os.File) (Info, []entry, error) {
+	var off int64
+	readN := func(n int) ([]byte, error) {
+		b := make([]byte, n)
+		if _, err := io.ReadFull(f, b); err != nil {
+			return nil, fmt.Errorf("%w: truncated at byte %d", ErrFormat, off)
+		}
+		off += int64(n)
+		return b, nil
+	}
+	head, err := readN(4)
+	if err != nil {
+		return Info{}, nil, err
+	}
+	if [4]byte(head) != magic {
+		return Info{}, nil, fmt.Errorf("%w: bad magic %q", ErrFormat, head)
+	}
+	vb, err := readN(2)
+	if err != nil {
+		return Info{}, nil, err
+	}
+	if v := binary.BigEndian.Uint16(vb); v != Version {
+		return Info{}, nil, fmt.Errorf("%w: version %d, want %d", ErrFormat, v, Version)
+	}
+	lb, err := readN(4)
+	if err != nil {
+		return Info{}, nil, err
+	}
+	genLen := int(binary.BigEndian.Uint32(lb))
+	if genLen > 1<<20 {
+		return Info{}, nil, fmt.Errorf("%w: gen config of %d bytes", ErrFormat, genLen)
+	}
+	genJSON, err := readN(genLen)
+	if err != nil {
+		return Info{}, nil, err
+	}
+	var info Info
+	if err := json.Unmarshal(genJSON, &info.Gen); err != nil {
+		return Info{}, nil, fmt.Errorf("%w: gen config: %v", ErrFormat, err)
+	}
+	cb, err := readN(2)
+	if err != nil {
+		return Info{}, nil, err
+	}
+	count := int(binary.BigEndian.Uint16(cb))
+	entries := make([]entry, 0, count)
+	for i := 0; i < count; i++ {
+		hdr, err := readN(1 + 4 + 4 + 4)
+		if err != nil {
+			return Info{}, nil, err
+		}
+		e := entry{
+			kind:     store.Kind(hdr[0]),
+			pageSize: int(binary.BigEndian.Uint32(hdr[1:])),
+			numPages: int(binary.BigEndian.Uint32(hdr[5:])),
+			metaLen:  int(binary.BigEndian.Uint32(hdr[9:])),
+			metaOff:  off,
+		}
+		if e.pageSize <= 0 || e.numPages < 0 {
+			return Info{}, nil, fmt.Errorf("%w: entry %d geometry", ErrFormat, i)
+		}
+		skip := int64(e.metaLen) + int64(e.numPages)*int64(e.pageSize)
+		if _, err := f.Seek(skip, io.SeekCurrent); err != nil {
+			return Info{}, nil, fmt.Errorf("%w: entry %d: %v", ErrFormat, i, err)
+		}
+		off += skip
+		entries = append(entries, e)
+		info.Kinds = append(info.Kinds, e.kind)
+		info.PageSize = e.pageSize
+	}
+	// Seek tolerates offsets past EOF; verify the last entry actually fits.
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return Info{}, nil, err
+	}
+	if end < off {
+		return Info{}, nil, fmt.Errorf("%w: file ends at %d, entries need %d", ErrFormat, end, off)
+	}
+	return info, entries, nil
+}
+
+// Stat describes a snapshot file without restoring anything.
+func Stat(path string) (Info, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Info{}, err
+	}
+	defer f.Close()
+	info, _, err := parse(f)
+	return info, err
+}
+
+// Open restores the model of the given kind from the snapshot. The
+// options select the runtime knobs (buffer size, policy, backend); the
+// page size comes from the snapshot and must not conflict with a non-zero
+// o.PageSize. The restored model starts with a cold cache and zeroed
+// counters, exactly like a freshly loaded one.
+func Open(path string, k store.Kind, o store.Options) (store.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	_, entries, err := parse(f)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.kind != k {
+			continue
+		}
+		if o.PageSize != 0 && o.PageSize != e.pageSize {
+			return nil, fmt.Errorf("snapshot: page size %d requested, snapshot has %d", o.PageSize, e.pageSize)
+		}
+		if o.CountIndexIO {
+			return nil, fmt.Errorf("snapshot: counted index I/O is rebuilt per run and cannot be restored")
+		}
+		o.PageSize = e.pageSize
+		eng, err := store.NewEngine(o)
+		if err != nil {
+			return nil, err
+		}
+		m, err := restoreInto(f, e, k, eng)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		return m, nil
+	}
+	return nil, fmt.Errorf("%w: %s in %s", ErrNoModel, k, filepath.Base(path))
+}
+
+func restoreInto(f *os.File, e entry, k store.Kind, eng *store.Engine) (store.Model, error) {
+	if _, err := f.Seek(e.metaOff, io.SeekStart); err != nil {
+		return nil, err
+	}
+	r := bufio.NewReaderSize(f, 1<<20)
+	meta := make([]byte, e.metaLen)
+	if _, err := io.ReadFull(r, meta); err != nil {
+		return nil, fmt.Errorf("%w: meta of %s", ErrFormat, e.kind)
+	}
+	if err := eng.Dev.Restore(r, e.numPages); err != nil {
+		return nil, fmt.Errorf("snapshot: restore %s arena: %w", e.kind, err)
+	}
+	m := store.NewWithEngine(k, eng)
+	if err := m.RestoreMeta(meta); err != nil {
+		return nil, fmt.Errorf("snapshot: restore %s meta: %w", e.kind, err)
+	}
+	return m, nil
+}

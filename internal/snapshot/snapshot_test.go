@@ -1,0 +1,159 @@
+package snapshot_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"complexobj/cobench"
+	"complexobj/internal/disk"
+	"complexobj/internal/snapshot"
+	"complexobj/internal/store"
+	"complexobj/internal/workload"
+)
+
+func testGen() cobench.Config { return cobench.DefaultConfig().WithN(70) }
+
+func loadModel(t *testing.T, k store.Kind, stations []*cobench.Station, spec disk.BackendSpec) store.Model {
+	t.Helper()
+	m, err := store.New(k, store.Options{BufferPages: 180, Backend: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(stations); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Engine().ColdCache(); err != nil {
+		t.Fatal(err)
+	}
+	m.Engine().ResetStats()
+	return m
+}
+
+func runAll(t *testing.T, m store.Model) []workload.Result {
+	t.Helper()
+	res, err := workload.NewRunner(m, cobench.Workload{Loops: 15, Samples: 5, Seed: 11}).RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSnapshotRoundTrip pins the acceptance property of the snapshot
+// format: write → close → open restores every storage model such that the
+// full query matrix produces counters bit-identical to the freshly loaded
+// original — on the memory and on the file backend.
+func TestSnapshotRoundTrip(t *testing.T) {
+	gen := testGen()
+	stations, err := cobench.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := store.AllKinds()
+
+	// Reference counters from freshly loaded models.
+	want := make(map[store.Kind][]workload.Result, len(kinds))
+	models := make([]store.Model, 0, len(kinds))
+	for _, k := range kinds {
+		m := loadModel(t, k, stations, disk.BackendSpec{})
+		want[k] = runAll(t, m)
+		models = append(models, m)
+	}
+
+	// Snapshot the (already queried) models: measurement must not have
+	// perturbed the on-device state in a way queries can observe.
+	path := filepath.Join(t.TempDir(), "round.codb")
+	if err := snapshot.Write(path, gen, models...); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range models {
+		if err := m.Engine().Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	info, err := snapshot.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Gen != gen {
+		t.Fatalf("Stat gen = %+v, want %+v", info.Gen, gen)
+	}
+	if len(info.Kinds) != len(kinds) {
+		t.Fatalf("Stat kinds = %v", info.Kinds)
+	}
+
+	for _, k := range kinds {
+		for _, spec := range []disk.BackendSpec{
+			{Kind: disk.MemArena},
+			{Kind: disk.FileArena, Dir: t.TempDir()},
+		} {
+			m, err := snapshot.Open(path, k, store.Options{BufferPages: 180, Backend: spec})
+			if err != nil {
+				t.Fatalf("open %s (%s): %v", k, spec, err)
+			}
+			got := runAll(t, m)
+			for i := range got {
+				if got[i].Stats != want[k][i].Stats {
+					t.Errorf("%s %s on %s backend: restored counters differ:\nfresh:    %+v\nrestored: %+v",
+						k, got[i].Query, spec, want[k][i].Stats, got[i].Stats)
+				}
+			}
+			if err := m.Engine().Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestSnapshotOpenMissingModel asserts the typed error for absent kinds.
+func TestSnapshotOpenMissingModel(t *testing.T) {
+	gen := testGen()
+	stations, err := cobench.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := loadModel(t, store.DSM, stations, disk.BackendSpec{})
+	defer m.Engine().Close()
+	path := filepath.Join(t.TempDir(), "one.codb")
+	if err := snapshot.Write(path, gen, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapshot.Open(path, store.DASDBSNSM, store.Options{}); !errors.Is(err, snapshot.ErrNoModel) {
+		t.Fatalf("want ErrNoModel, got %v", err)
+	}
+}
+
+// TestSnapshotRejectsGarbage asserts corrupt files fail cleanly.
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "garbage.codb")
+	if err := writeFile(path, []byte("NOTASNAPSHOT")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapshot.Stat(path); !errors.Is(err, snapshot.ErrFormat) {
+		t.Fatalf("want ErrFormat, got %v", err)
+	}
+}
+
+// TestSnapshotPageSizeConflict asserts a mismatched explicit page size is
+// rejected instead of silently reinterpreting the arena.
+func TestSnapshotPageSizeConflict(t *testing.T) {
+	gen := testGen()
+	stations, err := cobench.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := loadModel(t, store.DSM, stations, disk.BackendSpec{})
+	defer m.Engine().Close()
+	path := filepath.Join(t.TempDir(), "ps.codb")
+	if err := snapshot.Write(path, gen, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapshot.Open(path, store.DSM, store.Options{PageSize: 4096}); err == nil {
+		t.Fatal("conflicting page size accepted")
+	}
+}
+
+func writeFile(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }

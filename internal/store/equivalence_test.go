@@ -47,7 +47,7 @@ func TestQuickCrossModelEquivalence(t *testing.T) {
 		}
 		models := make([]Model, 0, len(AllKinds()))
 		for _, k := range AllKinds() {
-			m := New(k, Options{BufferPages: 64})
+			m := mustNew(k, Options{BufferPages: 64})
 			if err := m.Load(stations); err != nil {
 				t.Logf("%s load: %v", k, err)
 				return false
@@ -111,7 +111,7 @@ func TestQuickUpdateObjectEquivalence(t *testing.T) {
 		}
 		models := make([]Model, 0, len(AllKinds()))
 		for _, k := range AllKinds() {
-			m := New(k, Options{BufferPages: 64})
+			m := mustNew(k, Options{BufferPages: 64})
 			if err := m.Load(stations); err != nil {
 				return false
 			}

@@ -85,6 +85,10 @@ type Options struct {
 	// addresses", §5.1); this option quantifies that accounting choice
 	// (see experiments.IndexAblation). Only NSMIndex honours it.
 	CountIndexIO bool
+	// Backend selects where the device arena lives (zero value: memory).
+	// The backend never changes the measured counters, only where the
+	// page bytes are stored.
+	Backend disk.BackendSpec
 }
 
 // DefaultOptions mirrors the paper's installation.
@@ -109,15 +113,43 @@ type Engine struct {
 	opts Options
 }
 
-// NewEngine creates a fresh device/pool pair.
-func NewEngine(o Options) *Engine {
+// NewEngine creates a device/pool pair over the backend named by the
+// options. A backend that already holds page images (an explicit-path
+// arena file from an earlier run) is adopted: its pages count as
+// allocated, so fresh allocations extend the persisted device instead of
+// aliasing it.
+func NewEngine(o Options) (*Engine, error) {
 	o = o.withDefaults()
-	dev := disk.New(o.PageSize)
-	return &Engine{Dev: dev, Pool: buffer.New(dev, o.BufferPages, o.Policy), opts: o}
+	b, err := o.Backend.Open()
+	if err != nil {
+		return nil, err
+	}
+	var dev *disk.Disk
+	if len(b.Bytes()) > 0 {
+		dev, err = disk.Open(o.PageSize, b)
+		if err != nil {
+			b.Close()
+			return nil, err
+		}
+	} else {
+		dev = disk.NewWithBackend(o.PageSize, b)
+	}
+	return &Engine{Dev: dev, Pool: buffer.New(dev, o.BufferPages, o.Policy), opts: o}, nil
 }
 
 // Options returns the engine's effective options.
 func (e *Engine) Options() Options { return e.opts }
+
+// Close flushes all dirty pages and releases the device backend
+// (unmapping and, for anonymous file arenas, deleting the arena file).
+// The engine must not be used afterwards.
+func (e *Engine) Close() error {
+	flushErr := e.Pool.FlushAll()
+	if err := e.Dev.Close(); err != nil {
+		return err
+	}
+	return flushErr
+}
 
 // Stats combines device and pool counters into one snapshot.
 func (e *Engine) Stats() iostat.Stats {
@@ -218,11 +250,31 @@ type Model interface {
 	Flush() error
 	// Sizes reports the physical layout for Table 2.
 	Sizes() SizeReport
+	// SnapshotMeta serializes the model's directory metadata — address
+	// tables, heap/long-object directories, per-relation accounting —
+	// so that a snapshot of the device arena plus this blob restores the
+	// loaded model without regenerating and reloading the extension.
+	SnapshotMeta() ([]byte, error)
+	// RestoreMeta rebuilds the directory metadata from SnapshotMeta
+	// output. The model must be freshly constructed and its engine's
+	// device must already hold the snapshot's page images.
+	RestoreMeta(meta []byte) error
 }
 
 // New constructs a model of the given kind over a fresh engine.
-func New(k Kind, o Options) Model {
-	e := NewEngine(o)
+func New(k Kind, o Options) (Model, error) {
+	e, err := NewEngine(o)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithEngine(k, e), nil
+}
+
+// NewWithEngine constructs a model over an existing (empty) engine; the
+// engine's options supply the model knobs. This is the snapshot-restore
+// entry point: the caller populates the device first, then calls
+// RestoreMeta.
+func NewWithEngine(k Kind, e *Engine) Model {
 	switch k {
 	case DSM:
 		return newDirect(e, false)
@@ -232,7 +284,7 @@ func New(k Kind, o Options) Model {
 		return newNSM(e, false)
 	case NSMIndex:
 		m := newNSM(e, true)
-		m.countIndexIO = o.CountIndexIO
+		m.countIndexIO = e.opts.CountIndexIO
 		return m
 	case DASDBSNSM:
 		return newDNSM(e)

@@ -22,7 +22,7 @@ func testExtension(t *testing.T, n int) []*cobench.Station {
 // loadModel builds and loads a model over a fresh engine.
 func loadModel(t *testing.T, k Kind, stations []*cobench.Station) Model {
 	t.Helper()
-	m := New(k, Options{BufferPages: 256})
+	m := mustNew(k, Options{BufferPages: 256})
 	if err := m.Load(stations); err != nil {
 		t.Fatalf("%s load: %v", k, err)
 	}
@@ -225,7 +225,7 @@ func TestUpdateRootsAllModels(t *testing.T) {
 
 func TestErrorsOnEmptyAndBadIndex(t *testing.T) {
 	for _, k := range AllKinds() {
-		m := New(k, Options{BufferPages: 16})
+		m := mustNew(k, Options{BufferPages: 16})
 		if _, err := m.FetchByKey(1); !errors.Is(err, ErrNotLoaded) {
 			t.Errorf("%s: FetchByKey empty err = %v", k, err)
 		}
@@ -612,7 +612,7 @@ func TestUpdateObjectErrors(t *testing.T) {
 		t.Errorf("mutate error not propagated: %v", err)
 	}
 	// Counted-index NSM rejects structural updates (append-only B+-trees).
-	mi := New(NSMIndex, Options{BufferPages: 128, CountIndexIO: true})
+	mi := mustNew(NSMIndex, Options{BufferPages: 128, CountIndexIO: true})
 	if err := mi.Load(stations); err != nil {
 		t.Fatal(err)
 	}
@@ -656,4 +656,14 @@ func TestUpdateObjectRelocationAccounting(t *testing.T) {
 	if len(got.Seeings) != len(stations[0].Seeings)+25 {
 		t.Error("relocated object content wrong")
 	}
+}
+
+// mustNew builds a model over a fresh in-memory engine; construction
+// cannot fail for the memory backend.
+func mustNew(k Kind, o Options) Model {
+	m, err := New(k, o)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

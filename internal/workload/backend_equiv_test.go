@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"testing"
+
+	"complexobj/cobench"
+	"complexobj/internal/disk"
+	"complexobj/internal/store"
+)
+
+// TestBackendCounterEquivalence is the tentpole invariant test at the raw
+// counter level: the full paper query matrix, run on every storage model,
+// produces bit-identical iostat counters (page I/Os, I/O calls, buffer
+// fixes and hits) whether the device arena lives in memory or on a
+// mmap'ed file. The backend moves bytes, never measurements.
+func TestBackendCounterEquivalence(t *testing.T) {
+	stations, err := cobench.Generate(cobench.DefaultConfig().WithN(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cobench.Workload{Loops: 20, Samples: 6, Seed: 7}
+	for _, k := range store.AllKinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			run := func(spec disk.BackendSpec) []Result {
+				m, err := store.New(k, store.Options{BufferPages: 200, Backend: spec})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer m.Engine().Close()
+				if err := m.Load(stations); err != nil {
+					t.Fatal(err)
+				}
+				results, err := NewRunner(m, w).RunAll()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return results
+			}
+			mem := run(disk.BackendSpec{Kind: disk.MemArena})
+			file := run(disk.BackendSpec{Kind: disk.FileArena, Dir: t.TempDir()})
+			if len(mem) != len(file) {
+				t.Fatalf("result counts differ: %d vs %d", len(mem), len(file))
+			}
+			for i := range mem {
+				if mem[i].Stats != file[i].Stats {
+					t.Errorf("%s %s: counters differ across backends:\nmem:  %+v\nfile: %+v",
+						k, mem[i].Query, mem[i].Stats, file[i].Stats)
+				}
+				if mem[i].Supported != file[i].Supported || mem[i].Units != file[i].Units {
+					t.Errorf("%s %s: normalization differs across backends", k, mem[i].Query)
+				}
+			}
+		})
+	}
+}

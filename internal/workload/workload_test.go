@@ -15,7 +15,7 @@ func loadedRunner(t *testing.T, k store.Kind, n int) *Runner {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := store.New(k, store.Options{BufferPages: 256})
+	m := mustNew(k, store.Options{BufferPages: 256})
 	if err := m.Load(stations); err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestDeterministicResults(t *testing.T) {
 }
 
 func TestRunOnEmptyModelFails(t *testing.T) {
-	m := store.New(store.DSM, store.Options{BufferPages: 16})
+	m := mustNew(store.DSM, store.Options{BufferPages: 16})
 	r := NewRunner(m, cobench.DefaultWorkload())
 	if _, err := r.Run(cobench.Q1a); err == nil {
 		t.Error("query on empty model succeeded")
@@ -172,7 +172,7 @@ func TestLoopsDefaultFromDatabaseSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := store.New(store.DASDBSNSM, store.Options{BufferPages: 128})
+	m := mustNew(store.DASDBSNSM, store.Options{BufferPages: 128})
 	if err := m.Load(stations); err != nil {
 		t.Fatal(err)
 	}
@@ -237,4 +237,14 @@ func TestSampleSchedulesAreQuerySpecific(t *testing.T) {
 			t.Fatal("sample schedule not deterministic")
 		}
 	}
+}
+
+// mustNew builds a model over a fresh in-memory engine; construction
+// cannot fail for the memory backend.
+func mustNew(k store.Kind, o store.Options) store.Model {
+	m, err := store.New(k, o)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
