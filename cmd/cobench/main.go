@@ -6,7 +6,7 @@
 //	cobench [-model all|dsm|ddsm|nsm|nsmx|dnsm] [-query all|1a|1b|1c|2a|2b|3a|3b]
 //	        [-n 1500] [-buffer 1200] [-loops 300] [-samples 40] [-seed 1993]
 //	        [-skew] [-maxseeing 15] [-metric pages|calls|fixes|writes]
-//	        [-workers 0] [-backend mem|file|file:DIR] [-db snapshot.codb]
+//	        [-workers 0] [-backend mem|file|file:DIR|cow] [-db snapshot.codb]
 //
 // Each storage model owns an independent simulated engine, so the model
 // rows are measured concurrently by a bounded worker pool (-workers, 0 =
@@ -40,7 +40,7 @@ func main() {
 		maxSeeing = flag.Int("maxseeing", 15, "maximum sightseeings per station")
 		metric    = flag.String("metric", "pages", "reported metric: pages, calls, fixes or writes")
 		workers   = flag.Int("workers", 0, "concurrent model workers (0 = GOMAXPROCS, 1 = serial)")
-		backend   = flag.String("backend", "mem", "device backend: mem, file or file:DIR")
+		backend   = flag.String("backend", "mem", "device backend: mem, file, file:DIR or cow")
 		dbPath    = flag.String("db", "", "restore models from this cogen-built .codb snapshot instead of generating")
 	)
 	flag.Parse()

@@ -6,21 +6,27 @@
 //
 //	cotables [-format text|markdown|csv] [-out DIR]
 //	         [-n 1500] [-buffer 1200] [-loops 300] [-seed 1993] [-clock]
-//	         [-only table4,fig6] [-workers 0]
-//	         [-backend mem|file|file:DIR] [-db snapshot.codb]
+//	         [-only table4,fig6] [-list] [-workers 0]
+//	         [-backend mem|file|file:DIR|cow] [-db snapshot.codb]
 //
 // The measurement matrix behind Tables 4-6 and 8 and the sweep
 // experiments are computed by bounded worker pools with independent
 // engines (-workers, 0 = GOMAXPROCS); the emitted tables are identical to
 // a serial run. -backend selects where the simulated devices keep their
-// page images (the counters are identical across backends). -db opens a
-// cogen-built snapshot for the default-extension models instead of
-// regenerating and reloading them; combined with -only (sections are only
-// computed when they match the filter), e.g.
+// page images (the counters are identical across backends); with
+// "-backend cow" the parallel matrix shares one immutable loaded
+// extension per storage model across all workers (copy-on-write views),
+// so memory no longer scales with -workers. -db opens a cogen-built
+// snapshot for the default-extension models instead of regenerating and
+// reloading them; combined with -only (sections are only computed when
+// they match the filter), e.g.
 //
 //	cotables -db bench.codb -only 'table 4,table 5,table 6'
 //
 // reproduces the measured tables without generating the extension at all.
+//
+// -list prints every section title the registry can produce (the strings
+// -only matches against, substring, case-insensitive) and exits.
 package main
 
 import (
@@ -54,12 +60,18 @@ func run() error {
 		seed    = flag.Uint64("seed", 1993, "generator seed")
 		clock   = flag.Bool("clock", false, "use Clock replacement instead of LRU (ablation)")
 		only    = flag.String("only", "", "comma-separated filter over table titles (e.g. 'table 4,figure 6'); unmatched sections are not computed")
+		list    = flag.Bool("list", false, "print every section title -only can match, then exit")
 		charts  = flag.Bool("charts", false, "append ASCII charts of Figures 5 and 6")
 		workers = flag.Int("workers", 0, "concurrent workers for the measurement matrix and sweeps (0 = GOMAXPROCS, 1 = serial)")
-		backend = flag.String("backend", "mem", "device backend: mem, file or file:DIR")
+		backend = flag.String("backend", "mem", "device backend: mem, file, file:DIR or cow (workers share one loaded extension copy-on-write)")
 		dbPath  = flag.String("db", "", "open this cogen-built .codb snapshot for the default-extension models instead of regenerating")
 	)
 	flag.Parse()
+
+	if *list {
+		fmt.Print(listSections())
+		return nil
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Gen.N = *n
@@ -116,6 +128,27 @@ func run() error {
 		fmt.Printf("wrote %s\n", path)
 	}
 	return nil
+}
+
+// listSections renders the full section registry: one line per table or
+// figure the harness can produce, in paper order, grouped by section (a
+// section is the unit -only computes or skips as a whole). Titles ending
+// in "..." in the source embed computed values; -only matches on the
+// static prefix printed here.
+func listSections() string {
+	var b strings.Builder
+	b.WriteString("Sections (-only matches these titles, case-insensitive substring;\n")
+	b.WriteString("a section is computed only if one of its titles matches):\n")
+	for i, sec := range experiments.Sections() {
+		for j, title := range sec.Titles {
+			if j == 0 {
+				fmt.Fprintf(&b, "%3d. %s\n", i+1, title)
+			} else {
+				fmt.Fprintf(&b, "     %s\n", title)
+			}
+		}
+	}
+	return b.String()
 }
 
 // filterTerms parses the -only value into lowercase substring terms; nil

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
+	"complexobj/experiments"
 	"complexobj/report"
 )
 
@@ -76,5 +78,27 @@ func TestSectionMatches(t *testing.T) {
 	}
 	if matches(titles, "figure 6") {
 		t.Error("filter matched an undeclared title")
+	}
+}
+
+// TestListSections pins the -list output against the registry: every
+// declared section title appears exactly once, so -only users can copy
+// filters straight from the listing.
+func TestListSections(t *testing.T) {
+	out := listSections()
+	for _, sec := range experiments.Sections() {
+		for _, title := range sec.Titles {
+			if !strings.Contains(out, title) {
+				t.Errorf("-list output missing title %q", title)
+			}
+			if strings.Count(out, title) != 1 {
+				t.Errorf("-list output repeats title %q", title)
+			}
+			// Every listed title must survive its own round trip through
+			// the -only matcher.
+			if !matches(sec.Titles, title) {
+				t.Errorf("title %q does not match itself as an -only filter", title)
+			}
+		}
 	}
 }

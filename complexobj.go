@@ -108,9 +108,11 @@ type Options struct {
 	CountIndexIO bool
 	// Backend selects where the simulated device keeps its page images:
 	// "" or "mem" for the in-memory arena (default), "file" for an arena
-	// file in the OS temp directory, or "file:DIR" for an arena file in
-	// DIR. The backend changes only where the bytes live; the measured
-	// counters are bit-identical across backends.
+	// file in the OS temp directory, "file:DIR" for an arena file in DIR,
+	// or "cow" for a copy-on-write overlay arena (reads shared through an
+	// immutable base where one exists — see OpenBase and DB.Freeze — and
+	// private page copies for writes). The backend changes only where the
+	// bytes live; the measured counters are bit-identical across backends.
 	Backend string
 }
 
@@ -213,16 +215,94 @@ func WriteSnapshot(path string, gen cobench.Config, dbs ...*DB) error {
 // skipping generation and loading entirely. The restored database starts
 // with a cold cache and zeroed counters and measures bit-identically to a
 // freshly loaded one.
+//
+// With Options.Backend "cow" this takes the shared-base fast path: the
+// snapshot arena is read once into an immutable base and the database is
+// a copy-on-write view of it — equivalent to OpenBase + Base.Open, for
+// callers who only need one view.
 func OpenSnapshot(path string, kind ModelKind, opts Options) (*DB, error) {
 	so, err := opts.internal()
 	if err != nil {
 		return nil, err
+	}
+	if so.Backend.Kind == disk.COWArena {
+		base, err := OpenBase(path, kind)
+		if err != nil {
+			return nil, err
+		}
+		return base.Open(opts)
 	}
 	m, err := snapshot.Open(path, kind.internal(), so)
 	if err != nil {
 		return nil, err
 	}
 	return &DB{kind: kind, model: m}, nil
+}
+
+// Base is the frozen, immutable state of one loaded database: the device
+// arena plus the model's directory metadata. Opening a Base yields an
+// independent database that reads through the shared arena and keeps its
+// writes in a private copy-on-write overlay, so n open views cost one
+// loaded extension plus only the pages each view actually dirties. Views
+// are independent databases (each with its own engine and counters) and
+// may be used from different goroutines; the Base itself is immutable and
+// safe to share.
+type Base struct {
+	kind ModelKind
+	base *store.SharedBase
+}
+
+// OpenBase reads one storage model of a .codb snapshot into a shareable
+// base, paying the arena read exactly once.
+func OpenBase(path string, kind ModelKind) (*Base, error) {
+	b, err := snapshot.OpenBase(path, kind.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Base{kind: kind, base: b}, nil
+}
+
+// Freeze copies the database's current state into an immutable Base
+// (flushing dirty pages as a side effect). The database keeps working;
+// the Base never observes later changes.
+func (db *DB) Freeze() (*Base, error) {
+	b, err := store.Freeze(db.model)
+	if err != nil {
+		return nil, err
+	}
+	return &Base{kind: db.kind, base: b}, nil
+}
+
+// Kind returns the storage model the base holds.
+func (b *Base) Kind() ModelKind { return b.kind }
+
+// NumPages returns the number of frozen pages.
+func (b *Base) NumPages() int { return b.base.NumPages() }
+
+// ArenaBytes returns the size of the shared arena in bytes — paid once no
+// matter how many views are open.
+func (b *Base) ArenaBytes() int { return b.base.ArenaBytes() }
+
+// Open builds a database over a fresh copy-on-write view of the base.
+// opts.Backend must be empty, "mem" (the parse default, treated the
+// same) or "cow" — a view's substrate is by definition the COW overlay,
+// so file backends are rejected; opts.CountIndexIO is rejected, like for
+// snapshots, because counted indexes are rebuilt per run. The view starts
+// with a cold cache and zeroed counters and measures bit-identically to a
+// freshly loaded database.
+func (b *Base) Open(opts Options) (*DB, error) {
+	so, err := opts.internal()
+	if err != nil {
+		return nil, err
+	}
+	if so.Backend.Kind != disk.MemArena && so.Backend.Kind != disk.COWArena {
+		return nil, fmt.Errorf("complexobj: backend %q cannot open a shared base (views are copy-on-write)", opts.Backend)
+	}
+	m, err := b.base.Open(so)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{kind: b.kind, model: m}, nil
 }
 
 // SnapshotInfo describes a .codb snapshot file.

@@ -286,3 +286,93 @@ func TestUpdateObjectFacade(t *testing.T) {
 		t.Error("counter not refreshed")
 	}
 }
+
+// TestBaseFacade exercises the shared-base surface end to end: freeze a
+// loaded database, open independent copy-on-write views, check isolation
+// between them, and restore a view from a snapshot through both OpenBase
+// and the OpenSnapshot cow fast path.
+func TestBaseFacade(t *testing.T) {
+	db := smallDB(t, DASDBSNSM)
+	defer db.Close()
+	base, err := db.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Kind() != DASDBSNSM || base.NumPages() == 0 ||
+		base.ArenaBytes() != base.NumPages()*2048 {
+		t.Fatalf("base geometry: kind=%s pages=%d bytes=%d", base.Kind(), base.NumPages(), base.ArenaBytes())
+	}
+
+	writer, err := base.Open(Options{BufferPages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+	reader, err := base.Open(Options{BufferPages: 128, Backend: "cow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reader.Close()
+	if writer.NumObjects() != 80 || reader.NumObjects() != 80 {
+		t.Fatalf("views lost objects: %d/%d", writer.NumObjects(), reader.NumObjects())
+	}
+
+	key := cobench.KeyOf(7)
+	if err := writer.UpdateRoots([]int32{7}, func(i int32, r *cobench.RootRecord) {
+		r.Name = "written through view"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := writer.FetchByKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "written through view" {
+		t.Error("writer view does not observe its own update")
+	}
+	other, err := reader.FetchByKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Name == "written through view" {
+		t.Error("sibling view observes writer's update")
+	}
+
+	// File backends cannot be views of a base.
+	if _, err := base.Open(Options{Backend: "file"}); err == nil {
+		t.Error("file backend accepted for a base view")
+	}
+
+	// Snapshot round trip through both cow restore paths.
+	path := t.TempDir() + "/facade.codb"
+	gen := cobench.DefaultConfig().WithN(80)
+	if err := WriteSnapshot(path, gen, db); err != nil {
+		t.Fatal(err)
+	}
+	fromBase, err := OpenBase(path, DASDBSNSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := fromBase.Open(Options{BufferPages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+	v2, err := OpenSnapshot(path, DASDBSNSM, Options{BufferPages: 128, Backend: "cow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	for name, v := range map[string]*DB{"OpenBase": v1, "OpenSnapshot-cow": v2} {
+		s, err := v.FetchByKey(key)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Key != key {
+			t.Errorf("%s: wrong station restored", name)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"complexobj/internal/disk"
+	"complexobj/internal/snapshot"
+	"complexobj/internal/store"
+)
+
+// diskCOWStats reports the COW memory split of a model's engine.
+func diskCOWStats(m store.Model) (disk.COWStats, bool) {
+	return disk.COWStatsOf(m.Engine().Dev.Backend())
+}
+
+// TestMatrixSharedBaseDeterminism is the tentpole acceptance test: the
+// 8-worker matrix over shared copy-on-write bases produces rows
+// bit-identical to the serial run on the memory backend — the three-way
+// (mem vs file vs cow) closure of the backend-equivalence guarantee at
+// matrix level, with the sharing actually engaged (workers > 1).
+func TestMatrixSharedBaseDeterminism(t *testing.T) {
+	serialCfg := smallConfig()
+	serialCfg.Backend = "mem"
+	serialCfg.Workers = 1
+	serialSuite := New(serialCfg)
+	defer serialSuite.Close()
+	serial, err := serialSuite.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg := smallConfig()
+		cfg.Backend = "cow"
+		cfg.Workers = workers
+		cowSuite := New(cfg)
+		cow, err := cowSuite.Matrix()
+		if err != nil {
+			cowSuite.Close()
+			t.Fatalf("cow workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial.Rows, cow.Rows) {
+			t.Errorf("cow workers=%d: matrix differs from serial/mem", workers)
+		}
+		cowSuite.Close()
+	}
+}
+
+// TestMatrixSharedBaseFromSnapshot pins the snapshot variant: workers
+// opening COW views of a base read once from a .codb file measure
+// identically to freshly loaded private engines.
+func TestMatrixSharedBaseFromSnapshot(t *testing.T) {
+	cfg := smallConfig()
+	freshSuite := New(cfg)
+	defer freshSuite.Close()
+	fresh, err := freshSuite.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stations, err := freshSuite.extension()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var models []store.Model
+	for _, k := range store.AllKinds() {
+		m, err := store.New(k, store.Options{BufferPages: cfg.BufferPages})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Engine().Close()
+		if err := m.Load(stations); err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	path := filepath.Join(t.TempDir(), "cow.codb")
+	if err := snapshot.Write(path, cfg.Gen, models...); err != nil {
+		t.Fatal(err)
+	}
+
+	snapCfg := smallConfig()
+	snapCfg.Backend = "cow"
+	snapCfg.Workers = 8
+	snapCfg.Snapshot = path
+	snapSuite := New(snapCfg)
+	defer snapSuite.Close()
+	snap, err := snapSuite.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.Rows, snap.Rows) {
+		t.Error("cow-from-snapshot matrix differs from freshly loaded matrix")
+	}
+}
+
+// TestMatrixSharedBaseMemory is the deterministic memory smoke: after an
+// 8-worker cow matrix, the suite's adopted models must be COW views whose
+// private overlays are small next to the shared arenas — i.e. the sharing
+// actually happened and peak page memory is ~one loaded extension per
+// kind, not per worker.
+func TestMatrixSharedBaseMemory(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Backend = "cow"
+	cfg.Workers = 8
+	s := New(cfg)
+	defer s.Close()
+	if _, err := s.Matrix(); err != nil {
+		t.Fatal(err)
+	}
+	baseBytes, overlayBytes, views := 0, 0, 0
+	for k, m := range s.models {
+		st, ok := diskCOWStats(m)
+		if !ok {
+			t.Fatalf("%s: adopted matrix model is not a COW view", k)
+		}
+		views++
+		baseBytes += st.BaseBytes
+		overlayBytes += st.OverlayBytes
+	}
+	if views != 5 {
+		t.Fatalf("adopted %d models, want 5", views)
+	}
+	if baseBytes == 0 {
+		t.Fatal("no shared base bytes accounted")
+	}
+	// The update queries dirty only root/update pages; the overlays must
+	// stay far below one extra database copy.
+	if overlayBytes*4 > baseBytes {
+		t.Errorf("overlays (%d bytes) not small next to shared bases (%d bytes)", overlayBytes, baseBytes)
+	}
+}
+
+// TestMatrixPeakRSS logs the process peak RSS after an 8-worker matrix at
+// paper scale on the backend named by COMPLEXOBJ_BACKEND. It asserts
+// nothing by itself — CI runs it once per backend in separate processes
+// and compares the two figures (cow must not exceed mem); BENCH_3.json
+// records the numbers. Gated behind COMPLEXOBJ_RSS so the regular test
+// runs do not pay a paper-scale matrix twice.
+func TestMatrixPeakRSS(t *testing.T) {
+	if os.Getenv("COMPLEXOBJ_RSS") == "" {
+		t.Skip("set COMPLEXOBJ_RSS=1 to measure peak RSS")
+	}
+	if runtime.GOOS != "linux" {
+		t.Skip("peak RSS via /proc is Linux-only")
+	}
+	cfg := DefaultConfig()
+	cfg.Backend = os.Getenv("COMPLEXOBJ_BACKEND")
+	cfg.Workers = 8
+	s := New(cfg)
+	defer s.Close()
+	if _, err := s.Matrix(); err != nil {
+		t.Fatal(err)
+	}
+	hwm, err := peakRSSKB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := cfg.Backend
+	if backend == "" {
+		backend = "mem"
+	}
+	fmt.Printf("peak-rss-kb backend=%s workers=8 kb=%d\n", backend, hwm)
+}
+
+// peakRSSKB reads VmHWM (the process peak resident set) in KiB.
+func peakRSSKB() (int, error) {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "VmHWM:"); ok {
+			return strconv.Atoi(strings.TrimSuffix(strings.TrimSpace(rest), " kB"))
+		}
+	}
+	return 0, fmt.Errorf("VmHWM not found in /proc/self/status")
+}

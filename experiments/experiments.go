@@ -46,9 +46,12 @@ type Config struct {
 	// regardless of scheduling.
 	Workers int
 	// Backend selects the device backend for every engine the suite
-	// builds: "" or "mem" (default), "file" or "file:DIR". Counters are
-	// bit-identical across backends; the choice only moves the page
-	// bytes.
+	// builds: "" or "mem" (default), "file", "file:DIR" or "cow".
+	// Counters are bit-identical across backends; the choice only moves
+	// the page bytes. With "cow" the parallel matrix additionally shares
+	// one immutable loaded extension per model kind across all workers
+	// (each worker's engine is a copy-on-write view), so peak memory no
+	// longer scales with the worker count.
 	Backend string
 	// Snapshot is the path of a cogen-built .codb snapshot. When set,
 	// the default-configuration models behind Tables 2-6 and 8 are
@@ -326,13 +329,25 @@ func (s *Suite) matrixSerial(kinds []store.Kind) ([]Measured, error) {
 }
 
 // matrixParallel fans the (model, query) cells out to a bounded worker
-// pool. Workers lazily load their own copy of each storage model they are
-// handed (per-worker engines over the shared, read-only extension), so no
-// locking is needed around the storage substrate. Because loading a model
-// is expensive, cells are not dealt out blindly: a worker keeps claiming
-// queries of the model it already has loaded, and only when that queue is
-// empty claims the model with the most queries left. Loads therefore stay
-// near one per (worker, model actually touched) instead of one per cell.
+// pool. Workers lazily open their own engine for each storage model they
+// are handed, so no locking is needed around the storage substrate.
+// Because loading a model is expensive, cells are not dealt out blindly: a
+// worker keeps claiming queries of the model it already has loaded, and
+// only when that queue is empty claims the model with the most queries
+// left. Loads therefore stay near one per (worker, model actually touched)
+// instead of one per cell.
+//
+// What "opening an engine" costs depends on the backend. With the mem and
+// file backends every worker restores (or loads) a private arena, so peak
+// memory scales with the worker count. With the cow backend the scheduler
+// instead builds one immutable shared base per model kind — read from the
+// snapshot, or loaded once and frozen — and hands each worker a
+// copy-on-write view of it: per-worker memory is only the pages the
+// worker's queries dirty. The measured counters are unchanged either way
+// (a restored view measures bit-identically to a fresh load, pinned by
+// TestMatrixSharedBaseDeterminism), so the rows stay byte-identical to a
+// serial run.
+//
 // After the run, one loaded copy of each model is adopted into the Suite's
 // model cache, so later experiments that only need layout metadata
 // (Table 2, derived cost-model parameters) do not reload from scratch.
@@ -353,7 +368,56 @@ func (s *Suite) matrixParallel(workers int, kinds []store.Kind, queries []cobenc
 			return nil, err
 		}
 	}
-	openWorkerModel := func(k store.Kind) (store.Model, error) {
+	// Shared-base mode (cow backend): the first worker to touch a model
+	// kind builds its immutable base exactly once; bases for different
+	// kinds build concurrently.
+	useShared := opts.Backend.Kind == disk.COWArena && opts.Backend.Base == nil
+	type baseSlot struct {
+		once sync.Once
+		base *store.SharedBase
+		err  error
+	}
+	var baseSlots []baseSlot
+	if useShared {
+		baseSlots = make([]baseSlot, len(kinds))
+	}
+	sharedBase := func(ki int) (*store.SharedBase, error) {
+		slot := &baseSlots[ki]
+		slot.once.Do(func() {
+			k := kinds[ki]
+			if s.cfg.Snapshot != "" {
+				slot.base, slot.err = snapshot.OpenBase(s.cfg.Snapshot, k)
+				return
+			}
+			// Load over a contiguous mem arena, not the cow spec's bare
+			// overlay: the loader exists only to be frozen, and the flat
+			// arena makes both the load and the Freeze dump single
+			// memmoves instead of per-page overlay traffic.
+			loaderOpts := opts
+			loaderOpts.Backend = disk.BackendSpec{Kind: disk.MemArena}
+			loader, err := store.New(k, loaderOpts)
+			if err != nil {
+				slot.err = err
+				return
+			}
+			defer loader.Engine().Close()
+			if err := loader.Load(stations); err != nil {
+				slot.err = err
+				return
+			}
+			slot.base, slot.err = store.Freeze(loader)
+		})
+		return slot.base, slot.err
+	}
+	openWorkerModel := func(ki int) (store.Model, error) {
+		k := kinds[ki]
+		if useShared {
+			b, err := sharedBase(ki)
+			if err != nil {
+				return nil, err
+			}
+			return b.Open(opts)
+		}
 		if s.cfg.Snapshot != "" {
 			return snapshot.Open(s.cfg.Snapshot, k, opts)
 		}
@@ -419,7 +483,7 @@ func (s *Suite) matrixParallel(workers int, kinds []store.Kind, queries []cobenc
 			m, loaded := models[k]
 			if !loaded {
 				var err error
-				if m, err = openWorkerModel(k); err != nil {
+				if m, err = openWorkerModel(ki); err != nil {
 					abort()
 					return fmt.Errorf("experiments: load %s: %w", k, err)
 				}

@@ -72,8 +72,10 @@ func TestSweepParallelDeterminism(t *testing.T) {
 }
 
 // TestMatrixBackendEquivalence asserts the acceptance property at the
-// harness level: the full paper query matrix is bit-identical between the
-// memory and the file backend.
+// harness level, three ways: the full paper query matrix is bit-identical
+// between the memory, file and copy-on-write backends. (The cow run here
+// exercises the serial path over bare overlays; the shared-base parallel
+// path is pinned by TestMatrixSharedBaseDeterminism.)
 func TestMatrixBackendEquivalence(t *testing.T) {
 	memCfg := smallConfig()
 	memCfg.Backend = "mem"
@@ -83,16 +85,19 @@ func TestMatrixBackendEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fileCfg := smallConfig()
-	fileCfg.Backend = "file:" + t.TempDir()
-	fileSuite := New(fileCfg)
-	defer fileSuite.Close()
-	file, err := fileSuite.Matrix()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(mem.Rows, file.Rows) {
-		t.Error("matrix differs between memory and file backend")
+	for _, backend := range []string{"file:" + t.TempDir(), "cow"} {
+		cfg := smallConfig()
+		cfg.Backend = backend
+		s := New(cfg)
+		m, err := s.Matrix()
+		if err != nil {
+			s.Close()
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if !reflect.DeepEqual(mem.Rows, m.Rows) {
+			t.Errorf("matrix differs between memory and %s backend", backend)
+		}
+		s.Close()
 	}
 }
 

@@ -1,30 +1,3 @@
-// Package buffer implements the database cache of the simulated DASDBS
-// installation: a bounded pool of page frames with fix/unfix (pin) semantics.
-//
-// The paper's measurements hinge on three behaviours of this component:
-//
-//   - buffer fixes are counted (Table 6 uses them as a CPU-load indicator),
-//   - pages are read from disk only on a fix miss, with contiguous multi-page
-//     requests served by a single I/O call (Table 5),
-//   - dirty pages are written back either when the query finishes
-//     ("database disconnect") or when the pool overflows, which is why
-//     writes batch many pages per call (§5.2) and why query 2b/3b degrade
-//     once the 1200-page cache overflows (§5.4, Figure 6).
-//
-// The implementation is built for throughput, because the experiment
-// harness funnels every simulated tuple access through this type:
-//
-//   - residency lookup is a dense slice indexed by PageID (page IDs are
-//     allocated contiguously by the device), not a hash map;
-//   - evicted frames return their page buffer and their Frame struct to
-//     free-lists, so steady-state misses allocate nothing and the cache
-//     never holds more page memory than its capacity;
-//   - dirty frames sit on an intrusive doubly-linked dirty list, so flushes
-//     and overflow write bursts only visit the dirty subset instead of
-//     scanning (and re-sorting) every resident frame.
-//
-// None of this changes the paper-visible accounting: fixes, hits, I/O calls
-// and page transfers are counted exactly as before.
 package buffer
 
 import (

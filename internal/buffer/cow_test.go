@@ -1,0 +1,86 @@
+package buffer
+
+import (
+	"bytes"
+	"testing"
+
+	"complexobj/internal/disk"
+)
+
+// TestPoolObservesCOWOverlay pins the pool ↔ COW-backend contract: a
+// frame dirtied and flushed over a copy-on-write device lands in the
+// engine's private overlay, and every later fix — including after a Drop
+// that recycles the frame — observes the overlay image, never the stale
+// shared base. The base itself must stay byte-identical throughout.
+func TestPoolObservesCOWOverlay(t *testing.T) {
+	const ps = disk.DefaultPageSize
+	baseData := make([]byte, 8*ps)
+	for i := range baseData {
+		baseData[i] = byte(i % 37)
+	}
+	pristine := append([]byte(nil), baseData...)
+	base := disk.NewBaseArena(baseData)
+
+	d, err := disk.Open(ps, disk.NewCOWBackend(base, ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	p := New(d, 4, LRU)
+
+	// Read a base page through the pool, modify it in the frame, flush.
+	f, err := p.Fix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.Data, pristine[3*ps:4*ps]) {
+		t.Fatal("fix does not read through to the base")
+	}
+	copy(f.Data, "overlay image")
+	if err := p.Unfix(3, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drop the frame: the next fix must re-read from the device and see
+	// the overlay write, not the base.
+	if err := p.Drop([]disk.PageID{3}); err != nil {
+		t.Fatal(err)
+	}
+	f, err = p.Fix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Data[:13]) != "overlay image" {
+		t.Fatal("re-fixed frame does not observe the flushed overlay write")
+	}
+	if err := p.Unfix(3, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dropping frames of clean base pages recycles memory without
+	// touching base or counters.
+	if _, err := p.Fix(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unfix(1, false); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats()
+	if err := p.Drop([]disk.PageID{1}); err != nil {
+		t.Fatal(err)
+	}
+	if after := d.Stats(); after != before {
+		t.Errorf("Drop of a base page moved counters: %+v -> %+v", before, after)
+	}
+
+	if !bytes.Equal(base.Bytes(), pristine) {
+		t.Fatal("pool traffic mutated the shared base")
+	}
+	st, ok := disk.COWStatsOf(d.Backend())
+	if !ok || st.OverlayPages != 1 {
+		t.Fatalf("overlay stats after one dirtied page: %+v (ok=%v)", st, ok)
+	}
+}

@@ -1,0 +1,48 @@
+// Package buffer implements the database cache of the simulated DASDBS
+// installation: a bounded pool of page frames with fix/unfix (pin) semantics.
+//
+// The paper's measurements hinge on three behaviours of this component:
+//
+//   - buffer fixes are counted (Table 6 uses them as a CPU-load indicator),
+//   - pages are read from disk only on a fix miss, with contiguous multi-page
+//     requests served by a single I/O call (Table 5),
+//   - dirty pages are written back either when the query finishes
+//     ("database disconnect") or when the pool overflows, which is why
+//     writes batch many pages per call (§5.2) and why query 2b/3b degrade
+//     once the 1200-page cache overflows (§5.4, Figure 6).
+//
+// The implementation is built for throughput, because the experiment
+// harness funnels every simulated tuple access through this type:
+//
+//   - residency lookup is a dense slice indexed by PageID (page IDs are
+//     allocated contiguously by the device), not a hash map;
+//   - evicted frames return their page buffer and their Frame struct to
+//     free-lists, so steady-state misses allocate nothing and the cache
+//     never holds more page memory than its capacity;
+//   - dirty frames sit on an intrusive doubly-linked dirty list, so flushes
+//     and overflow write bursts only visit the dirty subset instead of
+//     scanning (and re-sorting) every resident frame.
+//
+// None of this changes the paper-visible accounting: fixes, hits, I/O calls
+// and page transfers are counted exactly as before.
+//
+// # Pin and ownership rules
+//
+// A Frame (and its Data slice) is valid only while the caller holds a pin
+// on it: Fix/FixRun pin, Unfix releases, and an unpinned frame may be
+// evicted at any time with its memory recycled for another page. Callers
+// therefore must not retain Frame pointers or Data slices across an
+// Unfix. The dirty flag travels with Unfix (the caller declares the
+// modification when releasing the pin); dirty frames are written back on
+// flush or overflow, never while pinned by the eviction path. Drop
+// discards resident frames without write-back — the cache-coherence hook
+// for page recycling — and refuses pinned pages.
+//
+// Frames hold private copies of page bytes (filled by the device's
+// ReadRun), never aliases of backend memory. That makes the pool
+// backend-agnostic: a frame dirtied and flushed over a copy-on-write
+// backend lands in the engine's private overlay, and a re-fix observes
+// that overlay through the ordinary read path. The pool itself is safe
+// for concurrent use via one mutex, but the harness gives every worker a
+// private engine, so the mutex is uncontended on the hot path.
+package buffer

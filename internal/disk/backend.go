@@ -7,28 +7,49 @@ import (
 	"strings"
 )
 
-// Backend is the storage substrate behind a Disk: one contiguous byte
-// arena holding every page image. The device layer owns all page-level
+// Backend is the storage substrate behind a Disk: one logical byte arena
+// holding every page image. The device layer owns all page-level
 // semantics (allocation, run transfers, I/O accounting); a backend only
-// decides where the arena bytes live — on the Go heap or mapped onto a
-// real file. Swapping backends therefore can never change the counters
-// the paper measures, only the persistence of the bytes.
+// decides where the arena bytes live — on the Go heap, mapped onto a real
+// file, or layered copy-on-write over a shared base. Swapping backends
+// therefore can never change the counters the paper measures, only the
+// persistence and sharing of the bytes.
 //
 // Backends are not safe for concurrent use; the owning Disk serializes
-// access under its own mutex.
+// access under its own mutex. Offsets and lengths are bytes; reads and
+// writes must stay inside [0, Len()).
 type Backend interface {
-	// Bytes returns the current arena. The slice stays valid until the
-	// next Grow or Close.
-	Bytes() []byte
-	// Grow extends the arena to exactly n bytes (n never shrinks) and
-	// returns the new arena slice. Fresh bytes are zeroed. The returned
-	// slice may alias different memory than the previous one.
-	Grow(n int) ([]byte, error)
+	// Len returns the current arena length in bytes.
+	Len() int
+	// Grow extends the arena to exactly n bytes (n never shrinks the
+	// arena). Fresh bytes read as zero.
+	Grow(n int) error
+	// ReadAt fills p with the arena bytes at offset off. It must
+	// overwrite all of p (recycled buffers are passed in), and must not
+	// retain p.
+	ReadAt(p []byte, off int) error
+	// WriteAt stores p at offset off. It must not retain p.
+	WriteAt(p []byte, off int) error
 	// Flush persists the arena contents (no-op for memory backends).
 	Flush() error
-	// Close flushes and releases the backend. The arena slice is invalid
-	// afterwards.
+	// Close flushes and releases the backend.
 	Close() error
+}
+
+// flatBackend is implemented by backends whose whole arena is one
+// contiguous byte slice. The Disk uses it as a fast path: page transfers
+// become direct memmoves against the slice instead of interface calls.
+// The slice stays valid until the next Grow or Close.
+type flatBackend interface {
+	Bytes() []byte
+}
+
+// checkRange validates a [off, off+n) access against an arena of l bytes.
+func checkRange(off, n, l int) error {
+	if off < 0 || n < 0 || off+n > l {
+		return fmt.Errorf("disk: backend access [%d,%d) outside arena of %d bytes", off, off+n, l)
+	}
+	return nil
 }
 
 // memBackend keeps the arena on the Go heap: the zero-dependency default
@@ -42,10 +63,11 @@ type memBackend struct {
 func NewMemBackend() Backend { return &memBackend{} }
 
 func (b *memBackend) Bytes() []byte { return b.arena }
+func (b *memBackend) Len() int      { return len(b.arena) }
 
-func (b *memBackend) Grow(n int) ([]byte, error) {
+func (b *memBackend) Grow(n int) error {
 	if n <= len(b.arena) {
-		return b.arena, nil
+		return nil
 	}
 	if n > cap(b.arena) {
 		grown := 2 * cap(b.arena)
@@ -58,7 +80,23 @@ func (b *memBackend) Grow(n int) ([]byte, error) {
 	} else {
 		b.arena = b.arena[:n]
 	}
-	return b.arena, nil
+	return nil
+}
+
+func (b *memBackend) ReadAt(p []byte, off int) error {
+	if err := checkRange(off, len(p), len(b.arena)); err != nil {
+		return err
+	}
+	copy(p, b.arena[off:])
+	return nil
+}
+
+func (b *memBackend) WriteAt(p []byte, off int) error {
+	if err := checkRange(off, len(p), len(b.arena)); err != nil {
+		return err
+	}
+	copy(b.arena[off:], p)
+	return nil
 }
 
 func (b *memBackend) Flush() error { return nil }
@@ -73,6 +111,10 @@ const (
 	// FileArena maps the page arena onto a real file, grown in
 	// page-aligned extents and flushed on Close.
 	FileArena
+	// COWArena layers a private page-granular overlay over a shared,
+	// immutable base arena (copy-on-write). With a nil base it degenerates
+	// to a fully private overlay arena.
+	COWArena
 )
 
 // String implements fmt.Stringer.
@@ -82,6 +124,8 @@ func (k BackendKind) String() string {
 		return "mem"
 	case FileArena:
 		return "file"
+	case COWArena:
+		return "cow"
 	default:
 		return fmt.Sprintf("BackendKind(%d)", int(k))
 	}
@@ -90,6 +134,8 @@ func (k BackendKind) String() string {
 // BackendSpec describes how to construct a backend. Specs (not Backend
 // instances) are what flows through configuration: every engine opens its
 // own arena from the shared spec, so independent engines never collide.
+// The one deliberately shared piece of state is Base: COW engines opened
+// from the same spec all read through the same immutable base arena.
 type BackendSpec struct {
 	Kind BackendKind
 	// Path names an explicit arena file (FileArena only). When set, the
@@ -101,6 +147,11 @@ type BackendSpec struct {
 	Dir string
 	// KeepFiles retains anonymous arena files on Close (diagnostics).
 	KeepFiles bool
+	// Base is the shared immutable base arena for COWArena backends.
+	// nil means an empty base: every written page lives in the overlay,
+	// which makes "cow" usable as a drop-in backend even without a
+	// shared base (the CLI/env spec syntax).
+	Base *BaseArena
 }
 
 // ParseBackendSpec parses the CLI/config syntax:
@@ -109,6 +160,8 @@ type BackendSpec struct {
 //	"mem"         -> memory arena
 //	"file"        -> file arenas in the OS temp directory
 //	"file:DIR"    -> file arenas in DIR
+//	"cow"         -> copy-on-write arenas (shared base where the harness
+//	                 provides one, private overlays everywhere)
 func ParseBackendSpec(s string) (BackendSpec, error) {
 	switch {
 	case s == "" || s == "mem":
@@ -117,14 +170,17 @@ func ParseBackendSpec(s string) (BackendSpec, error) {
 		return BackendSpec{Kind: FileArena}, nil
 	case strings.HasPrefix(s, "file:"):
 		return BackendSpec{Kind: FileArena, Dir: s[len("file:"):]}, nil
+	case s == "cow":
+		return BackendSpec{Kind: COWArena}, nil
 	default:
-		return BackendSpec{}, fmt.Errorf("disk: unknown backend spec %q (want mem, file or file:DIR)", s)
+		return BackendSpec{}, fmt.Errorf("disk: unknown backend spec %q (want mem, file, file:DIR or cow)", s)
 	}
 }
 
 // String renders the spec back in ParseBackendSpec syntax.
 func (s BackendSpec) String() string {
-	if s.Kind == FileArena {
+	switch s.Kind {
+	case FileArena:
 		if s.Path != "" {
 			return "file:" + s.Path
 		}
@@ -132,14 +188,20 @@ func (s BackendSpec) String() string {
 			return "file:" + s.Dir
 		}
 		return "file"
+	case COWArena:
+		return "cow"
+	default:
+		return "mem"
 	}
-	return "mem"
 }
 
-// Open constructs a fresh backend per the spec. FileArena specs without an
-// explicit Path create a uniquely named arena file, so one spec can open
-// arbitrarily many independent engines.
-func (s BackendSpec) Open() (Backend, error) {
+// Open constructs a fresh backend per the spec, for a device with the
+// given page size (the COW overlay granularity; 0 means DefaultPageSize).
+// FileArena specs without an explicit Path create a uniquely named arena
+// file, so one spec can open arbitrarily many independent engines;
+// COWArena specs with a Base share that base across every engine opened
+// from the spec.
+func (s BackendSpec) Open(pageSize int) (Backend, error) {
 	switch s.Kind {
 	case MemArena:
 		return NewMemBackend(), nil
@@ -161,6 +223,8 @@ func (s BackendSpec) Open() (Backend, error) {
 		path := f.Name()
 		f.Close()
 		return OpenFileBackend(path, FileBackendOptions{RemoveOnClose: !s.KeepFiles})
+	case COWArena:
+		return NewCOWBackend(s.Base, pageSize), nil
 	default:
 		return nil, fmt.Errorf("disk: unknown backend kind %d", int(s.Kind))
 	}

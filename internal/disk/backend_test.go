@@ -10,6 +10,8 @@ import (
 )
 
 // backends lists the built-in backends for table-driven device tests.
+// "cow" runs with a nil base (fully private overlay), the drop-in mode of
+// the CLI spec syntax; shared-base behaviour is pinned in cow_test.go.
 func backends(t *testing.T) map[string]func() Backend {
 	t.Helper()
 	dir := t.TempDir()
@@ -24,6 +26,7 @@ func backends(t *testing.T) map[string]func() Backend {
 			}
 			return b
 		},
+		"cow": func() Backend { return NewCOWBackend(nil, DefaultPageSize) },
 	}
 }
 
@@ -34,38 +37,74 @@ func TestBackendGrowZeroes(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			b := open()
 			defer b.Close()
-			arena, err := b.Grow(4096)
-			if err != nil {
+			if err := b.Grow(4096); err != nil {
 				t.Fatal(err)
 			}
-			if len(arena) != 4096 {
-				t.Fatalf("Grow(4096) returned %d bytes", len(arena))
+			if b.Len() != 4096 {
+				t.Fatalf("Grow(4096) left Len %d", b.Len())
+			}
+			arena := bytes.Repeat([]byte{0xAA}, 4096) // dirty buffer: ReadAt must overwrite it
+			if err := b.ReadAt(arena, 0); err != nil {
+				t.Fatal(err)
 			}
 			for i, v := range arena {
 				if v != 0 {
 					t.Fatalf("fresh byte %d is %d, want 0", i, v)
 				}
 			}
-			copy(arena, []byte("mark"))
-			arena2, err := b.Grow(3 * DefaultExtentBytes / 2) // force a remap past one extent
-			if err != nil {
+			if err := b.WriteAt([]byte("mark"), 0); err != nil {
 				t.Fatal(err)
 			}
-			if string(arena2[:4]) != "mark" {
-				t.Fatalf("contents lost across grow: %q", arena2[:4])
+			if err := b.Grow(3 * DefaultExtentBytes / 2); err != nil { // force a remap past one extent
+				t.Fatal(err)
 			}
-			for i, v := range arena2[4096:] {
+			head := make([]byte, 4)
+			if err := b.ReadAt(head, 0); err != nil {
+				t.Fatal(err)
+			}
+			if string(head) != "mark" {
+				t.Fatalf("contents lost across grow: %q", head)
+			}
+			tail := bytes.Repeat([]byte{0xAA}, 4096)
+			if err := b.ReadAt(tail, b.Len()-4096); err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range tail {
 				if v != 0 {
-					t.Fatalf("grown byte %d is %d, want 0", 4096+i, v)
+					t.Fatalf("grown byte %d is %d, want 0", i, v)
 				}
 			}
 		})
 	}
 }
 
-// TestFileBackendPersistsAcrossReopen pins the tentpole property: a device
-// over a file backend survives Close and reopens with identical pages and
-// identical page count.
+// TestBackendRangeChecks asserts out-of-arena accesses fail on every
+// backend instead of silently clipping.
+func TestBackendRangeChecks(t *testing.T) {
+	for name, open := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			b := open()
+			defer b.Close()
+			if err := b.Grow(1024); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 256)
+			if err := b.ReadAt(buf, 1000); err == nil {
+				t.Error("ReadAt past the arena succeeded")
+			}
+			if err := b.WriteAt(buf, 1000); err == nil {
+				t.Error("WriteAt past the arena succeeded")
+			}
+			if err := b.ReadAt(buf, -1); err == nil {
+				t.Error("ReadAt at negative offset succeeded")
+			}
+		})
+	}
+}
+
+// TestFileBackendPersistsAcrossReopen pins the tentpole property of PR 2: a
+// device over a file backend survives Close and reopens with identical
+// pages and identical page count.
 func TestFileBackendPersistsAcrossReopen(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "arena.pages")
 	b, err := OpenFileBackend(path, FileBackendOptions{})
@@ -127,11 +166,11 @@ func TestFileBackendPersistsAcrossReopen(t *testing.T) {
 // TestFileBackendRemoveOnClose asserts anonymous arenas clean up.
 func TestFileBackendRemoveOnClose(t *testing.T) {
 	spec := BackendSpec{Kind: FileArena, Dir: t.TempDir()}
-	b, err := spec.Open()
+	b, err := spec.Open(DefaultPageSize)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Grow(DefaultPageSize); err != nil {
+	if err := b.Grow(DefaultPageSize); err != nil {
 		t.Fatal(err)
 	}
 	if err := b.Close(); err != nil {
@@ -157,6 +196,7 @@ func TestParseBackendSpec(t *testing.T) {
 		{in: "mem", want: BackendSpec{Kind: MemArena}},
 		{in: "file", want: BackendSpec{Kind: FileArena}},
 		{in: "file:/tmp/x", want: BackendSpec{Kind: FileArena, Dir: "/tmp/x"}},
+		{in: "cow", want: BackendSpec{Kind: COWArena}},
 		{in: "mmap", err: true},
 	}
 	for _, c := range cases {
@@ -173,6 +213,9 @@ func TestParseBackendSpec(t *testing.T) {
 		}
 		if got != c.want {
 			t.Errorf("ParseBackendSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		if got.String() != c.in && c.in != "" {
+			t.Errorf("BackendSpec(%q).String() = %q", c.in, got.String())
 		}
 	}
 }
@@ -213,6 +256,13 @@ func TestDiskRestoreDump(t *testing.T) {
 			}
 			if !bytes.Equal(back[0], img) {
 				t.Fatal("restored page differs")
+			}
+			var dump bytes.Buffer
+			if err := dst.DumpTo(&dump); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dump.Bytes(), buf.Bytes()) {
+				t.Fatal("dump of restored device differs from original dump")
 			}
 		})
 	}

@@ -1,0 +1,177 @@
+package disk
+
+// BaseArena is an immutable page arena shared by any number of COW
+// backends: the frozen state of one loaded database. Once constructed it
+// is never written again — every COW overlay layered on top observes the
+// same bytes forever, which is what lets the parallel experiment matrix
+// hand each worker a view of one loaded extension instead of a private
+// copy. A nil *BaseArena behaves as an empty base.
+type BaseArena struct {
+	data []byte
+}
+
+// NewBaseArena freezes data into a shared base. The caller hands over
+// ownership: the slice must not be mutated afterwards.
+func NewBaseArena(data []byte) *BaseArena { return &BaseArena{data: data} }
+
+// Len returns the base arena length in bytes.
+func (a *BaseArena) Len() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.data)
+}
+
+// Bytes exposes the frozen arena for inspection (checksums, dumps).
+// Callers must treat the slice as read-only.
+func (a *BaseArena) Bytes() []byte {
+	if a == nil {
+		return nil
+	}
+	return a.data
+}
+
+// cowBackend is a copy-on-write arena: reads fall through to the shared
+// immutable base, the first write to a page materializes a private copy in
+// the overlay. Growth past the base is free until written (fresh pages
+// read as zero straight from nowhere), so an engine over a large shared
+// base costs only the pages it actually dirties.
+type cowBackend struct {
+	base *BaseArena
+	gran int      // overlay granularity in bytes (the device page size)
+	size int      // logical arena length
+	over [][]byte // overlay page images indexed by page number; nil = base
+
+	overlaid int // number of materialized overlay pages
+}
+
+// NewCOWBackend layers a private overlay over base (nil means an empty
+// base). pageBytes is the copy-on-write granularity — the device page
+// size; 0 means DefaultPageSize. The arena starts at the base length, so
+// a device opened over it adopts every base page.
+func NewCOWBackend(base *BaseArena, pageBytes int) Backend {
+	if pageBytes <= 0 {
+		pageBytes = DefaultPageSize
+	}
+	return &cowBackend{base: base, gran: pageBytes, size: base.Len()}
+}
+
+func (b *cowBackend) Len() int { return b.size }
+
+func (b *cowBackend) Grow(n int) error {
+	if n > b.size {
+		b.size = n
+	}
+	return nil
+}
+
+// overlayPage returns the overlay image of page pg, or nil.
+func (b *cowBackend) overlayPage(pg int) []byte {
+	if pg < len(b.over) {
+		return b.over[pg]
+	}
+	return nil
+}
+
+func (b *cowBackend) ReadAt(p []byte, off int) error {
+	if err := checkRange(off, len(p), b.size); err != nil {
+		return err
+	}
+	base := b.base.Bytes()
+	for len(p) > 0 {
+		pg, po := off/b.gran, off%b.gran
+		n := b.gran - po
+		if n > len(p) {
+			n = len(p)
+		}
+		if img := b.overlayPage(pg); img != nil {
+			copy(p[:n], img[po:po+n])
+		} else if off < len(base) {
+			m := len(base) - off
+			if m > n {
+				m = n
+			}
+			copy(p[:m], base[off:off+m])
+			clear(p[m:n]) // grown tail beyond the base reads as zero
+		} else {
+			clear(p[:n])
+		}
+		p = p[n:]
+		off += n
+	}
+	return nil
+}
+
+func (b *cowBackend) WriteAt(p []byte, off int) error {
+	if err := checkRange(off, len(p), b.size); err != nil {
+		return err
+	}
+	base := b.base.Bytes()
+	for len(p) > 0 {
+		pg, po := off/b.gran, off%b.gran
+		n := b.gran - po
+		if n > len(p) {
+			n = len(p)
+		}
+		img := b.overlayPage(pg)
+		if img == nil {
+			img = make([]byte, b.gran)
+			if n < b.gran {
+				// Partial-page write: materialize the underlying content
+				// first so the untouched bytes of the page survive. A
+				// full-page write (the device's normal unit) skips this.
+				if lo := pg * b.gran; lo < len(base) {
+					copy(img, base[lo:])
+				}
+			}
+			if pg >= len(b.over) {
+				grown := make([][]byte, (pg+1)*2)
+				copy(grown, b.over)
+				b.over = grown
+			}
+			b.over[pg] = img
+			b.overlaid++
+		}
+		copy(img[po:po+n], p[:n])
+		p = p[n:]
+		off += n
+	}
+	return nil
+}
+
+// Flush is a no-op: the overlay is ephemeral by design (a worker's
+// private view), and the base is immutable.
+func (b *cowBackend) Flush() error { return nil }
+
+// Close releases the overlay only. The shared base is untouched — other
+// engines keep reading through it.
+func (b *cowBackend) Close() error {
+	b.over = nil
+	b.overlaid = 0
+	b.base = nil
+	b.size = 0
+	return nil
+}
+
+// COWStats describes the memory split of a COW backend.
+type COWStats struct {
+	// BaseBytes is the size of the shared immutable base arena.
+	BaseBytes int
+	// OverlayPages is the number of privately materialized pages.
+	OverlayPages int
+	// OverlayBytes is the private overlay memory (OverlayPages × page).
+	OverlayBytes int
+}
+
+// COWStatsOf reports overlay usage when b is a COW backend.
+func COWStatsOf(b Backend) (COWStats, bool) {
+	c, ok := b.(*cowBackend)
+	if !ok {
+		return COWStats{}, false
+	}
+	return COWStats{
+		BaseBytes:    c.base.Len(),
+		OverlayPages: c.overlaid,
+		OverlayBytes: c.overlaid * c.gran,
+	}, true
+}

@@ -1,0 +1,209 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+)
+
+// testBase builds a BaseArena of n pages with a recognizable per-byte
+// pattern, plus a pristine copy for immutability checks.
+func testBase(pageSize, n int) (*BaseArena, []byte) {
+	data := make([]byte, pageSize*n)
+	for i := range data {
+		data[i] = byte((i*7 + i/pageSize) % 251)
+	}
+	pristine := append([]byte(nil), data...)
+	return NewBaseArena(data), pristine
+}
+
+// TestCOWOverlayNeverMutatesBase is the central safety regression of the
+// shared-arena design: writes through one COW view must never reach the
+// base or any sibling view, no matter whether they are full-page,
+// partial-range, or beyond-the-base writes.
+func TestCOWOverlayNeverMutatesBase(t *testing.T) {
+	const ps = 256
+	base, pristine := testBase(ps, 8)
+
+	a, err := Open(ps, NewCOWBackend(base, ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(ps, NewCOWBackend(base, ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if a.NumPages() != 8 || b.NumPages() != 8 {
+		t.Fatalf("views adopted %d/%d pages, want 8", a.NumPages(), b.NumPages())
+	}
+
+	// Full-page write through view a.
+	img := bytes.Repeat([]byte{0xEE}, ps)
+	if err := a.WriteRun(3, [][]byte{img}); err != nil {
+		t.Fatal(err)
+	}
+	// Partial write through the backend (sub-page granularity).
+	if err := a.Backend().WriteAt([]byte("partial"), 5*ps+100); err != nil {
+		t.Fatal(err)
+	}
+	// Growth past the base plus a write into the new tail.
+	if _, err := a.Allocate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteRun(9, [][]byte{img}); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(base.Bytes(), pristine) {
+		t.Fatal("writes through a COW view reached the shared base")
+	}
+	for pg := 0; pg < 8; pg++ {
+		got, err := b.ReadCopy(PageID(pg), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[0], pristine[pg*ps:(pg+1)*ps]) {
+			t.Fatalf("sibling view observes overlay write on page %d", pg)
+		}
+	}
+
+	// The writing view observes its own overlay, base for the rest.
+	got, err := a.ReadCopy(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[0], img) {
+		t.Fatal("view does not observe its own full-page write")
+	}
+	got, err = a.ReadCopy(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), pristine[5*ps:6*ps]...)
+	copy(want[100:], "partial")
+	if !bytes.Equal(got[0], want) {
+		t.Fatal("partial write did not preserve the rest of the base page")
+	}
+	got, err = a.ReadCopy(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[0], pristine[2*ps:3*ps]) {
+		t.Fatal("untouched page does not read through to the base")
+	}
+
+	// Close releases only the overlay; the base (and sibling) live on.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(base.Bytes(), pristine) {
+		t.Fatal("Close damaged the shared base")
+	}
+	if got, err := b.ReadCopy(3, 1); err != nil || !bytes.Equal(got[0], pristine[3*ps:4*ps]) {
+		t.Fatalf("sibling view broken after Close: %v", err)
+	}
+}
+
+// TestCOWGrownPagesReadZero asserts pages allocated past the base read as
+// zero before their first write — including into dirty recycled buffers.
+func TestCOWGrownPagesReadZero(t *testing.T) {
+	const ps = 128
+	base, _ := testBase(ps, 2)
+	d, err := Open(ps, NewCOWBackend(base, ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Allocate(3); err != nil {
+		t.Fatal(err)
+	}
+	dirty := bytes.Repeat([]byte{0xFF}, ps)
+	if err := d.ReadRun(4, [][]byte{dirty}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dirty {
+		if v != 0 {
+			t.Fatalf("grown page byte %d = %d, want 0", i, v)
+		}
+	}
+}
+
+// TestCOWStats pins the memory-accounting hook the matrix memory checks
+// rely on: overlay usage counts materialized pages only.
+func TestCOWStats(t *testing.T) {
+	const ps = 256
+	base, _ := testBase(ps, 10)
+	b := NewCOWBackend(base, ps)
+	d, err := Open(ps, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	st, ok := COWStatsOf(b)
+	if !ok {
+		t.Fatal("COWStatsOf rejected a COW backend")
+	}
+	if st.BaseBytes != 10*ps || st.OverlayPages != 0 || st.OverlayBytes != 0 {
+		t.Fatalf("fresh view stats: %+v", st)
+	}
+
+	// Reads never materialize overlay pages.
+	if _, err := d.ReadCopy(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ = COWStatsOf(b); st.OverlayPages != 0 {
+		t.Fatalf("reads materialized %d overlay pages", st.OverlayPages)
+	}
+
+	img := make([]byte, ps)
+	if err := d.WriteRun(7, [][]byte{img, img}); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ = COWStatsOf(b); st.OverlayPages != 2 || st.OverlayBytes != 2*ps {
+		t.Fatalf("after 2 page writes: %+v", st)
+	}
+	// Rewriting the same page does not grow the overlay.
+	if err := d.WriteRun(7, [][]byte{img}); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ = COWStatsOf(b); st.OverlayPages != 2 {
+		t.Fatalf("rewrite grew overlay: %+v", st)
+	}
+
+	if _, ok := COWStatsOf(NewMemBackend()); ok {
+		t.Error("COWStatsOf accepted a mem backend")
+	}
+}
+
+// TestCOWSpecOpen asserts the spec path: a spec carrying a Base opens
+// views sharing it; a bare "cow" spec opens an empty private arena.
+func TestCOWSpecOpen(t *testing.T) {
+	const ps = 512
+	base, pristine := testBase(ps, 4)
+	spec := BackendSpec{Kind: COWArena, Base: base}
+	b1, err := spec.Open(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b1.Close()
+	if b1.Len() != 4*ps {
+		t.Fatalf("spec view Len = %d, want %d", b1.Len(), 4*ps)
+	}
+	got := make([]byte, ps)
+	if err := b1.ReadAt(got, ps); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pristine[ps:2*ps]) {
+		t.Fatal("spec view does not read the base")
+	}
+
+	bare, err := BackendSpec{Kind: COWArena}.Open(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if bare.Len() != 0 {
+		t.Fatalf("bare cow spec Len = %d, want 0", bare.Len())
+	}
+}

@@ -1,26 +1,3 @@
-// Package disk simulates the page-addressed secondary storage device of the
-// paper's DASDBS installation. The paper's evaluation metric is the number
-// of physical page I/Os and the number of I/O calls needed to transfer them
-// (Equation 1: C = d1*X_calls + d2*X_pages); this device counts exactly
-// those two quantities while holding page images in memory.
-//
-// One I/O call transfers a contiguous run of pages, mirroring the DASDBS
-// behaviour described in §5.2 of the paper: the root/header page of a large
-// object, its additional header pages, and its data pages are each fetched
-// with separate calls, while a flush writes contiguous dirty pages together.
-//
-// Page images live in a single contiguous arena ([]byte) rather than one
-// heap object per page, so the device costs the allocator one object no
-// matter how large the database is, and a run transfer is a pair of
-// memmoves over adjacent memory. ReadRun transfers into caller-provided
-// buffers (the buffer pool passes recycled frame memory), so the
-// steady-state read path performs no allocation at all.
-//
-// Where the arena bytes live is a pluggable Backend: the default keeps
-// them on the Go heap (the original in-memory device), the file backend
-// maps them onto a real file so a device survives the process. Backends
-// change only the storage substrate — allocation, run transfers and the
-// I/O counters are identical across backends by construction.
 package disk
 
 import (
@@ -59,8 +36,8 @@ var (
 	ErrBadBuffer = errors.New("disk: buffer is not page-sized")
 )
 
-// Disk is an in-memory array of pages with I/O accounting. All page images
-// share one contiguous arena; page p occupies arena[p*pageSize:(p+1)*pageSize].
+// Disk is an in-memory array of pages with I/O accounting. Page p occupies
+// arena bytes [p*pageSize, (p+1)*pageSize) of its backend.
 //
 // A Disk is safe for concurrent use, but the experiment harness gives every
 // worker its own engine (device + pool), so the mutex is uncontended on the
@@ -70,7 +47,7 @@ type Disk struct {
 	pageSize int
 	numPages int
 	backend  Backend
-	arena    []byte // backend.Bytes(), refreshed after every Grow
+	flat     []byte // contiguous arena fast path (nil for layered backends)
 	stats    iostat.Stats
 }
 
@@ -81,28 +58,48 @@ func New(pageSize int) *Disk {
 }
 
 // NewWithBackend creates an empty device whose arena lives on the given
-// backend. A non-empty backend (a reopened arena file) must go through
-// Open instead.
+// backend. A non-empty backend (a reopened arena file, a shared COW base)
+// must go through Open instead.
 func NewWithBackend(pageSize int, b Backend) *Disk {
 	if pageSize <= SysHeaderSize {
 		panic(fmt.Sprintf("disk: page size %d not larger than system header %d", pageSize, SysHeaderSize))
 	}
-	return &Disk{pageSize: pageSize, backend: b, arena: b.Bytes()}
+	d := &Disk{pageSize: pageSize, backend: b}
+	d.refreshFlat()
+	return d
 }
 
 // Open adopts a backend that already holds page images (a persistent
-// arena file from an earlier run): every complete page in the arena is
-// considered allocated. The arena length must be an exact multiple of the
-// page size.
+// arena file from an earlier run, or a COW view over a shared base):
+// every complete page in the arena is considered allocated. The arena
+// length must be an exact multiple of the page size.
 func Open(pageSize int, b Backend) (*Disk, error) {
 	d := NewWithBackend(pageSize, b)
-	n := len(d.arena)
+	n := b.Len()
 	if n%pageSize != 0 {
 		return nil, fmt.Errorf("disk: arena of %d bytes is not a multiple of page size %d", n, pageSize)
 	}
 	d.numPages = n / pageSize
 	return d, nil
 }
+
+// refreshFlat re-fetches the contiguous arena slice after construction and
+// every Grow (growth may move the slice). Layered backends (COW) stay on
+// the offset-based interface path.
+func (d *Disk) refreshFlat() {
+	if fb, ok := d.backend.(flatBackend); ok {
+		d.flat = fb.Bytes()
+	} else {
+		d.flat = nil
+	}
+}
+
+// Backend exposes the storage substrate (diagnostics and memory
+// accounting; see COWStatsOf). Callers must not bypass the device for
+// page I/O — the counters live here — and must only inspect the backend
+// while the device is quiescent: backend state is guarded by the device
+// mutex, which inspection helpers like COWStatsOf do not take.
+func (d *Disk) Backend() Backend { return d.backend }
 
 // PageSize returns the raw page size in bytes.
 func (d *Disk) PageSize() int { return d.pageSize }
@@ -118,10 +115,11 @@ func (d *Disk) NumPages() int {
 	return d.numPages
 }
 
-// page returns the arena slice of page i. Caller holds d.mu.
+// page returns the flat-arena slice of page i. Caller holds d.mu and has
+// checked d.flat != nil.
 func (d *Disk) page(i int) []byte {
 	off := i * d.pageSize
-	return d.arena[off : off+d.pageSize : off+d.pageSize]
+	return d.flat[off : off+d.pageSize : off+d.pageSize]
 }
 
 // Allocate reserves a contiguous run of n fresh zeroed pages and returns the
@@ -135,11 +133,10 @@ func (d *Disk) Allocate(n int) (PageID, error) {
 	defer d.mu.Unlock()
 	start := PageID(d.numPages)
 	need := (d.numPages + n) * d.pageSize
-	arena, err := d.backend.Grow(need)
-	if err != nil {
+	if err := d.backend.Grow(need); err != nil {
 		return InvalidPage, err
 	}
-	d.arena = arena
+	d.refreshFlat()
 	d.numPages += n
 	return start, nil
 }
@@ -161,7 +158,11 @@ func (d *Disk) ReadRun(start PageID, dst [][]byte) error {
 		if len(buf) != d.pageSize {
 			return fmt.Errorf("%w: page %d buffer has size %d, want %d", ErrBadBuffer, int(start)+i, len(buf), d.pageSize)
 		}
-		copy(buf, d.page(int(start)+i))
+		if d.flat != nil {
+			copy(buf, d.page(int(start)+i))
+		} else if err := d.backend.ReadAt(buf, (int(start)+i)*d.pageSize); err != nil {
+			return err
+		}
 	}
 	d.stats.ReadCalls++
 	d.stats.PagesRead += int64(len(dst))
@@ -202,7 +203,11 @@ func (d *Disk) WriteRun(start PageID, pages [][]byte) error {
 		if len(p) != d.pageSize {
 			return fmt.Errorf("disk: page %d has size %d, want %d", int(start)+i, len(p), d.pageSize)
 		}
-		copy(d.page(int(start)+i), p)
+		if d.flat != nil {
+			copy(d.page(int(start)+i), p)
+		} else if err := d.backend.WriteAt(p, (int(start)+i)*d.pageSize); err != nil {
+			return err
+		}
 	}
 	d.stats.WriteCalls++
 	d.stats.PagesWritten += int64(len(pages))
@@ -219,12 +224,13 @@ func (d *Disk) Flush() error {
 	return d.backend.Flush()
 }
 
-// Close flushes and releases the backend. The device must not be used
-// afterwards.
+// Close flushes and releases the backend. For a COW view this releases
+// only the private overlay — the shared base arena stays alive for every
+// other engine reading through it. The device must not be used afterwards.
 func (d *Disk) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.arena = nil
+	d.flat = nil
 	return d.backend.Close()
 }
 
@@ -234,8 +240,26 @@ func (d *Disk) Close() error {
 func (d *Disk) DumpTo(w io.Writer) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	_, err := w.Write(d.arena[:d.numPages*d.pageSize])
-	return err
+	n := d.numPages * d.pageSize
+	if d.flat != nil {
+		_, err := w.Write(d.flat[:n])
+		return err
+	}
+	buf := make([]byte, 64*d.pageSize)
+	for off := 0; off < n; {
+		chunk := buf
+		if n-off < len(chunk) {
+			chunk = chunk[:n-off]
+		}
+		if err := d.backend.ReadAt(chunk, off); err != nil {
+			return err
+		}
+		if _, err := w.Write(chunk); err != nil {
+			return err
+		}
+		off += len(chunk)
+	}
+	return nil
 }
 
 // Restore bulk-loads numPages page images from r into an empty device,
@@ -250,13 +274,30 @@ func (d *Disk) Restore(r io.Reader, numPages int) error {
 	if d.numPages != 0 {
 		return fmt.Errorf("disk: restore into non-empty device (%d pages)", d.numPages)
 	}
-	arena, err := d.backend.Grow(numPages * d.pageSize)
-	if err != nil {
+	n := numPages * d.pageSize
+	if err := d.backend.Grow(n); err != nil {
 		return err
 	}
-	d.arena = arena
-	if _, err := io.ReadFull(r, d.arena[:numPages*d.pageSize]); err != nil {
-		return fmt.Errorf("disk: restore arena: %w", err)
+	d.refreshFlat()
+	if d.flat != nil {
+		if _, err := io.ReadFull(r, d.flat[:n]); err != nil {
+			return fmt.Errorf("disk: restore arena: %w", err)
+		}
+	} else {
+		buf := make([]byte, 64*d.pageSize)
+		for off := 0; off < n; {
+			chunk := buf
+			if n-off < len(chunk) {
+				chunk = chunk[:n-off]
+			}
+			if _, err := io.ReadFull(r, chunk); err != nil {
+				return fmt.Errorf("disk: restore arena: %w", err)
+			}
+			if err := d.backend.WriteAt(chunk, off); err != nil {
+				return err
+			}
+			off += len(chunk)
+		}
 	}
 	d.numPages = numPages
 	return nil

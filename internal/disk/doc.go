@@ -1,0 +1,53 @@
+// Package disk simulates the page-addressed secondary storage device of the
+// paper's DASDBS installation. The paper's evaluation metric is the number
+// of physical page I/Os and the number of I/O calls needed to transfer them
+// (Equation 1: C = d1*X_calls + d2*X_pages); this device counts exactly
+// those two quantities while holding page images in memory.
+//
+// One I/O call transfers a contiguous run of pages, mirroring the DASDBS
+// behaviour described in §5.2 of the paper: the root/header page of a large
+// object, its additional header pages, and its data pages are each fetched
+// with separate calls, while a flush writes contiguous dirty pages together.
+//
+// Page images live in a single logical arena rather than one heap object
+// per page, so a run transfer is a pair of memmoves over adjacent memory.
+// ReadRun transfers into caller-provided buffers (the buffer pool passes
+// recycled frame memory), so the steady-state read path performs no
+// allocation at all.
+//
+// # Backend contract
+//
+// Where the arena bytes live is a pluggable Backend. A backend implements
+// offset-based byte I/O (Len, Grow, ReadAt, WriteAt, Flush, Close) over
+// one logical arena; backends whose arena is a single contiguous slice
+// additionally expose it, and the device then bypasses the interface with
+// direct memmoves. Three implementations exist:
+//
+//   - mem: the arena on the Go heap (the original in-memory device);
+//   - file: the arena mapped onto a real file, grown in extents, so a
+//     device survives the process;
+//   - cow: a page-granular private overlay over a shared immutable
+//     BaseArena (copy-on-write).
+//
+// The contract every backend must honour: Grow never shrinks and fresh
+// bytes read as zero; ReadAt overwrites the whole destination buffer
+// (callers pass recycled memory); neither ReadAt nor WriteAt retains the
+// caller's slice; Close releases only resources the backend itself owns.
+//
+// # Copy-on-write semantics
+//
+// A COW backend layers a private overlay over a shared BaseArena. Reads
+// fall through to the base until the first write to a page materializes a
+// private copy (a full-page write skips even that copy); growth past the
+// base is free until written. The base is immutable by construction —
+// no code path writes it after NewBaseArena — so any number of engines
+// can read through one base concurrently without synchronization, and
+// closing a view releases only its overlay. This is what lets the
+// parallel experiment matrix share one loaded extension across workers:
+// per-worker memory is proportional to the pages a worker dirties, not to
+// the database size, while the counters stay bit-identical to the other
+// backends by construction (the device layer above is unchanged).
+//
+// Backends change only the storage substrate — allocation, run transfers
+// and the I/O counters are identical across backends by construction.
+package disk

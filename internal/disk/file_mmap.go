@@ -69,17 +69,34 @@ func (b *fileBackend) remap(capBytes int) error {
 }
 
 func (b *fileBackend) Bytes() []byte { return b.mapped[:b.size:b.size] }
+func (b *fileBackend) Len() int      { return b.size }
 
-func (b *fileBackend) Grow(n int) ([]byte, error) {
+func (b *fileBackend) Grow(n int) error {
 	if n > len(b.mapped) {
 		if err := b.remap(roundUp(n, b.opts.extent())); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if n > b.size {
 		b.size = n
 	}
-	return b.Bytes(), nil
+	return nil
+}
+
+func (b *fileBackend) ReadAt(p []byte, off int) error {
+	if err := checkRange(off, len(p), b.size); err != nil {
+		return err
+	}
+	copy(p, b.mapped[off:])
+	return nil
+}
+
+func (b *fileBackend) WriteAt(p []byte, off int) error {
+	if err := checkRange(off, len(p), b.size); err != nil {
+		return err
+	}
+	copy(b.mapped[off:], p)
+	return nil
 }
 
 func (b *fileBackend) Flush() error {

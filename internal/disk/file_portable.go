@@ -45,10 +45,11 @@ func OpenFileBackend(path string, opts FileBackendOptions) (Backend, error) {
 }
 
 func (b *fileBackend) Bytes() []byte { return b.arena }
+func (b *fileBackend) Len() int      { return len(b.arena) }
 
-func (b *fileBackend) Grow(n int) ([]byte, error) {
+func (b *fileBackend) Grow(n int) error {
 	if n <= len(b.arena) {
-		return b.arena, nil
+		return nil
 	}
 	if n > cap(b.arena) {
 		arena := make([]byte, n, roundUp(n, b.opts.extent()))
@@ -57,7 +58,23 @@ func (b *fileBackend) Grow(n int) ([]byte, error) {
 	} else {
 		b.arena = b.arena[:n]
 	}
-	return b.arena, nil
+	return nil
+}
+
+func (b *fileBackend) ReadAt(p []byte, off int) error {
+	if err := checkRange(off, len(p), len(b.arena)); err != nil {
+		return err
+	}
+	copy(p, b.arena[off:])
+	return nil
+}
+
+func (b *fileBackend) WriteAt(p []byte, off int) error {
+	if err := checkRange(off, len(p), len(b.arena)); err != nil {
+		return err
+	}
+	copy(b.arena[off:], p)
+	return nil
 }
 
 func (b *fileBackend) Flush() error {

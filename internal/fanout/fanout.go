@@ -1,7 +1,3 @@
-// Package fanout provides the bounded, order-preserving worker pool shared
-// by the experiment harness and the CLI drivers: n independent jobs are
-// handed to at most `workers` goroutines, callers write results into
-// caller-owned slices at the job index, and the first error wins.
 package fanout
 
 import (

@@ -1,0 +1,14 @@
+// Package heap implements record files of small tuples over the buffer
+// pool: the storage for everything that "shares pages" in the paper's
+// terminology (flat NSM tuples, small nested tuples, small direct objects).
+//
+// Records never span pages (the paper's k = tuples-per-page model) and
+// inserts append behind the previous record, so the tuples of one object
+// loaded back-to-back stay physically clustered — the premise of the
+// paper's Equations 6 and 7.
+//
+// Access is tuple-at-a-time through the buffer pool: one page fix per
+// record access, one fix (and at most one I/O call) per page on scans,
+// matching the DASDBS behaviour that "NSM even reads only a single page
+// per retrieval call" (§5.2, Table 5).
+package heap

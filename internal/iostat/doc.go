@@ -1,0 +1,18 @@
+// Package iostat collects the I/O and buffer statistics that the paper
+// reports: physical page reads/writes (Table 4), I/O calls (Table 5) and
+// buffer fixes (Table 6). The counters are deliberately dumb integers so
+// that the storage engine can update them from hot paths without locking
+// overhead dominating the simulation; the engine serializes access itself.
+//
+// Concurrency contract: a Stats value is owned by exactly one engine
+// (simulated device or buffer pool), and that engine updates it only while
+// holding its own mutex — Disk.Stats and Pool.Fixes/Hits take the same
+// mutex to read, so snapshots are consistent. The parallel experiment
+// harness relies on this per-engine ownership instead of atomic counters:
+// every (model, query) worker owns a private device + pool, so counters
+// are never shared across goroutines, hot-path increments stay plain adds,
+// and the measured numbers are bit-identical to a serial run (verified by
+// `go test -race` and the determinism tests in the experiments package).
+// Stats values returned from snapshot methods are plain copies and may be
+// freely passed between goroutines.
+package iostat

@@ -1,30 +1,3 @@
-// Package longobj implements the DASDBS-style storage of large complex
-// objects described in the paper's §4: "if a nested tuple is too large to
-// be stored on a single page, the structure information is mapped onto a
-// set of header pages, which is disjoint from the set of data pages that
-// store the data".
-//
-// An object is a sequence of tagged components (the root record and each
-// sub-object). Objects that fit one page are stored as ordinary records in
-// a shared slotted heap ("with smaller objects ... several objects will
-// share a single page", §5.3); larger objects get a contiguous run of
-// pages: header page(s) holding the component directory, then dedicated
-// data pages holding the component bytes back to back.
-//
-// Read paths mirror the two direct storage models:
-//
-//   - ReadAll fetches header and all data pages — the plain DSM behaviour
-//     ("complex objects are stored as a whole ... the pages that store the
-//     tuple will not be shared", §3.1);
-//   - ReadParts fetches the header first and then only the data pages that
-//     hold requested components — the DASDBS-DSM behaviour ("from the set
-//     of pages that stores the object, only those pages are retrieved that
-//     are actually used in a query", §3.2).
-//
-// ChangeComponent implements the §5.3 update anomaly: DASDBS "change
-// attribute" operations allocate a page pool of which all pages are
-// written immediately, making DASDBS-DSM updates expensive for small
-// objects.
 package longobj
 
 import (

@@ -1,0 +1,17 @@
+// Package page implements the slotted page layout used for all shared
+// ("several tuples per page") storage in the repository. The geometry
+// follows the paper's DASDBS description: a raw 2048-byte page carries a
+// 36-byte system header, leaving an effective payload of 2012 bytes in
+// which k tuples and their slot directory live. The paper's parameter
+// k (tuples per page) therefore comes out of this package's arithmetic.
+//
+// Payload layout (offsets relative to the payload start):
+//
+//	[0:2)  uint16 number of slots
+//	[2:4)  uint16 freeEnd: records occupy [freeEnd, len(payload))
+//	[4:6)  uint16 garbage: bytes occupied by deleted records
+//	[6:6+4*nslots) slot directory, 4 bytes per slot: uint16 off, uint16 len
+//
+// Records grow downward from the payload end; the slot directory grows
+// upward. A deleted slot has off == delSentinel.
+package page

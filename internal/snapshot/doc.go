@@ -1,0 +1,36 @@
+// Package snapshot implements the .codb database snapshot format: a
+// container holding, per storage model, the raw device arena (every page
+// image) plus the model's directory metadata. Opening a snapshot restores
+// a loaded database without regenerating or reloading the benchmark
+// extension — and because the restored arena and directories are
+// bit-identical to the originals, every query measured against a restored
+// model produces exactly the counters of a fresh load (pinned by the
+// round-trip tests).
+//
+// Layout (all integers big-endian):
+//
+//	"CODB" | u16 version | u32 genLen | gen JSON | u16 modelCount
+//	repeated per model:
+//	  u8 kind | u32 pageSize | u32 numPages | u32 metaLen | meta | arena
+//
+// The generator configuration is stored in the header so that a consumer
+// (cotables -db) can verify the snapshot matches the requested extension
+// instead of silently measuring a different database.
+//
+// # Format versioning
+//
+// Two version numbers evolve independently. The container version
+// (Version, the u16 after the magic) covers the layout above; readers
+// reject any mismatch with ErrFormat rather than guessing. Each model's
+// meta blob additionally carries its own version written by the model's
+// SnapshotMeta serializer, so a storage model can evolve its directory
+// metadata without a container bump — RestoreMeta rejects blobs it does
+// not understand with a typed error. Snapshots are write-once artifacts
+// (cogen -db); there is no in-place migration, a mismatched snapshot is
+// simply regenerated.
+//
+// A snapshot can be restored two ways: Open gives one model a private
+// arena (restored into whatever backend the options name), OpenBase reads
+// the arena once into an immutable store.SharedBase from which any number
+// of copy-on-write views open without further I/O or copying.
+package snapshot

@@ -1,21 +1,3 @@
-// Package snapshot implements the .codb database snapshot format: a
-// container holding, per storage model, the raw device arena (every page
-// image) plus the model's directory metadata. Opening a snapshot restores
-// a loaded database without regenerating or reloading the benchmark
-// extension — and because the restored arena and directories are
-// bit-identical to the originals, every query measured against a restored
-// model produces exactly the counters of a fresh load (pinned by the
-// round-trip tests).
-//
-// Layout (all integers big-endian):
-//
-//	"CODB" | u16 version | u32 genLen | gen JSON | u16 modelCount
-//	repeated per model:
-//	  u8 kind | u32 pageSize | u32 numPages | u32 metaLen | meta | arena
-//
-// The generator configuration is stored in the header so that a consumer
-// (cotables -db) can verify the snapshot matches the requested extension
-// instead of silently measuring a different database.
 package snapshot
 
 import (
@@ -29,6 +11,7 @@ import (
 	"path/filepath"
 
 	"complexobj/cobench"
+	"complexobj/internal/disk"
 	"complexobj/internal/store"
 )
 
@@ -289,6 +272,44 @@ func Open(path string, k store.Kind, o store.Options) (store.Model, error) {
 			return nil, err
 		}
 		return m, nil
+	}
+	return nil, fmt.Errorf("%w: %s in %s", ErrNoModel, k, filepath.Base(path))
+}
+
+// OpenBase reads one model of the snapshot into a store.SharedBase: the
+// arena bytes and directory metadata are read from disk exactly once, and
+// every engine opened from the base afterwards is a copy-on-write view of
+// that single arena. This is the memory-cheap restore path for the
+// parallel experiment matrix — n workers over one snapshot cost one arena,
+// not n — with the same measurement guarantee as Open (cold cache, zeroed
+// counters, bit-identical counters to a fresh load).
+func OpenBase(path string, k store.Kind) (*store.SharedBase, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	_, entries, err := parse(f)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.kind != k {
+			continue
+		}
+		if _, err := f.Seek(e.metaOff, io.SeekStart); err != nil {
+			return nil, err
+		}
+		r := bufio.NewReaderSize(f, 1<<20)
+		meta := make([]byte, e.metaLen)
+		if _, err := io.ReadFull(r, meta); err != nil {
+			return nil, fmt.Errorf("%w: meta of %s", ErrFormat, e.kind)
+		}
+		arena := make([]byte, e.numPages*e.pageSize)
+		if _, err := io.ReadFull(r, arena); err != nil {
+			return nil, fmt.Errorf("%w: arena of %s", ErrFormat, e.kind)
+		}
+		return store.NewSharedBase(k, e.pageSize, meta, disk.NewBaseArena(arena))
 	}
 	return nil, fmt.Errorf("%w: %s in %s", ErrNoModel, k, filepath.Base(path))
 }

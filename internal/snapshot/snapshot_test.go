@@ -157,3 +157,51 @@ func TestSnapshotPageSizeConflict(t *testing.T) {
 }
 
 func writeFile(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }
+
+// TestSnapshotOpenBaseEquivalence pins the shared-base restore path: a
+// COW view opened from snapshot.OpenBase runs the full query matrix with
+// counters bit-identical to snapshot.Open — even when several views of
+// the same base run back to back, and even after an earlier view has run
+// the update queries (overlays are private, the base is immutable).
+func TestSnapshotOpenBaseEquivalence(t *testing.T) {
+	gen := testGen()
+	stations, err := cobench.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := loadModel(t, store.DASDBSNSM, stations, disk.BackendSpec{})
+	want := runAll(t, m)
+	path := filepath.Join(t.TempDir(), "base.codb")
+	if err := snapshot.Write(path, gen, m); err != nil {
+		t.Fatal(err)
+	}
+	m.Engine().Close()
+
+	base, err := snapshot.OpenBase(path, store.DASDBSNSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.NumPages() == 0 || base.ArenaBytes() != base.NumPages()*base.PageSize() {
+		t.Fatalf("base geometry: %d pages, %d bytes", base.NumPages(), base.ArenaBytes())
+	}
+	for view := 0; view < 3; view++ {
+		v, err := base.Open(store.Options{BufferPages: 180})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runAll(t, v) // includes the update queries: dirties the overlay
+		for i := range got {
+			if got[i].Stats != want[i].Stats {
+				t.Errorf("view %d, %s: counters differ from fresh load:\nfresh: %+v\nview:  %+v",
+					view, got[i].Query, want[i].Stats, got[i].Stats)
+			}
+		}
+		if err := v.Engine().Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, err := snapshot.OpenBase(path, store.DSM); !errors.Is(err, snapshot.ErrNoModel) {
+		t.Errorf("missing model error = %v", err)
+	}
+}

@@ -1,0 +1,22 @@
+// Package store implements the four complex-object storage models of the
+// paper's §3 over the simulated DASDBS engine:
+//
+//   - DSM and DASDBS-DSM (direct.go): direct storage, objects clustered
+//     as a whole; the DASDBS variant adds object headers, partial page
+//     access and write-through change-attribute updates;
+//   - NSM (nsm.go): normalized flat relations, with and without an index;
+//   - DASDBS-NSM (dnsm.go): normalized nested relations plus a
+//     transformation table.
+//
+// All models speak the same Model interface so the benchmark driver and
+// the experiment harness treat them uniformly.
+//
+// An Engine (device + buffer pool) backs each model; engines are opened
+// from a disk.BackendSpec, so where the page bytes live (heap, file, or a
+// copy-on-write overlay) is a configuration choice that never changes the
+// measured counters. A loaded model can be frozen into an immutable
+// SharedBase (Freeze) from which any number of copy-on-write views open
+// cheaply — one loaded extension shared across every worker of the
+// parallel experiment matrix. Engine.Close on a view releases only the
+// view's private overlay.
+package store

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+
+	"complexobj/internal/disk"
+)
+
+// SharedBase is the frozen, immutable state of one loaded storage model:
+// the raw device arena plus the model's directory metadata. Any number of
+// engines can open copy-on-write views of one base concurrently — each
+// view reads the shared arena and keeps its writes in a private
+// page-granular overlay — so the parallel experiment matrix pays for one
+// loaded extension per model kind instead of one per worker. A restored
+// view starts with a cold cache and zeroed counters and measures
+// bit-identically to a freshly loaded model (the same guarantee the .codb
+// snapshot round-trip pins).
+type SharedBase struct {
+	kind     Kind
+	pageSize int
+	numPages int
+	meta     []byte
+	arena    *disk.BaseArena
+}
+
+// NewSharedBase assembles a base from raw parts (the snapshot package uses
+// this to lift one model of a .codb file into a shareable base without
+// constructing a throwaway engine). The arena length must be an exact
+// multiple of the page size.
+func NewSharedBase(k Kind, pageSize int, meta []byte, arena *disk.BaseArena) (*SharedBase, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("store: shared base with page size %d", pageSize)
+	}
+	if arena.Len()%pageSize != 0 {
+		return nil, fmt.Errorf("store: shared base arena of %d bytes is not a multiple of page size %d",
+			arena.Len(), pageSize)
+	}
+	return &SharedBase{
+		kind:     k,
+		pageSize: pageSize,
+		numPages: arena.Len() / pageSize,
+		meta:     meta,
+		arena:    arena,
+	}, nil
+}
+
+// Freeze flushes m and copies its device arena and directory metadata into
+// an immutable SharedBase. The model keeps working afterwards (its dirty
+// pages are flushed as a side effect); the base never observes later
+// changes. This is the in-memory counterpart of writing and re-opening a
+// snapshot, at the cost of one arena copy total — instead of one per
+// engine that wants the loaded state.
+func Freeze(m Model) (*SharedBase, error) {
+	if err := m.Flush(); err != nil {
+		return nil, fmt.Errorf("store: freeze flush %s: %w", m.Kind(), err)
+	}
+	meta, err := m.SnapshotMeta()
+	if err != nil {
+		return nil, fmt.Errorf("store: freeze meta %s: %w", m.Kind(), err)
+	}
+	dev := m.Engine().Dev
+	n := dev.NumPages() * dev.PageSize()
+	buf := bytes.NewBuffer(make([]byte, 0, n))
+	if err := dev.DumpTo(buf); err != nil {
+		return nil, fmt.Errorf("store: freeze arena %s: %w", m.Kind(), err)
+	}
+	return NewSharedBase(m.Kind(), dev.PageSize(), meta, disk.NewBaseArena(buf.Bytes()))
+}
+
+// Kind returns the storage model the base holds.
+func (b *SharedBase) Kind() Kind { return b.kind }
+
+// PageSize returns the device page size of the frozen arena.
+func (b *SharedBase) PageSize() int { return b.pageSize }
+
+// NumPages returns the number of frozen pages.
+func (b *SharedBase) NumPages() int { return b.numPages }
+
+// ArenaBytes returns the size of the shared arena in bytes (memory
+// accounting: this is paid once, regardless of how many views are open).
+func (b *SharedBase) ArenaBytes() int { return b.arena.Len() }
+
+// Open builds a model over a fresh copy-on-write view of the base. The
+// options select the runtime knobs (buffer size, policy); the page size
+// comes from the base and must not conflict with a non-zero o.PageSize,
+// and any configured backend spec is superseded by the COW view. Closing
+// the returned model's engine releases only its private overlay.
+func (b *SharedBase) Open(o Options) (Model, error) {
+	if o.PageSize != 0 && o.PageSize != b.pageSize {
+		return nil, fmt.Errorf("store: page size %d requested, shared base has %d", o.PageSize, b.pageSize)
+	}
+	if o.CountIndexIO {
+		return nil, fmt.Errorf("store: counted index I/O is rebuilt per run and cannot open from a shared base")
+	}
+	o.PageSize = b.pageSize
+	o.Backend = disk.BackendSpec{Kind: disk.COWArena, Base: b.arena}
+	eng, err := NewEngine(o)
+	if err != nil {
+		return nil, err
+	}
+	m := NewWithEngine(b.kind, eng)
+	if err := m.RestoreMeta(b.meta); err != nil {
+		eng.Close()
+		return nil, fmt.Errorf("store: open shared base %s: %w", b.kind, err)
+	}
+	return m, nil
+}

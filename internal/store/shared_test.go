@@ -1,0 +1,167 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"complexobj/cobench"
+	"complexobj/internal/disk"
+)
+
+// TestSharedBaseRoundTrip freezes every loaded storage model and checks a
+// COW view restores the full extension: same object count, same layout
+// metadata, and every object readable and equal to the original.
+func TestSharedBaseRoundTrip(t *testing.T) {
+	stations, err := cobench.Generate(cobench.DefaultConfig().WithN(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range AllKinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			orig := loadModel(t, k, stations)
+			defer orig.Engine().Close()
+			base, err := Freeze(orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.Kind() != k || base.NumPages() == 0 {
+				t.Fatalf("base: kind %s, %d pages", base.Kind(), base.NumPages())
+			}
+			view, err := base.Open(Options{BufferPages: 200})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer view.Engine().Close()
+			if view.NumObjects() != orig.NumObjects() {
+				t.Fatalf("view has %d objects, want %d", view.NumObjects(), orig.NumObjects())
+			}
+			for _, i := range []int{0, 17, 59} {
+				want, err := orig.FetchByKey(stations[i].Key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := view.FetchByKey(stations[i].Key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !want.Equal(got) {
+					t.Errorf("object %d differs through the view", i)
+				}
+			}
+			origSizes, viewSizes := orig.Sizes(), view.Sizes()
+			if len(origSizes.Relations) != len(viewSizes.Relations) ||
+				origSizes.TotalPages() != viewSizes.TotalPages() {
+				t.Errorf("layout metadata differs: %+v vs %+v", origSizes, viewSizes)
+			}
+		})
+	}
+}
+
+// TestSharedBaseViewIsolation is the store-level overlay regression: one
+// view's updates must be invisible to the base and to sibling views, and
+// closing the writing view must release only its overlay.
+func TestSharedBaseViewIsolation(t *testing.T) {
+	stations, err := cobench.Generate(cobench.DefaultConfig().WithN(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := loadModel(t, DASDBSNSM, stations)
+	base, err := Freeze(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.Engine().Close()
+	pristineSum := append([]byte(nil), checksumBase(base)...)
+
+	writer, err := base.Open(Options{BufferPages: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := base.Open(Options{BufferPages: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reader.Engine().Close()
+
+	key := stations[5].Key
+	idxs := []int32{5, 11, 23}
+	// Same convention as query 3: overwrite the fixed-capacity name so the
+	// object structure is unchanged.
+	if err := writer.UpdateRoots(idxs, func(i int32, r *cobench.RootRecord) {
+		r.Name = "mutated through writer view"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := writer.FetchByKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "mutated through writer view" {
+		t.Fatal("writer does not observe its own flushed update")
+	}
+	unchanged, err := reader.FetchByKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unchanged.Name != stations[5].Name {
+		t.Fatal("sibling view observes the writer's update")
+	}
+	if !bytes.Equal(checksumBase(base), pristineSum) {
+		t.Fatal("update through a view mutated the shared base arena")
+	}
+
+	st, ok := disk.COWStatsOf(writer.Engine().Dev.Backend())
+	if !ok {
+		t.Fatal("writer view is not COW-backed")
+	}
+	if st.OverlayPages == 0 {
+		t.Fatal("flushed update materialized no overlay pages")
+	}
+	if st.OverlayBytes >= base.ArenaBytes() {
+		t.Fatalf("overlay (%d bytes) not smaller than the base (%d bytes)",
+			st.OverlayBytes, base.ArenaBytes())
+	}
+	rst, _ := disk.COWStatsOf(reader.Engine().Dev.Backend())
+	if rst.OverlayPages != 0 {
+		t.Fatalf("read-only view materialized %d overlay pages", rst.OverlayPages)
+	}
+
+	if err := writer.Engine().Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(checksumBase(base), pristineSum) {
+		t.Fatal("closing a view damaged the shared base")
+	}
+	if again, err := reader.FetchByKey(key); err != nil || again.Name != stations[5].Name {
+		t.Fatalf("sibling view broken after writer close: %v", err)
+	}
+}
+
+// checksumBase snapshots the full base arena content (equality probe).
+func checksumBase(b *SharedBase) []byte {
+	return b.arena.Bytes()
+}
+
+// TestSharedBaseRejectsConflicts pins the option validation.
+func TestSharedBaseRejectsConflicts(t *testing.T) {
+	stations, err := cobench.Generate(cobench.DefaultConfig().WithN(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := loadModel(t, NSMIndex, stations)
+	defer m.Engine().Close()
+	base, err := Freeze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.Open(Options{PageSize: 1024}); err == nil {
+		t.Error("conflicting page size accepted")
+	}
+	if _, err := base.Open(Options{CountIndexIO: true}); err == nil {
+		t.Error("counted index I/O accepted from a shared base")
+	}
+}

@@ -1,15 +1,3 @@
-// Package store implements the four complex-object storage models of the
-// paper's §3 over the simulated DASDBS engine:
-//
-//   - DSM and DASDBS-DSM (direct.go): direct storage, objects clustered
-//     as a whole; the DASDBS variant adds object headers, partial page
-//     access and write-through change-attribute updates;
-//   - NSM (nsm.go): normalized flat relations, with and without an index;
-//   - DASDBS-NSM (dnsm.go): normalized nested relations plus a
-//     transformation table.
-//
-// All models speak the same Model interface so the benchmark driver and
-// the experiment harness treat them uniformly.
 package store
 
 import (
@@ -115,17 +103,17 @@ type Engine struct {
 
 // NewEngine creates a device/pool pair over the backend named by the
 // options. A backend that already holds page images (an explicit-path
-// arena file from an earlier run) is adopted: its pages count as
-// allocated, so fresh allocations extend the persisted device instead of
-// aliasing it.
+// arena file from an earlier run, or a COW view over a shared base) is
+// adopted: its pages count as allocated, so fresh allocations extend the
+// persisted device instead of aliasing it.
 func NewEngine(o Options) (*Engine, error) {
 	o = o.withDefaults()
-	b, err := o.Backend.Open()
+	b, err := o.Backend.Open(o.PageSize)
 	if err != nil {
 		return nil, err
 	}
 	var dev *disk.Disk
-	if len(b.Bytes()) > 0 {
+	if b.Len() > 0 {
 		dev, err = disk.Open(o.PageSize, b)
 		if err != nil {
 			b.Close()

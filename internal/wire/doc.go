@@ -1,0 +1,8 @@
+// Package wire provides the tiny append/consume binary codec shared by the
+// snapshot format and the storage-model metadata serializers. Everything is
+// big-endian, matching the page encodings used throughout the engine.
+//
+// The Reader deliberately latches the first error instead of returning one
+// per call: metadata decoding is a long linear sequence of reads, and the
+// latched error keeps the restore code shaped like the save code.
+package wire

@@ -11,8 +11,10 @@ import (
 // TestBackendCounterEquivalence is the tentpole invariant test at the raw
 // counter level: the full paper query matrix, run on every storage model,
 // produces bit-identical iostat counters (page I/Os, I/O calls, buffer
-// fixes and hits) whether the device arena lives in memory or on a
-// mmap'ed file. The backend moves bytes, never measurements.
+// fixes and hits) whether the device arena lives in memory, on a mmap'ed
+// file, or in a copy-on-write overlay — both the bare overlay ("cow" with
+// no base) and a view of a frozen shared base. The backend moves bytes,
+// never measurements.
 func TestBackendCounterEquivalence(t *testing.T) {
 	stations, err := cobench.Generate(cobench.DefaultConfig().WithN(80))
 	if err != nil {
@@ -21,33 +23,56 @@ func TestBackendCounterEquivalence(t *testing.T) {
 	w := cobench.Workload{Loops: 20, Samples: 6, Seed: 7}
 	for _, k := range store.AllKinds() {
 		t.Run(k.String(), func(t *testing.T) {
-			run := func(spec disk.BackendSpec) []Result {
-				m, err := store.New(k, store.Options{BufferPages: 200, Backend: spec})
-				if err != nil {
-					t.Fatal(err)
-				}
+			measure := func(m store.Model) []Result {
 				defer m.Engine().Close()
-				if err := m.Load(stations); err != nil {
-					t.Fatal(err)
-				}
 				results, err := NewRunner(m, w).RunAll()
 				if err != nil {
 					t.Fatal(err)
 				}
 				return results
 			}
-			mem := run(disk.BackendSpec{Kind: disk.MemArena})
-			file := run(disk.BackendSpec{Kind: disk.FileArena, Dir: t.TempDir()})
-			if len(mem) != len(file) {
-				t.Fatalf("result counts differ: %d vs %d", len(mem), len(file))
-			}
-			for i := range mem {
-				if mem[i].Stats != file[i].Stats {
-					t.Errorf("%s %s: counters differ across backends:\nmem:  %+v\nfile: %+v",
-						k, mem[i].Query, mem[i].Stats, file[i].Stats)
+			load := func(spec disk.BackendSpec) store.Model {
+				m, err := store.New(k, store.Options{BufferPages: 200, Backend: spec})
+				if err != nil {
+					t.Fatal(err)
 				}
-				if mem[i].Supported != file[i].Supported || mem[i].Units != file[i].Units {
-					t.Errorf("%s %s: normalization differs across backends", k, mem[i].Query)
+				if err := m.Load(stations); err != nil {
+					t.Fatal(err)
+				}
+				return m
+			}
+			run := func(spec disk.BackendSpec) []Result { return measure(load(spec)) }
+
+			mem := run(disk.BackendSpec{Kind: disk.MemArena})
+			got := map[string][]Result{
+				"file": run(disk.BackendSpec{Kind: disk.FileArena, Dir: t.TempDir()}),
+				"cow":  run(disk.BackendSpec{Kind: disk.COWArena}),
+			}
+			// Shared-base view: freeze one loaded model, measure a COW view.
+			loader := load(disk.BackendSpec{Kind: disk.MemArena})
+			base, err := store.Freeze(loader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loader.Engine().Close()
+			view, err := base.Open(store.Options{BufferPages: 200})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got["cow-shared-base"] = measure(view)
+
+			for name, other := range got {
+				if len(mem) != len(other) {
+					t.Fatalf("%s: result counts differ: %d vs %d", name, len(mem), len(other))
+				}
+				for i := range mem {
+					if mem[i].Stats != other[i].Stats {
+						t.Errorf("%s %s: counters differ across backends:\nmem: %+v\n%s: %+v",
+							k, mem[i].Query, mem[i].Stats, name, other[i].Stats)
+					}
+					if mem[i].Supported != other[i].Supported || mem[i].Units != other[i].Units {
+						t.Errorf("%s %s: normalization differs on %s", k, mem[i].Query, name)
+					}
 				}
 			}
 		})

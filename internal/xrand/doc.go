@@ -1,0 +1,6 @@
+// Package xrand provides a small deterministic random source used by the
+// benchmark generator and the experiment harness. The stdlib math/rand is
+// avoided on purpose: its generator changed across Go releases, and this
+// repository promises bit-for-bit reproducible experiment output for a
+// given seed. xrand implements splitmix64, which is trivially portable.
+package xrand
