@@ -7,6 +7,7 @@
 //	        [-n 1500] [-buffer 1200] [-loops 300] [-samples 40] [-seed 1993]
 //	        [-skew] [-maxseeing 15] [-metric pages|calls|fixes|writes]
 //	        [-workers 0] [-backend mem|file|file:DIR|cow] [-db snapshot.codb]
+//	        [-repeat 1] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Each storage model owns an independent simulated engine, so the model
 // rows are measured concurrently by a bounded worker pool (-workers, 0 =
@@ -14,16 +15,26 @@
 // selects where each engine keeps its page images (counters are identical
 // across backends); -db restores the models from a cogen-built snapshot
 // instead of regenerating and loading the extension.
+//
+// -repeat measures the whole table that many times (the runs are
+// deterministic and identical; the table is printed once) — useful under
+// -cpuprofile/-memprofile to accumulate signal. With -db and -backend
+// cow, each model's snapshot arena is opened exactly once per invocation
+// (mmap'ed read-only where the platform allows) and every repeat gets a
+// fresh copy-on-write view of that one base, instead of re-reading the
+// snapshot per run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"complexobj"
 	"complexobj/cobench"
 	"complexobj/internal/fanout"
+	"complexobj/internal/profile"
 	"complexobj/report"
 )
 
@@ -42,102 +53,185 @@ func main() {
 		workers   = flag.Int("workers", 0, "concurrent model workers (0 = GOMAXPROCS, 1 = serial)")
 		backend   = flag.String("backend", "mem", "device backend: mem, file, file:DIR or cow")
 		dbPath    = flag.String("db", "", "restore models from this cogen-built .codb snapshot instead of generating")
+		repeat    = flag.Int("repeat", 1, "measure the full table this many times (deterministic; printed once)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	gen := cobench.DefaultConfig().WithN(*n).WithMaxSeeing(*maxSeeing)
-	gen.Seed = *seed
-	if *skew {
+	stopProf, err := profile.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	err = run(*model, *query, *n, *buffer, *loops, *samples, *seed, *skew, *maxSeeing,
+		*metric, *workers, *backend, *dbPath, *repeat)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// run does all the work, so the profile writers flush on every exit path
+// (os.Exit lives only in main).
+func run(model, query string, n, buffer, loops, samples int, seed uint64, skew bool,
+	maxSeeing int, metric string, workers int, backend, dbPath string, repeat int) error {
+
+	gen := cobench.DefaultConfig().WithN(n).WithMaxSeeing(maxSeeing)
+	gen.Seed = seed
+	if skew {
 		gen = gen.Skewed()
 	}
-	w := cobench.Workload{Loops: *loops, Samples: *samples, Seed: *seed}
+	w := cobench.Workload{Loops: loops, Samples: samples, Seed: seed}
 
 	models := complexobj.AllModels()
-	if *model != "all" {
-		k, err := complexobj.ModelByName(*model)
+	if model != "all" {
+		k, err := complexobj.ModelByName(model)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		models = []complexobj.ModelKind{k}
 	}
 	queries := cobench.AllQueries()
-	if *query != "all" {
-		q, ok := queryByName(*query)
+	if query != "all" {
+		q, ok := queryByName(query)
 		if !ok {
-			fatal(fmt.Errorf("unknown query %q", *query))
+			return fmt.Errorf("unknown query %q", query)
 		}
 		queries = []cobench.Query{q}
 	}
-	get, ok := metricFn(*metric)
+	get, ok := metricFn(metric)
 	if !ok {
-		fatal(fmt.Errorf("unknown metric %q", *metric))
+		return fmt.Errorf("unknown metric %q", metric)
+	}
+	if repeat < 1 {
+		return fmt.Errorf("-repeat %d: need at least one run", repeat)
 	}
 
-	if *dbPath != "" {
-		info, err := complexobj.StatSnapshot(*dbPath)
+	if dbPath != "" {
+		info, err := complexobj.StatSnapshot(dbPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if info.Gen != gen {
-			fatal(fmt.Errorf("snapshot %s was built from %+v, flags request %+v", *dbPath, info.Gen, gen))
+			return fmt.Errorf("snapshot %s was built from %+v, flags request %+v", dbPath, info.Gen, gen)
 		}
 	}
 
 	t := &report.Table{
-		Title:  fmt.Sprintf("measured %s per object/loop (N=%d, buffer=%d pages, loops=%d)", *metric, *n, *buffer, *loops),
+		Title:  fmt.Sprintf("measured %s per object/loop (N=%d, buffer=%d pages, loops=%d)", metric, n, buffer, loops),
 		Header: []string{"MODEL"},
 	}
 	for _, q := range queries {
 		t.Header = append(t.Header, q.String())
 	}
-	opts := complexobj.Options{BufferPages: *buffer, Backend: *backend}
-	rows, err := measureModels(models, queries, gen, w, opts, *dbPath, *workers, get)
+	opts := complexobj.Options{BufferPages: buffer, Backend: backend}
+	bases := newBaseCache(dbPath, backend)
+	defer bases.Close()
+	rows, err := measureModels(models, queries, gen, w, opts, workers, repeat, bases, get)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	fmt.Println(t.Text())
+	return nil
+}
+
+// baseCache keeps one frozen complexobj.Base per model for the lifetime
+// of the invocation, so that with -db and -backend cow the snapshot arena
+// of a model is opened once (mmap'ed read-only where the platform allows)
+// and every further run — across -repeat iterations and query loops —
+// opens a cheap copy-on-write view instead of re-reading the snapshot.
+// With any other flag combination it stays empty and open falls through
+// to the regular per-run paths.
+type baseCache struct {
+	path  string
+	share bool
+	mu    sync.Mutex
+	bases map[complexobj.ModelKind]*complexobj.Base
+}
+
+func newBaseCache(dbPath, backend string) *baseCache {
+	return &baseCache{
+		path:  dbPath,
+		share: dbPath != "" && backend == "cow",
+		bases: make(map[complexobj.ModelKind]*complexobj.Base),
+	}
+}
+
+// open returns one measurement-ready database: a COW view of the cached
+// base on the shared path, a snapshot restore or a fresh load otherwise.
+func (c *baseCache) open(k complexobj.ModelKind, opts complexobj.Options,
+	gen cobench.Config) (*complexobj.DB, error) {
+	if c.share {
+		c.mu.Lock()
+		base, ok := c.bases[k]
+		if !ok {
+			var err error
+			if base, err = complexobj.OpenBase(c.path, k); err != nil {
+				c.mu.Unlock()
+				return nil, err
+			}
+			c.bases[k] = base
+		}
+		c.mu.Unlock()
+		return base.Open(opts)
+	}
+	if c.path != "" {
+		return complexobj.OpenSnapshot(c.path, k, opts)
+	}
+	return complexobj.OpenLoaded(k, opts, gen)
+}
+
+// Close releases every cached base (dropping snapshot file mappings).
+func (c *baseCache) Close() {
+	for k, base := range c.bases {
+		base.Close()
+		delete(c.bases, k)
+	}
 }
 
 // measureModels runs the selected queries on every model with a bounded
-// worker pool. Each job opens its own database (independent simulated
-// device and buffer pool) — freshly generated and loaded, or restored from
-// the snapshot — so no storage state is shared; rows come back in model
-// order regardless of scheduling.
+// worker pool, repeat times. Each run opens its own database (independent
+// simulated device and buffer pool) — a COW view of the invocation-wide
+// cached base, restored from the snapshot, or freshly generated and
+// loaded — so no mutable storage state is shared; runs are deterministic
+// and identical, and rows come back in model order regardless of
+// scheduling.
 func measureModels(models []complexobj.ModelKind, queries []cobench.Query,
 	gen cobench.Config, w cobench.Workload, opts complexobj.Options,
-	dbPath string, workers int,
+	workers, repeat int, bases *baseCache,
 	get func(complexobj.QueryResult) float64) ([][]string, error) {
 
 	rows := make([][]string, len(models))
 	err := fanout.Run(len(models), workers, func(idx int) error {
 		k := models[idx]
-		var db *complexobj.DB
-		var err error
-		if dbPath != "" {
-			db, err = complexobj.OpenSnapshot(dbPath, k, opts)
-		} else {
-			db, err = complexobj.OpenLoaded(k, opts, gen)
-		}
-		if err != nil {
-			return err
-		}
-		defer db.Close()
-		row := []string{k.String()}
-		for _, q := range queries {
-			res, err := db.Run(q, w)
+		for r := 0; r < repeat; r++ {
+			db, err := bases.open(k, opts, gen)
 			if err != nil {
 				return err
 			}
-			if !res.Supported {
-				row = append(row, "-")
-				continue
+			row := []string{k.String()}
+			for _, q := range queries {
+				res, err := db.Run(q, w)
+				if err != nil {
+					db.Close()
+					return err
+				}
+				if !res.Supported {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, report.Num(get(res)))
 			}
-			row = append(row, report.Num(get(res)))
+			if err := db.Close(); err != nil {
+				return err
+			}
+			rows[idx] = row
 		}
-		rows[idx] = row
 		return nil
 	})
 	if err != nil {

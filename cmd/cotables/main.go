@@ -8,6 +8,7 @@
 //	         [-n 1500] [-buffer 1200] [-loops 300] [-seed 1993] [-clock]
 //	         [-only table4,fig6] [-list] [-workers 0]
 //	         [-backend mem|file|file:DIR|cow] [-db snapshot.codb]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The measurement matrix behind Tables 4-6 and 8 and the sweep
 // experiments are computed by bounded worker pools with independent
@@ -27,6 +28,10 @@
 //
 // -list prints every section title the registry can produce (the strings
 // -only matches against, substring, case-insensitive) and exits.
+//
+// -cpuprofile/-memprofile write runtime/pprof profiles of the run, so
+// performance work on the harness can attribute time and allocations
+// without editing code.
 package main
 
 import (
@@ -37,6 +42,7 @@ import (
 	"strings"
 
 	"complexobj/experiments"
+	"complexobj/internal/profile"
 	"complexobj/report"
 )
 
@@ -63,8 +69,10 @@ func run() error {
 		list    = flag.Bool("list", false, "print every section title -only can match, then exit")
 		charts  = flag.Bool("charts", false, "append ASCII charts of Figures 5 and 6")
 		workers = flag.Int("workers", 0, "concurrent workers for the measurement matrix and sweeps (0 = GOMAXPROCS, 1 = serial)")
-		backend = flag.String("backend", "mem", "device backend: mem, file, file:DIR or cow (workers share one loaded extension copy-on-write)")
+		backend = flag.String("backend", "mem", "device backend: mem, file, file:DIR or cow (cells share frozen bases copy-on-write)")
 		dbPath  = flag.String("db", "", "open this cogen-built .codb snapshot for the default-extension models instead of regenerating")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -72,6 +80,16 @@ func run() error {
 		fmt.Print(listSections())
 		return nil
 	}
+
+	stopProf, err := profile.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "cotables:", perr)
+		}
+	}()
 
 	cfg := experiments.DefaultConfig()
 	cfg.Gen.N = *n

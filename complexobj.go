@@ -230,7 +230,12 @@ func OpenSnapshot(path string, kind ModelKind, opts Options) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		return base.Open(opts)
+		db, err := base.Open(opts)
+		// The throwaway Base handle is released either way: the view holds
+		// its own reference, so closing the database also drops the arena
+		// (unmapping the snapshot region where it was mmap'ed).
+		base.Close()
+		return db, err
 	}
 	m, err := snapshot.Open(path, kind.internal(), so)
 	if err != nil {
@@ -247,13 +252,23 @@ func OpenSnapshot(path string, kind ModelKind, opts Options) (*DB, error) {
 // are independent databases (each with its own engine and counters) and
 // may be used from different goroutines; the Base itself is immutable and
 // safe to share.
+//
+// The base storage is reference-counted: the Base handle holds one
+// reference and every open view another, so Close releases the arena —
+// including the snapshot file mapping where OpenBase mmap'ed it — only
+// after the last view is closed too.
 type Base struct {
 	kind ModelKind
 	base *store.SharedBase
 }
 
-// OpenBase reads one storage model of a .codb snapshot into a shareable
-// base, paying the arena read exactly once.
+// OpenBase lifts one storage model of a .codb snapshot into a shareable
+// base, paying for the arena exactly once. Where the platform supports it
+// (Linux) the snapshot's arena region is mmap'ed read-only in place
+// instead of copied to the heap: views start with near-zero resident
+// arena and fault base pages in on demand. The snapshot file must not be
+// truncated or rewritten in place while the base or any of its views is
+// open (atomically replacing it via WriteSnapshot is safe).
 func OpenBase(path string, kind ModelKind) (*Base, error) {
 	b, err := snapshot.OpenBase(path, kind.internal())
 	if err != nil {
@@ -282,6 +297,17 @@ func (b *Base) NumPages() int { return b.base.NumPages() }
 // ArenaBytes returns the size of the shared arena in bytes — paid once no
 // matter how many views are open.
 func (b *Base) ArenaBytes() int { return b.base.ArenaBytes() }
+
+// Mapped reports whether the base arena is an mmap of the snapshot file
+// (paged in on demand) rather than a heap copy.
+func (b *Base) Mapped() bool { return b.base.Mapped() }
+
+// Close drops the Base handle's reference on the arena. Open views keep
+// the arena alive until they are closed; opening new views after Close is
+// a bug. Closing a Base is optional for heap-backed bases (the garbage
+// collector reclaims them) but required to unmap snapshot-mapped ones
+// before the process exits or the snapshot file is rewritten in place.
+func (b *Base) Close() error { return b.base.Release() }
 
 // Open builds a database over a fresh copy-on-write view of the base.
 // opts.Backend must be empty, "mem" (the parse default, treated the

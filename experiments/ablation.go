@@ -146,14 +146,14 @@ func (s *Suite) PolicyAblation() ([]PolicyRow, error) {
 				opts.Policy = buffer.Clock
 			}
 			res, err := func() (workload.Result, error) {
-				m, err := store.New(k, opts)
+				// The replacement policy is a runtime knob of the view, so
+				// both halves of the ablation share one frozen base on the
+				// shared-base path.
+				m, err := s.openLoaded(k, opts, s.cfg.Gen, stations)
 				if err != nil {
 					return workload.Result{}, err
 				}
 				defer m.Engine().Close()
-				if err := m.Load(stations); err != nil {
-					return workload.Result{}, err
-				}
 				return workload.NewRunner(m, s.cfg.Workload).Run(cobench.Q2b)
 			}()
 			if err != nil {

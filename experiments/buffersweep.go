@@ -50,7 +50,9 @@ func (s *Suite) BufferSweep() ([]BufferPoint, error) {
 		Loops:    float64(s.cfg.Workload.Loops),
 	}
 	// All cells measure the default extension; generate it once and share
-	// it read-only across the workers.
+	// it read-only across the workers. On the shared-base path the cache
+	// collapses the whole sweep onto one frozen base per model — the
+	// buffer size is a runtime knob of the view, not part of the base key.
 	stations, err := s.extension()
 	if err != nil {
 		return nil, err
@@ -61,7 +63,7 @@ func (s *Suite) BufferSweep() ([]BufferPoint, error) {
 		k := fig5Models[i%len(fig5Models)]
 		opts := baseOpts
 		opts.BufferPages = bp
-		res, err := runQueriesLoaded(k, opts, stations, s.cfg.Workload, cobench.Q2b)
+		res, err := s.runQueriesLoaded(k, opts, s.cfg.Gen, stations, s.cfg.Workload, cobench.Q2b)
 		if err != nil {
 			return err
 		}

@@ -70,14 +70,11 @@ func (s *Suite) nodeBalance(name string, gen cobench.Config, nodes int) (NodeBal
 	if err != nil {
 		return NodeBalance{}, err
 	}
-	m, err := store.New(store.DSM, opts)
+	m, err := s.openLoaded(store.DSM, opts, gen, stations)
 	if err != nil {
 		return NodeBalance{}, err
 	}
 	defer m.Engine().Close()
-	if err := m.Load(stations); err != nil {
-		return NodeBalance{}, err
-	}
 	perObject, err := objectPages(m, len(stations))
 	if err != nil {
 		return NodeBalance{}, err

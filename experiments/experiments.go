@@ -48,16 +48,21 @@ type Config struct {
 	// Backend selects the device backend for every engine the suite
 	// builds: "" or "mem" (default), "file", "file:DIR" or "cow".
 	// Counters are bit-identical across backends; the choice only moves
-	// the page bytes. With "cow" the parallel matrix additionally shares
-	// one immutable loaded extension per model kind across all workers
-	// (each worker's engine is a copy-on-write view), so peak memory no
-	// longer scales with the worker count.
+	// the page bytes. With "cow" every experiment routes model
+	// acquisition through one config-keyed frozen-base cache: the first
+	// cell to need a (model kind, generator config) pair builds and
+	// freezes it once, and every other cell — matrix workers, Figure 5/6
+	// columns, all buffer-sweep pool sizes, Table 7 variants — opens a
+	// copy-on-write view instead of re-inserting the extension, so both
+	// peak memory and load work stop scaling with the cell count.
 	Backend string
 	// Snapshot is the path of a cogen-built .codb snapshot. When set,
-	// the default-configuration models behind Tables 2-6 and 8 are
-	// restored from the snapshot instead of regenerating and reloading
-	// the extension; the snapshot's stored generator configuration must
-	// match Gen. Sweeps that need non-default extensions still generate.
+	// models of the suite's own extension are restored from the snapshot
+	// instead of regenerating and reloading; the snapshot's stored
+	// generator configuration must match Gen, and with Backend "cow" the
+	// snapshot's arena regions are mmap'ed read-only in place (one
+	// mapping per model kind, shared by every view, paged in on demand).
+	// Sweeps that need non-default extensions still generate.
 	Snapshot string
 }
 
@@ -77,10 +82,14 @@ type Suite struct {
 	cfg         Config
 	storeOpts   store.Options
 	optsErr     error
+	snapMu      sync.Mutex
 	snapChecked bool
 	snapErr     error
+	genOnce     sync.Once
+	genErr      error
 	stations    []*cobench.Station
 	genStats    *cobench.Stats
+	bases       *store.BaseCache
 	models      map[store.Kind]store.Model
 	matrix      *Matrix
 	fig5        []Fig5Cell
@@ -100,7 +109,7 @@ func New(cfg Config) *Suite {
 	if cfg.BufferPages == 0 {
 		cfg.BufferPages = 1200
 	}
-	s := &Suite{cfg: cfg, models: make(map[store.Kind]store.Model)}
+	s := &Suite{cfg: cfg, models: make(map[store.Kind]store.Model), bases: store.NewBaseCache()}
 	s.storeOpts = store.Options{PageSize: cfg.PageSize, BufferPages: cfg.BufferPages}
 	if cfg.UseClock {
 		s.storeOpts.Policy = buffer.Clock
@@ -116,8 +125,9 @@ func Default() *Suite { return New(DefaultConfig()) }
 func (s *Suite) Config() Config { return s.cfg }
 
 // Close releases the engines of every model the suite has cached (file
-// backends unmap and delete their anonymous arena files). The suite must
-// not be used afterwards.
+// backends unmap and delete their anonymous arena files) and then the
+// frozen-base cache (dropping heap bases and snapshot file mappings).
+// The suite must not be used afterwards.
 func (s *Suite) Close() error {
 	var first error
 	for k, m := range s.models {
@@ -125,6 +135,9 @@ func (s *Suite) Close() error {
 			first = err
 		}
 		delete(s.models, k)
+	}
+	if err := s.bases.Close(); err != nil && first == nil {
+		first = err
 	}
 	return first
 }
@@ -143,11 +156,14 @@ func (s *Suite) workers() int {
 }
 
 // snapshotOK validates (once) that the configured snapshot holds the
-// extension the suite is asked to measure.
+// extension the suite is asked to measure. Safe for concurrent use: the
+// base cache validates from concurrent build closures.
 func (s *Suite) snapshotOK() error {
 	if s.cfg.Snapshot == "" {
 		return fmt.Errorf("experiments: no snapshot configured")
 	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
 	if s.snapChecked {
 		return s.snapErr
 	}
@@ -162,23 +178,94 @@ func (s *Suite) snapshotOK() error {
 	return s.snapErr
 }
 
-// openModel builds one loaded default-configuration model: restored from
-// the snapshot when one is configured, otherwise generated and loaded.
-// The caller owns the model's engine.
-func (s *Suite) openModel(k store.Kind) (store.Model, error) {
-	opts, err := s.storeOptions()
-	if err != nil {
-		return nil, err
+// useSharedBases reports whether the suite's engines should be
+// copy-on-write views over cached frozen bases: the cow backend without
+// an externally supplied base. With any other backend every cell keeps
+// its private arena (the pre-cache behaviour), which the determinism
+// tests compare the shared path against.
+func (s *Suite) useSharedBases() bool {
+	return s.optsErr == nil &&
+		s.storeOpts.Backend.Kind == disk.COWArena && s.storeOpts.Backend.Base == nil
+}
+
+// sharedBase returns the frozen base for (k, gen), building it at most
+// once per suite across every experiment — the matrix, Figures 5/6, the
+// buffer sweep, Table 7 and the serially cached models all land in the
+// same cache, so e.g. the Figure 5 default-sightseeing column reuses the
+// bases the matrix froze. The base comes from the configured snapshot
+// when gen is the suite's own extension (mmap'ed in place where the
+// platform allows), otherwise from loading stations — or a deterministic
+// regeneration of gen when the caller has none — and freezing the result.
+func (s *Suite) sharedBase(k store.Kind, gen cobench.Config, stations []*cobench.Station) (*store.SharedBase, error) {
+	key := store.BaseKey{Kind: k, PageSize: s.storeOpts.PageSize, Gen: gen}
+	return s.bases.Get(key, func() (*store.SharedBase, error) {
+		if s.cfg.Snapshot != "" && gen == s.cfg.Gen {
+			if err := s.snapshotOK(); err != nil {
+				return nil, err
+			}
+			return snapshot.OpenBase(s.cfg.Snapshot, k)
+		}
+		if stations == nil {
+			var err error
+			if gen == s.cfg.Gen {
+				stations, err = s.extension()
+			} else {
+				stations, err = cobench.Generate(gen)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Load over a contiguous mem arena, not the cow spec's bare
+		// overlay: the loader exists only to be frozen, and the flat
+		// arena makes both the load and the Freeze dump single memmoves
+		// instead of per-page overlay traffic.
+		loaderOpts := s.storeOpts
+		loaderOpts.Backend = disk.BackendSpec{Kind: disk.MemArena}
+		loader, err := store.New(k, loaderOpts)
+		if err != nil {
+			return nil, err
+		}
+		defer loader.Engine().Close()
+		if err := loader.Load(stations); err != nil {
+			return nil, fmt.Errorf("experiments: load %s: %w", k, err)
+		}
+		return store.Freeze(loader)
+	})
+}
+
+// openLoaded builds one loaded model of kind k over the extension
+// described by gen (stations may carry a pre-generated copy, or be nil).
+// On the shared-base path the model is a copy-on-write view of the cached
+// frozen base — cells sharing (kind, gen) pay for one load — and
+// otherwise a private engine loaded (or snapshot-restored) from scratch.
+// Either way the model starts with a cold cache and zeroed counters and
+// measures bit-identically (TestSweepSharedBaseDeterminism); the caller
+// owns the engine.
+func (s *Suite) openLoaded(k store.Kind, opts store.Options, gen cobench.Config, stations []*cobench.Station) (store.Model, error) {
+	if s.useSharedBases() {
+		base, err := s.sharedBase(k, gen, stations)
+		if err != nil {
+			return nil, err
+		}
+		return base.Open(opts)
 	}
-	if s.cfg.Snapshot != "" {
+	if s.cfg.Snapshot != "" && gen == s.cfg.Gen {
 		if err := s.snapshotOK(); err != nil {
 			return nil, err
 		}
 		return snapshot.Open(s.cfg.Snapshot, k, opts)
 	}
-	stations, err := s.extension()
-	if err != nil {
-		return nil, err
+	if stations == nil {
+		var err error
+		if gen == s.cfg.Gen {
+			stations, err = s.extension()
+		} else {
+			stations, err = cobench.Generate(gen)
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
 	m, err := store.New(k, opts)
 	if err != nil {
@@ -191,18 +278,32 @@ func (s *Suite) openModel(k store.Kind) (store.Model, error) {
 	return m, nil
 }
 
-// extension generates (once) and returns the benchmark database.
+// openModel builds one loaded default-configuration model: a COW view of
+// the cached base (cow backend), restored from the snapshot, or generated
+// and loaded. The caller owns the model's engine.
+func (s *Suite) openModel(k store.Kind) (store.Model, error) {
+	opts, err := s.storeOptions()
+	if err != nil {
+		return nil, err
+	}
+	return s.openLoaded(k, opts, s.cfg.Gen, nil)
+}
+
+// extension generates (once) and returns the benchmark database. Safe
+// for concurrent use: base-cache build closures for different model
+// kinds race to it.
 func (s *Suite) extension() ([]*cobench.Station, error) {
-	if s.stations == nil {
+	s.genOnce.Do(func() {
 		st, err := cobench.Generate(s.cfg.Gen)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: generate: %w", err)
+			s.genErr = fmt.Errorf("experiments: generate: %w", err)
+			return
 		}
 		s.stations = st
 		gs := cobench.Describe(st)
 		s.genStats = &gs
-	}
-	return s.stations, nil
+	})
+	return s.stations, s.genErr
 }
 
 // ExtensionStats describes the generated extension (realised averages,
@@ -357,7 +458,8 @@ func (s *Suite) matrixParallel(workers int, kinds []store.Kind, queries []cobenc
 		return nil, err
 	}
 	// Workers either restore their model copies from the snapshot or load
-	// them over the shared, read-only extension.
+	// them over the shared, read-only extension; pre-flight the expensive
+	// shared inputs so every worker fails (or proceeds) the same way.
 	var stations []*cobench.Station
 	if s.cfg.Snapshot != "" {
 		if err := s.snapshotOK(); err != nil {
@@ -369,67 +471,11 @@ func (s *Suite) matrixParallel(workers int, kinds []store.Kind, queries []cobenc
 		}
 	}
 	// Shared-base mode (cow backend): the first worker to touch a model
-	// kind builds its immutable base exactly once; bases for different
-	// kinds build concurrently.
-	useShared := opts.Backend.Kind == disk.COWArena && opts.Backend.Base == nil
-	type baseSlot struct {
-		once sync.Once
-		base *store.SharedBase
-		err  error
-	}
-	var baseSlots []baseSlot
-	if useShared {
-		baseSlots = make([]baseSlot, len(kinds))
-	}
-	sharedBase := func(ki int) (*store.SharedBase, error) {
-		slot := &baseSlots[ki]
-		slot.once.Do(func() {
-			k := kinds[ki]
-			if s.cfg.Snapshot != "" {
-				slot.base, slot.err = snapshot.OpenBase(s.cfg.Snapshot, k)
-				return
-			}
-			// Load over a contiguous mem arena, not the cow spec's bare
-			// overlay: the loader exists only to be frozen, and the flat
-			// arena makes both the load and the Freeze dump single
-			// memmoves instead of per-page overlay traffic.
-			loaderOpts := opts
-			loaderOpts.Backend = disk.BackendSpec{Kind: disk.MemArena}
-			loader, err := store.New(k, loaderOpts)
-			if err != nil {
-				slot.err = err
-				return
-			}
-			defer loader.Engine().Close()
-			if err := loader.Load(stations); err != nil {
-				slot.err = err
-				return
-			}
-			slot.base, slot.err = store.Freeze(loader)
-		})
-		return slot.base, slot.err
-	}
+	// kind builds its immutable base exactly once — in the suite's
+	// config-keyed cache, where the sweeps and later experiments find it
+	// again; bases for different kinds build concurrently.
 	openWorkerModel := func(ki int) (store.Model, error) {
-		k := kinds[ki]
-		if useShared {
-			b, err := sharedBase(ki)
-			if err != nil {
-				return nil, err
-			}
-			return b.Open(opts)
-		}
-		if s.cfg.Snapshot != "" {
-			return snapshot.Open(s.cfg.Snapshot, k, opts)
-		}
-		m, err := store.New(k, opts)
-		if err != nil {
-			return nil, err
-		}
-		if err := m.Load(stations); err != nil {
-			m.Engine().Close()
-			return nil, err
-		}
-		return m, nil
+		return s.openLoaded(kinds[ki], opts, s.cfg.Gen, stations)
 	}
 	rows := make([]Measured, len(kinds)*len(queries))
 	var (
@@ -485,7 +531,7 @@ func (s *Suite) matrixParallel(workers int, kinds []store.Kind, queries []cobenc
 				var err error
 				if m, err = openWorkerModel(ki); err != nil {
 					abort()
-					return fmt.Errorf("experiments: load %s: %w", k, err)
+					return fmt.Errorf("experiments: open %s: %w", k, err)
 				}
 				models[k] = m
 			}
@@ -550,30 +596,27 @@ func toMeasured(res workload.Result) Measured {
 	return m
 }
 
-// runQueriesOn builds a fresh model of kind k over the given extension and
-// runs the selected queries with the given workload, releasing the
-// throwaway engine afterwards. Used by the sweeps (Table 7, Figures 5 and
-// 6), which need configurations other than the suite default. It touches
-// no Suite state beyond the immutable resolved options, so sweep cells
-// can fan out over a worker pool.
+// runQueriesOn obtains a loaded model of kind k under the generator
+// configuration gen and runs the selected queries with the given
+// workload, releasing the cell's engine afterwards. Used by the sweeps
+// (Table 7, Figures 5 and 6), which need configurations other than the
+// suite default. On the shared-base path the model is a COW view of the
+// config-keyed cached base; otherwise a private engine over a fresh
+// generation. Only concurrency-safe Suite state is touched, so sweep
+// cells can fan out over a worker pool.
 func (s *Suite) runQueriesOn(k store.Kind, opts store.Options, gen cobench.Config, w cobench.Workload, queries ...cobench.Query) (map[cobench.Query]Measured, error) {
-	stations, err := cobench.Generate(gen)
-	if err != nil {
-		return nil, err
-	}
-	return runQueriesLoaded(k, opts, stations, w, queries...)
+	return s.runQueriesLoaded(k, opts, gen, nil, w, queries...)
 }
 
-// runQueriesLoaded is runQueriesOn over pre-generated stations.
-func runQueriesLoaded(k store.Kind, opts store.Options, stations []*cobench.Station, w cobench.Workload, queries ...cobench.Query) (map[cobench.Query]Measured, error) {
-	m, err := store.New(k, opts)
+// runQueriesLoaded is runQueriesOn with optionally pre-generated stations
+// of gen (callers that already share one generation across cells pass it;
+// nil regenerates on demand).
+func (s *Suite) runQueriesLoaded(k store.Kind, opts store.Options, gen cobench.Config, stations []*cobench.Station, w cobench.Workload, queries ...cobench.Query) (map[cobench.Query]Measured, error) {
+	m, err := s.openLoaded(k, opts, gen, stations)
 	if err != nil {
 		return nil, err
 	}
 	defer m.Engine().Close()
-	if err := m.Load(stations); err != nil {
-		return nil, err
-	}
 	runner := workload.NewRunner(m, w)
 	out := make(map[cobench.Query]Measured, len(queries))
 	for _, q := range queries {

@@ -46,11 +46,15 @@ func (s *Suite) Figure5() ([]Fig5Cell, error) {
 	}
 	maxSees := []int{0, 15, 30}
 	// Generate each maxSeeing extension once; the three model cells of a
-	// column share it read-only.
+	// column share it read-only (and, on the shared-base path, the column
+	// whose maxSeeing equals the suite default shares its frozen bases
+	// with the matrix and the buffer sweep).
+	gens := make([]cobench.Config, len(maxSees))
 	extensions := make([][]*cobench.Station, len(maxSees))
 	genStats := make([]cobench.Stats, len(maxSees))
 	for i, maxSee := range maxSees {
-		stations, err := cobench.Generate(s.cfg.Gen.WithMaxSeeing(maxSee))
+		gens[i] = s.cfg.Gen.WithMaxSeeing(maxSee)
+		stations, err := cobench.Generate(gens[i])
 		if err != nil {
 			return nil, err
 		}
@@ -61,7 +65,7 @@ func (s *Suite) Figure5() ([]Fig5Cell, error) {
 	err = fanout.Run(len(cells), s.workers(), func(i int) error {
 		col := i / len(fig5Models)
 		k := fig5Models[i%len(fig5Models)]
-		res, err := runQueriesLoaded(k, opts, extensions[col], s.cfg.Workload,
+		res, err := s.runQueriesLoaded(k, opts, gens[col], extensions[col], s.cfg.Workload,
 			cobench.Q1c, cobench.Q2b, cobench.Q3b)
 		if err != nil {
 			return err

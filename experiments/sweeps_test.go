@@ -71,6 +71,109 @@ func TestSweepParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestSweepSharedBaseDeterminism is the tentpole acceptance test of the
+// config-keyed base cache: every sweep section (Figure 5, Figure 6, the
+// buffer sweep and Table 7) is byte-identical between private engines
+// (mem backend, serial — the cache never engages) and copy-on-write views
+// over cached frozen bases (cow backend, 8 workers), both when the bases
+// are frozen from freshly loaded models and when they are opened from a
+// .codb snapshot (mmap'ed in place on platforms that support it).
+func TestSweepSharedBaseDeterminism(t *testing.T) {
+	shrinkSweeps(t)
+	type sweeps struct {
+		fig5 []Fig5Cell
+		fig6 []Fig6Point
+		buf  []BufferPoint
+		t7   []SkewRow
+	}
+	run := func(label string, cfg Config) (sweeps, *Suite) {
+		s := New(cfg)
+		var out sweeps
+		var err error
+		if out.fig5, err = s.Figure5(); err != nil {
+			t.Fatalf("%s figure5: %v", label, err)
+		}
+		if out.fig6, err = s.Figure6(); err != nil {
+			t.Fatalf("%s figure6: %v", label, err)
+		}
+		if out.buf, err = s.BufferSweep(); err != nil {
+			t.Fatalf("%s buffersweep: %v", label, err)
+		}
+		if out.t7, err = s.Table7(); err != nil {
+			t.Fatalf("%s table7: %v", label, err)
+		}
+		return out, s
+	}
+	check := func(label string, want, got sweeps) {
+		t.Helper()
+		if !reflect.DeepEqual(want.fig5, got.fig5) {
+			t.Errorf("%s: Figure 5 differs from private-engine run", label)
+		}
+		if !reflect.DeepEqual(want.fig6, got.fig6) {
+			t.Errorf("%s: Figure 6 differs from private-engine run", label)
+		}
+		if !reflect.DeepEqual(want.buf, got.buf) {
+			t.Errorf("%s: buffer sweep differs from private-engine run", label)
+		}
+		if !reflect.DeepEqual(want.t7, got.t7) {
+			t.Errorf("%s: Table 7 differs from private-engine run", label)
+		}
+	}
+
+	memCfg := smallConfig()
+	memCfg.Backend = "mem"
+	memCfg.Workers = 1
+	private, memSuite := run("mem/serial", memCfg)
+	defer memSuite.Close()
+
+	cowCfg := smallConfig()
+	cowCfg.Backend = "cow"
+	cowCfg.Workers = 8
+	shared, cowSuite := run("cow/8", cowCfg)
+	check("cow/8", private, shared)
+	// The cache must actually have been shared: one entry per distinct
+	// (kind, generator config), far fewer than the number of sweep cells.
+	// With the shrunk axes: 5 default-gen kinds (matrix via Table 7; the
+	// Figure 5 maxSee=15 column and the whole buffer sweep reuse them),
+	// 2x3 non-default Figure 5 columns, 2x3 Figure 6 sizes, 4 skew kinds.
+	cells := len(shared.fig5)*3 + len(shared.fig6) + len(shared.buf) + len(shared.t7) + 5*7
+	if want := 5 + 6 + 6 + 4; cowSuite.bases.Len() != want {
+		t.Errorf("base cache holds %d entries, want %d (of %d measured cells)",
+			cowSuite.bases.Len(), want, cells)
+	}
+	cowSuite.Close()
+
+	// Snapshot-backed bases: the default-gen bases now come straight from
+	// the .codb file (one mmap per kind on Linux) instead of load+freeze.
+	stations, err := memSuite.extension()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var models []store.Model
+	for _, k := range store.AllKinds() {
+		m, err := store.New(k, store.Options{BufferPages: memCfg.BufferPages})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Engine().Close()
+		if err := m.Load(stations); err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	path := filepath.Join(t.TempDir(), "sweeps.codb")
+	if err := snapshot.Write(path, memCfg.Gen, models...); err != nil {
+		t.Fatal(err)
+	}
+	snapCfg := smallConfig()
+	snapCfg.Backend = "cow"
+	snapCfg.Workers = 8
+	snapCfg.Snapshot = path
+	fromSnap, snapSuite := run("cow/snapshot", snapCfg)
+	defer snapSuite.Close()
+	check("cow/snapshot", private, fromSnap)
+}
+
 // TestMatrixBackendEquivalence asserts the acceptance property at the
 // harness level, three ways: the full paper query matrix is bit-identical
 // between the memory, file and copy-on-write backends. (The cow run here

@@ -1,18 +1,39 @@
 package disk
 
+import (
+	"fmt"
+	"sync/atomic"
+)
+
 // BaseArena is an immutable page arena shared by any number of COW
 // backends: the frozen state of one loaded database. Once constructed it
 // is never written again — every COW overlay layered on top observes the
 // same bytes forever, which is what lets the parallel experiment matrix
 // hand each worker a view of one loaded extension instead of a private
 // copy. A nil *BaseArena behaves as an empty base.
+//
+// A base is reference-counted so that it can outlive the engine that
+// built it and be shared by a cache across many views: construction hands
+// the creator one reference, every COW backend opened over the base takes
+// another (released by its Close), and the backing storage — for a
+// heap base the slice, for an mmap-backed base the file mapping — is
+// released only when the last reference goes. Releasing is what makes the
+// mmap variant safe: no view can ever observe an unmapped arena.
 type BaseArena struct {
-	data []byte
+	data   []byte
+	refs   atomic.Int64
+	mapped bool
+	unmap  func() error // releases the file mapping (mapped bases only)
 }
 
-// NewBaseArena freezes data into a shared base. The caller hands over
-// ownership: the slice must not be mutated afterwards.
-func NewBaseArena(data []byte) *BaseArena { return &BaseArena{data: data} }
+// NewBaseArena freezes data into a shared base holding one reference,
+// owned by the caller. The caller hands over ownership: the slice must
+// not be mutated afterwards.
+func NewBaseArena(data []byte) *BaseArena {
+	a := &BaseArena{data: data}
+	a.refs.Store(1)
+	return a
+}
 
 // Len returns the base arena length in bytes.
 func (a *BaseArena) Len() int {
@@ -23,12 +44,57 @@ func (a *BaseArena) Len() int {
 }
 
 // Bytes exposes the frozen arena for inspection (checksums, dumps).
-// Callers must treat the slice as read-only.
+// Callers must treat the slice as read-only and must hold a reference
+// (for a released mapped base the slice is gone).
 func (a *BaseArena) Bytes() []byte {
 	if a == nil {
 		return nil
 	}
 	return a.data
+}
+
+// Mapped reports whether the arena is a read-only file mapping (pages
+// faulted in from the snapshot file on demand) rather than a heap copy.
+func (a *BaseArena) Mapped() bool { return a != nil && a.mapped }
+
+// Refs returns the current reference count (diagnostics and tests).
+func (a *BaseArena) Refs() int {
+	if a == nil {
+		return 0
+	}
+	return int(a.refs.Load())
+}
+
+// Retain takes one additional reference and returns the arena (nil-safe,
+// so call sites can thread a possibly-empty base without branching).
+func (a *BaseArena) Retain() *BaseArena {
+	if a != nil {
+		a.refs.Add(1)
+	}
+	return a
+}
+
+// Release drops one reference. When the last reference goes the backing
+// storage is released: a heap base drops its slice, an mmap-backed base
+// unmaps the snapshot file region. Releasing more often than retained is
+// a bug and reported as an error.
+func (a *BaseArena) Release() error {
+	if a == nil {
+		return nil
+	}
+	switch n := a.refs.Add(-1); {
+	case n > 0:
+		return nil
+	case n < 0:
+		return fmt.Errorf("disk: base arena over-released (refs %d)", n)
+	}
+	a.data = nil
+	if a.unmap != nil {
+		unmap := a.unmap
+		a.unmap = nil
+		return unmap()
+	}
+	return nil
 }
 
 // cowBackend is a copy-on-write arena: reads fall through to the shared
@@ -48,12 +114,14 @@ type cowBackend struct {
 // NewCOWBackend layers a private overlay over base (nil means an empty
 // base). pageBytes is the copy-on-write granularity — the device page
 // size; 0 means DefaultPageSize. The arena starts at the base length, so
-// a device opened over it adopts every base page.
+// a device opened over it adopts every base page. The backend takes one
+// reference on the base, released by its Close — the base therefore
+// cannot be released under a live view.
 func NewCOWBackend(base *BaseArena, pageBytes int) Backend {
 	if pageBytes <= 0 {
 		pageBytes = DefaultPageSize
 	}
-	return &cowBackend{base: base, gran: pageBytes, size: base.Len()}
+	return &cowBackend{base: base.Retain(), gran: pageBytes, size: base.Len()}
 }
 
 func (b *cowBackend) Len() int { return b.size }
@@ -143,14 +211,17 @@ func (b *cowBackend) WriteAt(p []byte, off int) error {
 // private view), and the base is immutable.
 func (b *cowBackend) Flush() error { return nil }
 
-// Close releases the overlay only. The shared base is untouched — other
-// engines keep reading through it.
+// Close releases the overlay and the backend's reference on the shared
+// base. Other engines keep reading through the base; only when the last
+// reference (views plus the owner handle) goes is the base storage —
+// heap slice or snapshot file mapping — actually released.
 func (b *cowBackend) Close() error {
+	base := b.base
 	b.over = nil
 	b.overlaid = 0
 	b.base = nil
 	b.size = 0
-	return nil
+	return base.Release()
 }
 
 // COWStats describes the memory split of a COW backend.

@@ -2,6 +2,7 @@ package disk
 
 import (
 	"bytes"
+	"os"
 	"testing"
 )
 
@@ -173,6 +174,141 @@ func TestCOWStats(t *testing.T) {
 
 	if _, ok := COWStatsOf(NewMemBackend()); ok {
 		t.Error("COWStatsOf accepted a mem backend")
+	}
+}
+
+// TestBaseArenaRefcount pins the base lifecycle contract: every COW view
+// holds one reference, the creator holds one, and the backing storage is
+// released exactly when the last of them goes — never under a live view,
+// even if the owner released its handle first.
+func TestBaseArenaRefcount(t *testing.T) {
+	const ps = 256
+	base, pristine := testBase(ps, 4)
+	if base.Refs() != 1 {
+		t.Fatalf("fresh base refs = %d, want 1 (creator)", base.Refs())
+	}
+	v1 := NewCOWBackend(base, ps)
+	v2 := NewCOWBackend(base, ps)
+	if base.Refs() != 3 {
+		t.Fatalf("refs with 2 views = %d, want 3", base.Refs())
+	}
+	if err := v1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Owner drops its handle while a view is still open: the base must
+	// stay readable through the remaining view.
+	if err := base.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if base.Refs() != 1 {
+		t.Fatalf("refs after close+release = %d, want 1", base.Refs())
+	}
+	got := make([]byte, ps)
+	if err := v2.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pristine[:ps]) {
+		t.Fatal("surviving view cannot read the base")
+	}
+	if err := v2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if base.Refs() != 0 || base.Bytes() != nil {
+		t.Fatalf("base not released after last view: refs=%d bytes=%v", base.Refs(), base.Bytes() != nil)
+	}
+	// Over-release is a bug and must be reported, not ignored.
+	if err := base.Release(); err == nil {
+		t.Error("over-release not reported")
+	}
+	// Double Close of a view must not double-release the base.
+	if err := v1.Close(); err != nil {
+		t.Errorf("double view close: %v", err)
+	}
+	// A nil base is a valid empty base for the whole lifecycle.
+	var nilBase *BaseArena
+	if nilBase.Retain() != nil || nilBase.Release() != nil || nilBase.Refs() != 0 || nilBase.Mapped() {
+		t.Error("nil base lifecycle not inert")
+	}
+}
+
+// TestMappedBaseArena pins the mmap-backed base variant against the heap
+// one: same bytes at an unaligned file offset, immutable under overlay
+// writes, and the mapping is released with the last reference. On
+// platforms without mmap support the portable fallback must behave
+// identically apart from Mapped().
+func TestMappedBaseArena(t *testing.T) {
+	const ps = 256
+	_, pristine := testBase(ps, 8)
+	// Bury the arena at an intentionally page-misaligned offset, as in a
+	// .codb container where variable-length metadata precedes the arena.
+	const off = 4096 + 123
+	file := append(make([]byte, off), pristine...)
+	file = append(file, 0xAB, 0xCD) // trailing bytes beyond the arena
+	path := t.TempDir() + "/base.bin"
+	if err := os.WriteFile(path, file, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := NewMappedBaseArena(path, off, len(pristine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Mapped() != CanMapBase {
+		t.Errorf("Mapped() = %v, CanMapBase = %v", base.Mapped(), CanMapBase)
+	}
+	if base.Len() != len(pristine) || !bytes.Equal(base.Bytes(), pristine) {
+		t.Fatal("mapped base does not expose the file region")
+	}
+
+	// A view over the mapped base behaves exactly like over a heap base:
+	// overlay writes stick to the view, the base (and file) are untouched.
+	d, err := Open(ps, NewCOWBackend(base, ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := bytes.Repeat([]byte{0x5A}, ps)
+	if err := d.WriteRun(2, [][]byte{img}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Backend().WriteAt([]byte("edge"), 6*ps+200); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := d.ReadCopy(2, 1); err != nil || !bytes.Equal(got[0], img) {
+		t.Fatalf("view does not observe its overlay write: %v", err)
+	}
+	if !bytes.Equal(base.Bytes(), pristine) {
+		t.Fatal("overlay write reached the mapped base")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if base.Refs() != 0 || base.Bytes() != nil {
+		t.Fatal("mapped base not released with the last reference")
+	}
+	// The snapshot file itself must be byte-identical after the whole
+	// view lifecycle (the mapping is read-only).
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, file) {
+		t.Fatal("view lifecycle modified the backing file")
+	}
+
+	// Range validation: mapping past EOF must fail up front, not fault.
+	if _, err := NewMappedBaseArena(path, int64(len(file))-10, 20); err == nil {
+		t.Error("mapping past EOF accepted")
+	}
+	if _, err := NewMappedBaseArena(path, -1, 10); err == nil {
+		t.Error("negative offset accepted")
+	}
+	// A zero-length region is a valid empty base.
+	empty, err := NewMappedBaseArena(path, off, 0)
+	if err != nil || empty.Len() != 0 {
+		t.Errorf("empty region: len=%d err=%v", empty.Len(), err)
 	}
 }
 

@@ -48,6 +48,29 @@
 // the database size, while the counters stay bit-identical to the other
 // backends by construction (the device layer above is unchanged).
 //
+// # Base lifecycle
+//
+// A BaseArena outlives any single engine, so its storage is reference
+// counted rather than tied to an owner: construction (NewBaseArena,
+// NewMappedBaseArena) hands the creator one reference, every COW backend
+// opened over the base takes another, Close on a view and Release on a
+// handle each drop one, and the storage is freed exactly when the count
+// reaches zero. The contract callers rely on: a base can never be
+// released under a live view (the view's reference pins it, even after
+// every other handle is gone), Bytes stays valid while at least one
+// reference is held, and releasing an already-dead base is reported as an
+// error instead of corrupting a neighbour.
+//
+// The counting pays off for the two base variants differently. A heap
+// base (NewBaseArena) could in principle lean on the garbage collector;
+// an mmap-backed base (NewMappedBaseArena, used for .codb snapshots)
+// cannot — the file mapping must be unmapped explicitly, and unmapping
+// while a view could still read it would be a crash, not a leak. The
+// mapped variant is what makes `-db x.codb -backend cow` memory-cheap:
+// the snapshot's arena region is mapped PROT_READ/MAP_PRIVATE, resident
+// only in the pages views actually touch, immutable by page protection on
+// top of immutable by construction.
+//
 // Backends change only the storage substrate — allocation, run transfers
 // and the I/O counters are identical across backends by construction.
 package disk

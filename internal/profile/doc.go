@@ -1,0 +1,7 @@
+// Package profile is the tiny pprof harness shared by the CLIs: Start
+// wires the -cpuprofile/-memprofile flags of cobench and cotables to
+// runtime/pprof, so future performance work can attribute wall-clock and
+// allocations to code without editing the harness. The contract is one
+// Start per process and one call of the returned stop function before
+// exit; the heap profile is taken after a GC so it shows the live set.
+package profile

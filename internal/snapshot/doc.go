@@ -30,7 +30,14 @@
 // simply regenerated.
 //
 // A snapshot can be restored two ways: Open gives one model a private
-// arena (restored into whatever backend the options name), OpenBase reads
+// arena (restored into whatever backend the options name), OpenBase lifts
 // the arena once into an immutable store.SharedBase from which any number
-// of copy-on-write views open without further I/O or copying.
+// of copy-on-write views open without further I/O or copying. OpenBase is
+// zero-copy where the platform allows: the arena region of the .codb file
+// is mmap'ed read-only in place (disk.NewMappedBaseArena), so the base
+// starts with near-zero resident memory and views fault pages in on
+// demand; OpenBaseHeap forces the portable heap copy. A mapped base pins
+// the snapshot's inode until released — rewriting the file in place while
+// a base is open is a caller bug, atomically replacing it via Write is
+// safe.
 package snapshot

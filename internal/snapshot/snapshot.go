@@ -276,14 +276,35 @@ func Open(path string, k store.Kind, o store.Options) (store.Model, error) {
 	return nil, fmt.Errorf("%w: %s in %s", ErrNoModel, k, filepath.Base(path))
 }
 
-// OpenBase reads one model of the snapshot into a store.SharedBase: the
-// arena bytes and directory metadata are read from disk exactly once, and
-// every engine opened from the base afterwards is a copy-on-write view of
-// that single arena. This is the memory-cheap restore path for the
-// parallel experiment matrix — n workers over one snapshot cost one arena,
-// not n — with the same measurement guarantee as Open (cold cache, zeroed
-// counters, bit-identical counters to a fresh load).
+// OpenBase lifts one model of the snapshot into a store.SharedBase
+// without copying the arena through the heap where the platform allows
+// it: the directory metadata is read normally (it is small), while the
+// arena region of the .codb file is mmap'ed read-only in place
+// (disk.NewMappedBaseArena; on platforms without mmap support it degrades
+// to the heap copy of OpenBaseHeap). Every engine opened from the base
+// afterwards is a copy-on-write view of that single mapping, so a
+// paper-scale `-db x.codb -backend cow` run starts with near-zero
+// resident arena and pages the base in on demand — with the same
+// measurement guarantee as Open (cold cache, zeroed counters,
+// bit-identical counters to a fresh load).
+//
+// The snapshot file must not be truncated or rewritten in place while the
+// base is alive; replacing it via Write (atomic rename) is safe, the
+// mapping pins the old inode. Release the base (store.SharedBase.Release,
+// after every view closed) to drop the mapping.
 func OpenBase(path string, k store.Kind) (*store.SharedBase, error) {
+	return openBase(path, k, disk.CanMapBase)
+}
+
+// OpenBaseHeap is OpenBase with the arena copied into the heap
+// unconditionally: the pre-mmap behaviour, kept for callers that want the
+// base to survive snapshot-file deletion and for the mem-vs-mmap halves
+// of the determinism tests.
+func OpenBaseHeap(path string, k store.Kind) (*store.SharedBase, error) {
+	return openBase(path, k, false)
+}
+
+func openBase(path string, k store.Kind, mapped bool) (*store.SharedBase, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -297,19 +318,34 @@ func OpenBase(path string, k store.Kind) (*store.SharedBase, error) {
 		if e.kind != k {
 			continue
 		}
-		if _, err := f.Seek(e.metaOff, io.SeekStart); err != nil {
-			return nil, err
-		}
-		r := bufio.NewReaderSize(f, 1<<20)
 		meta := make([]byte, e.metaLen)
-		if _, err := io.ReadFull(r, meta); err != nil {
+		if _, err := f.ReadAt(meta, e.metaOff); err != nil {
 			return nil, fmt.Errorf("%w: meta of %s", ErrFormat, e.kind)
 		}
-		arena := make([]byte, e.numPages*e.pageSize)
-		if _, err := io.ReadFull(r, arena); err != nil {
-			return nil, fmt.Errorf("%w: arena of %s", ErrFormat, e.kind)
+		arenaBytes := e.numPages * e.pageSize
+		arenaOff := e.metaOff + int64(e.metaLen)
+		var arena *disk.BaseArena
+		if mapped {
+			// Map through the descriptor the offsets were parsed from: if
+			// the path was atomically replaced since Open, reopening it
+			// would pair this file's offsets with another file's bytes.
+			arena, err = disk.MapBaseArena(f, arenaOff, arenaBytes)
+			if err != nil {
+				return nil, fmt.Errorf("snapshot: map arena of %s: %w", e.kind, err)
+			}
+		} else {
+			buf := make([]byte, arenaBytes)
+			if _, err := f.ReadAt(buf, arenaOff); err != nil {
+				return nil, fmt.Errorf("%w: arena of %s", ErrFormat, e.kind)
+			}
+			arena = disk.NewBaseArena(buf)
 		}
-		return store.NewSharedBase(k, e.pageSize, meta, disk.NewBaseArena(arena))
+		base, err := store.NewSharedBase(k, e.pageSize, meta, arena)
+		if err != nil {
+			arena.Release()
+			return nil, err
+		}
+		return base, nil
 	}
 	return nil, fmt.Errorf("%w: %s in %s", ErrNoModel, k, filepath.Base(path))
 }

@@ -1,0 +1,113 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"complexobj/cobench"
+	"complexobj/internal/disk"
+)
+
+// BaseKey identifies one frozen database state: the storage model, the
+// device page size and the full generator configuration it was built
+// from. Two experiment cells with equal keys are, by the determinism of
+// the generator and loaders, measuring the same physical database — which
+// is what makes it safe to hand both of them copy-on-write views of one
+// frozen base instead of generating and loading the extension twice.
+type BaseKey struct {
+	Kind     Kind
+	PageSize int
+	Gen      cobench.Config
+}
+
+// BaseCache builds and retains one immutable SharedBase per BaseKey. It
+// is the sharing point for every fan-out experiment: the first cell to
+// need a (model, generator config) pair builds and freezes it exactly
+// once — concurrent requesters for the same key block on that one build —
+// and every later cell opens a COW view. The cache owns one reference per
+// cached base; Close releases them all (views still open at that point
+// keep their base alive until they close, see disk.BaseArena).
+//
+// BaseCache is safe for concurrent use. Builds for different keys run
+// concurrently; a build error is cached and returned to every requester
+// of that key (a failed generation is deterministic too).
+type BaseCache struct {
+	mu      sync.Mutex
+	entries map[BaseKey]*baseCacheEntry
+	closed  bool
+}
+
+type baseCacheEntry struct {
+	once sync.Once
+	base *SharedBase
+	err  error
+}
+
+// NewBaseCache returns an empty cache.
+func NewBaseCache() *BaseCache {
+	return &BaseCache{entries: make(map[BaseKey]*baseCacheEntry)}
+}
+
+// Get returns the base cached under key, building it with build on the
+// first request. A zero key.PageSize is normalized to the default page
+// size, so callers with defaulted options and callers with explicit ones
+// land on the same entry.
+func (c *BaseCache) Get(key BaseKey, build func() (*SharedBase, error)) (*SharedBase, error) {
+	if key.PageSize == 0 {
+		key.PageSize = disk.DefaultPageSize
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("store: base cache is closed")
+	}
+	e, ok := c.entries[key]
+	if !ok {
+		e = &baseCacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.base, e.err = build()
+		if e.err == nil {
+			if got := e.base.PageSize(); got != key.PageSize {
+				e.base.Release()
+				e.base, e.err = nil, fmt.Errorf("store: base cache: built base has page size %d, key says %d", got, key.PageSize)
+			}
+		}
+	})
+	return e.base, e.err
+}
+
+// Len returns the number of cached entries, including failed builds
+// (diagnostics and sharing assertions in tests).
+func (c *BaseCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Close releases the cache's reference on every cached base and empties
+// the cache. It waits for in-flight builds (their bases are released
+// too, so nothing leaks), which also gives the reads below a
+// happens-before edge with the builders; views opened from cached bases
+// stay usable until they are closed themselves. Get fails after Close —
+// a Get that was already in flight may hand its caller a base the cache
+// has released, so close only once no new views will be opened.
+func (c *BaseCache) Close() error {
+	c.mu.Lock()
+	entries := c.entries
+	c.entries = nil
+	c.closed = true
+	c.mu.Unlock()
+	var first error
+	for _, e := range entries {
+		e.once.Do(func() {}) // wait for (and synchronize with) the builder
+		if e.base != nil {
+			if err := e.base.Release(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

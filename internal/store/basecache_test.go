@@ -1,0 +1,147 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"complexobj/cobench"
+	"complexobj/internal/disk"
+)
+
+// TestBaseCacheBuildsOnce pins the cache contract: one build per key, no
+// matter how many concurrent requesters race for it; distinct keys get
+// distinct bases; errors are cached like results.
+func TestBaseCacheBuildsOnce(t *testing.T) {
+	stations, err := cobench.Generate(cobench.DefaultConfig().WithN(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewBaseCache()
+	defer c.Close()
+
+	var builds atomic.Int64
+	build := func(k Kind) func() (*SharedBase, error) {
+		return func() (*SharedBase, error) {
+			builds.Add(1)
+			m := mustNew(k, Options{BufferPages: 128})
+			defer m.Engine().Close()
+			if err := m.Load(stations); err != nil {
+				return nil, err
+			}
+			return Freeze(m)
+		}
+	}
+	key := BaseKey{Kind: DASDBSNSM, Gen: cobench.DefaultConfig().WithN(30)}
+	var wg sync.WaitGroup
+	bases := make([]*SharedBase, 8)
+	for i := range bases {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, err := c.Get(key, build(DASDBSNSM))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			bases[i] = b
+		}(i)
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Errorf("8 concurrent gets ran %d builds, want 1", builds.Load())
+	}
+	for _, b := range bases[1:] {
+		if b != bases[0] {
+			t.Fatal("concurrent gets returned distinct bases")
+		}
+	}
+
+	// A different kind under the same generator config is a new key.
+	if _, err := c.Get(BaseKey{Kind: DSM, Gen: key.Gen}, build(DSM)); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 2 || c.Len() != 2 {
+		t.Errorf("after second kind: %d builds, %d entries", builds.Load(), c.Len())
+	}
+
+	// Zero page size normalizes onto the default-page-size entry.
+	withPS := key
+	withPS.PageSize = disk.DefaultPageSize
+	b, err := c.Get(withPS, build(DASDBSNSM))
+	if err != nil || b != bases[0] {
+		t.Errorf("explicit default page size missed the cache (err %v)", err)
+	}
+
+	// Build errors are cached and replayed, not retried.
+	boom := errors.New("boom")
+	bad := BaseKey{Kind: NSM, Gen: key.Gen}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Get(bad, func() (*SharedBase, error) { builds.Add(1); return nil, boom }); !errors.Is(err, boom) {
+			t.Errorf("error not cached: %v", err)
+		}
+	}
+	if builds.Load() != 3 {
+		t.Errorf("failed build retried: %d builds", builds.Load())
+	}
+}
+
+// TestBaseCacheReleaseLifecycle proves the satellite refcount guarantee
+// at the store level: closing the cache releases its reference, but the
+// base arena is actually released only after the last open view closes.
+func TestBaseCacheReleaseLifecycle(t *testing.T) {
+	stations, err := cobench.Generate(cobench.DefaultConfig().WithN(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewBaseCache()
+	key := BaseKey{Kind: DASDBSDSM, Gen: cobench.DefaultConfig().WithN(30)}
+	base, err := c.Get(key, func() (*SharedBase, error) {
+		m := loadModel(t, DASDBSDSM, stations)
+		defer m.Engine().Close()
+		return Freeze(m)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := base.Open(Options{BufferPages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := base.Open(Options{BufferPages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base.arena.Refs(); got != 3 {
+		t.Fatalf("refs with cache + 2 views = %d, want 3", got)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := base.arena.Refs(); got != 2 {
+		t.Fatalf("refs after cache close = %d, want 2 (views)", got)
+	}
+	// Views must stay fully usable after the cache let go.
+	if _, err := v1.FetchByAddress(3); err != nil {
+		t.Fatalf("view broken after cache close: %v", err)
+	}
+	if err := v1.Engine().Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := base.arena.Refs(); got != 1 {
+		t.Fatalf("refs after first view close = %d, want 1", got)
+	}
+	if _, err := v2.FetchByAddress(3); err != nil {
+		t.Fatalf("last view broken: %v", err)
+	}
+	if err := v2.Engine().Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := base.arena.Refs(); got != 0 {
+		t.Fatalf("base not released after last view: refs = %d", got)
+	}
+	if _, err := c.Get(key, nil); err == nil {
+		t.Error("Get after Close succeeded")
+	}
+}

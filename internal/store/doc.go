@@ -18,5 +18,15 @@
 // SharedBase (Freeze) from which any number of copy-on-write views open
 // cheaply — one loaded extension shared across every worker of the
 // parallel experiment matrix. Engine.Close on a view releases only the
-// view's private overlay.
+// view's private overlay; the base arena itself is reference counted
+// (disk.BaseArena) and survives until its last view and its last handle
+// are gone, so a SharedBase.Release never pulls a mapped snapshot out
+// from under a running query.
+//
+// BaseCache keys frozen bases by (model kind, page size, generator
+// configuration): the deterministic generator makes equal keys equal
+// databases, so every fan-out experiment — the matrix, the sweeps,
+// repeated CLI runs within one process — can route model acquisition
+// through one cache and pay for each distinct database exactly once,
+// with concurrent requesters blocking on a single build.
 package store

@@ -81,6 +81,16 @@ func (b *SharedBase) NumPages() int { return b.numPages }
 // accounting: this is paid once, regardless of how many views are open).
 func (b *SharedBase) ArenaBytes() int { return b.arena.Len() }
 
+// Mapped reports whether the base arena is an mmap of the snapshot file
+// (paged in on demand) rather than a heap copy.
+func (b *SharedBase) Mapped() bool { return b.arena.Mapped() }
+
+// Release drops the owner reference on the base arena. Open views hold
+// their own references, so the arena storage — heap slice or snapshot
+// file mapping — is released only once the last view closes too; opening
+// new views after Release is a bug (the base may already be gone).
+func (b *SharedBase) Release() error { return b.arena.Release() }
+
 // Open builds a model over a fresh copy-on-write view of the base. The
 // options select the runtime knobs (buffer size, policy); the page size
 // comes from the base and must not conflict with a non-zero o.PageSize,
