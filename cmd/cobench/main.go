@@ -8,6 +8,7 @@
 //	        [-skew] [-maxseeing 15] [-metric pages|calls|fixes|writes]
 //	        [-workers 0] [-backend mem|file|file:DIR|cow] [-db snapshot.codb]
 //	        [-repeat 1] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	        [-serve-url http://host:8077] [-clients 8] [-rate 0]
 //
 // Each storage model owns an independent simulated engine, so the model
 // rows are measured concurrently by a bounded worker pool (-workers, 0 =
@@ -23,6 +24,16 @@
 // (mmap'ed read-only where the platform allows) and every repeat gets a
 // fresh copy-on-write view of that one base, instead of re-reading the
 // snapshot per run.
+//
+// With -serve-url, cobench is a load generator against a running coserve
+// instead of measuring locally: every (model, query) cell becomes an HTTP
+// request, -clients concurrent closed-loop clients drive them (-repeat
+// repeats the whole set), and -rate R switches to an open loop launching
+// R requests per second regardless of completions. The printed table is
+// built from the served per-request counters and is byte-identical to the
+// local run with the same flags — that equivalence is the server's
+// acceptance test — while a latency/throughput report goes to stderr so
+// stdout stays diffable.
 package main
 
 import (
@@ -56,6 +67,9 @@ func main() {
 		repeat    = flag.Int("repeat", 1, "measure the full table this many times (deterministic; printed once)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		serveURL  = flag.String("serve-url", "", "drive a running coserve at this base URL instead of measuring locally")
+		clients   = flag.Int("clients", 8, "concurrent closed-loop clients in -serve-url mode")
+		rate      = flag.Float64("rate", 0, "open-loop request rate per second in -serve-url mode (0 = closed loop)")
 	)
 	flag.Parse()
 
@@ -64,7 +78,7 @@ func main() {
 		fatal(err)
 	}
 	err = run(*model, *query, *n, *buffer, *loops, *samples, *seed, *skew, *maxSeeing,
-		*metric, *workers, *backend, *dbPath, *repeat)
+		*metric, *workers, *backend, *dbPath, *repeat, *serveURL, *clients, *rate)
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -76,7 +90,8 @@ func main() {
 // run does all the work, so the profile writers flush on every exit path
 // (os.Exit lives only in main).
 func run(model, query string, n, buffer, loops, samples int, seed uint64, skew bool,
-	maxSeeing int, metric string, workers int, backend, dbPath string, repeat int) error {
+	maxSeeing int, metric string, workers int, backend, dbPath string, repeat int,
+	serveURL string, clients int, rate float64) error {
 
 	gen := cobench.DefaultConfig().WithN(n).WithMaxSeeing(maxSeeing)
 	gen.Seed = seed
@@ -95,7 +110,7 @@ func run(model, query string, n, buffer, loops, samples int, seed uint64, skew b
 	}
 	queries := cobench.AllQueries()
 	if query != "all" {
-		q, ok := queryByName(query)
+		q, ok := cobench.QueryByName(query)
 		if !ok {
 			return fmt.Errorf("unknown query %q", query)
 		}
@@ -126,10 +141,18 @@ func run(model, query string, n, buffer, loops, samples int, seed uint64, skew b
 	for _, q := range queries {
 		t.Header = append(t.Header, q.String())
 	}
-	opts := complexobj.Options{BufferPages: buffer, Backend: backend}
-	bases := newBaseCache(dbPath, backend)
-	defer bases.Close()
-	rows, err := measureModels(models, queries, gen, w, opts, workers, repeat, bases, get)
+	var (
+		rows [][]string
+		err  error
+	)
+	if serveURL != "" {
+		rows, err = measureServed(serveURL, models, queries, gen, w, buffer, clients, rate, repeat, get)
+	} else {
+		opts := complexobj.Options{BufferPages: buffer, Backend: backend}
+		bases := newBaseCache(dbPath, backend)
+		defer bases.Close()
+		rows, err = measureModels(models, queries, gen, w, opts, workers, repeat, bases, get)
+	}
 	if err != nil {
 		return err
 	}
@@ -238,15 +261,6 @@ func measureModels(models []complexobj.ModelKind, queries []cobench.Query,
 		return nil, err
 	}
 	return rows, nil
-}
-
-func queryByName(name string) (cobench.Query, bool) {
-	for _, q := range cobench.AllQueries() {
-		if q.String() == name {
-			return q, true
-		}
-	}
-	return 0, false
 }
 
 func metricFn(name string) (func(complexobj.QueryResult) float64, bool) {

@@ -9,12 +9,12 @@ import (
 
 func TestQueryByName(t *testing.T) {
 	for _, q := range cobench.AllQueries() {
-		got, ok := queryByName(q.String())
+		got, ok := cobench.QueryByName(q.String())
 		if !ok || got != q {
-			t.Errorf("queryByName(%q) = %v, %v", q.String(), got, ok)
+			t.Errorf("cobench.QueryByName(%q) = %v, %v", q.String(), got, ok)
 		}
 	}
-	if _, ok := queryByName("9z"); ok {
+	if _, ok := cobench.QueryByName("9z"); ok {
 		t.Error("bogus query accepted")
 	}
 }

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"complexobj"
+	"complexobj/cobench"
+	"complexobj/internal/fanout"
+	"complexobj/internal/server"
+	"complexobj/report"
+)
+
+// servedClient drives one coserve instance.
+type servedClient struct {
+	base string
+	hc   *http.Client
+
+	mu        sync.Mutex
+	latencies []time.Duration
+}
+
+// checkServer verifies the server serves the installation the flags
+// request — the same extension and the same buffer-pool size — so a
+// served table is comparable to the local run cell for cell (hit and fix
+// counters depend on the cache capacity as much as on the data).
+func (c *servedClient) checkServer(gen cobench.Config, bufferPages int) error {
+	resp, err := c.hc.Get(c.base + "/info")
+	if err != nil {
+		return fmt.Errorf("server unreachable: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server /info: %s", resp.Status)
+	}
+	var info server.InfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return fmt.Errorf("server /info: %w", err)
+	}
+	if info.Gen != gen {
+		return fmt.Errorf("server holds %+v, flags request %+v", info.Gen, gen)
+	}
+	if info.BufferPages != bufferPages {
+		return fmt.Errorf("server measures with %d buffer pages, flags request %d (start coserve with -buffer %d or pass -buffer %d)",
+			info.BufferPages, bufferPages, bufferPages, info.BufferPages)
+	}
+	return nil
+}
+
+// runOne executes one (model, query) cell on the server and reconstructs
+// the QueryResult the local path would have produced.
+func (c *servedClient) runOne(k complexobj.ModelKind, q cobench.Query, w cobench.Workload) (complexobj.QueryResult, error) {
+	params := url.Values{}
+	params.Set("model", k.String())
+	params.Set("query", q.String())
+	params.Set("loops", fmt.Sprint(w.Loops))
+	params.Set("samples", fmt.Sprint(w.Samples))
+	params.Set("seed", fmt.Sprint(w.Seed))
+	start := time.Now()
+	resp, err := c.hc.Get(c.base + "/run?" + params.Encode())
+	if err != nil {
+		return complexobj.QueryResult{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return complexobj.QueryResult{}, fmt.Errorf("%s %s: %s: %s", k, q, resp.Status, body)
+	}
+	var rr server.RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return complexobj.QueryResult{}, fmt.Errorf("%s %s: %w", k, q, err)
+	}
+	c.mu.Lock()
+	c.latencies = append(c.latencies, time.Since(start))
+	c.mu.Unlock()
+	res := complexobj.QueryResult{
+		Query:     q,
+		Model:     k,
+		Supported: rr.Supported,
+		Units:     rr.Units,
+		Raw:       rr.Raw.Stats(),
+	}
+	rr.PerUnit.Apply(&res)
+	return res, nil
+}
+
+// measureServed builds the measurement table by driving a coserve: the
+// same rows as measureModels, with every cell executed server-side on a
+// pooled copy-on-write view. Closed loop by default (clients workers,
+// each issuing its next request when the previous one answered); rate > 0
+// switches to an open loop firing requests at the given rate regardless
+// of completions. Rows are deterministic and identical across repeats, so
+// the table is filled from whichever repeat answered; the latency report
+// goes to stderr.
+func measureServed(baseURL string, models []complexobj.ModelKind, queries []cobench.Query,
+	gen cobench.Config, w cobench.Workload, bufferPages, clients int, rate float64, repeat int,
+	get func(complexobj.QueryResult) float64) ([][]string, error) {
+
+	c := &servedClient{base: trimSlash(baseURL), hc: &http.Client{Timeout: 10 * time.Minute}}
+	if err := c.checkServer(gen, bufferPages); err != nil {
+		return nil, err
+	}
+	if clients < 1 {
+		clients = 1
+	}
+
+	rows := make([][]string, len(models))
+	var rowsMu sync.Mutex
+	cell := func(mi int, k complexobj.ModelKind, q cobench.Query, qi int) error {
+		res, err := c.runOne(k, q, w)
+		if err != nil {
+			return err
+		}
+		val := "-"
+		if res.Supported {
+			val = report.Num(get(res))
+		}
+		rowsMu.Lock()
+		if rows[mi] == nil {
+			rows[mi] = make([]string, 1+len(queries))
+			rows[mi][0] = k.String()
+		}
+		rows[mi][1+qi] = val
+		rowsMu.Unlock()
+		return nil
+	}
+
+	start := time.Now()
+	var err error
+	if rate > 0 {
+		err = openLoop(models, queries, repeat, rate, cell)
+	} else {
+		// Closed loop: one task per (model, query, repeat) cell, so the
+		// requested client count is actually in flight even when few
+		// models are selected (every cell is an independent cold-cache
+		// measurement; per-client ordering cannot affect the numbers).
+		tasks := len(models) * len(queries) * repeat
+		if clients > tasks {
+			clients = tasks
+		}
+		err = fanout.Run(tasks, clients, func(i int) error {
+			mi := (i / len(queries)) % len(models)
+			qi := i % len(queries)
+			return cell(mi, models[mi], queries[qi], qi)
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.report(os.Stderr, time.Since(start), clients, rate)
+	return rows, nil
+}
+
+// openLoop fires every (model, query, repeat) request at a fixed rate,
+// each in its own goroutine — in-flight count is unbounded, as an open
+// loop must be. The first error is reported after all requests finish.
+func openLoop(models []complexobj.ModelKind, queries []cobench.Query, repeat int,
+	rate float64, cell func(mi int, k complexobj.ModelKind, q cobench.Query, qi int) error) error {
+
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 { // -rate above 1e9 (or +Inf) truncates to 0, which NewTicker rejects
+		interval = time.Nanosecond
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for r := 0; r < repeat; r++ {
+		for mi := range models {
+			for qi := range queries {
+				<-tick.C
+				wg.Add(1)
+				go func(mi, qi int) {
+					defer wg.Done()
+					if err := cell(mi, models[mi], queries[qi], qi); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+					}
+				}(mi, qi)
+			}
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// report prints the latency/throughput summary to w (stderr, so stdout
+// stays byte-comparable to the local table).
+func (c *servedClient) report(w io.Writer, wall time.Duration, clients int, rate float64) {
+	c.mu.Lock()
+	lat := append([]time.Duration(nil), c.latencies...)
+	c.mu.Unlock()
+	if len(lat) == 0 {
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	mode := fmt.Sprintf("closed loop, %d clients", clients)
+	if rate > 0 {
+		mode = fmt.Sprintf("open loop, %.1f req/s", rate)
+	}
+	fmt.Fprintf(w, "served %d requests in %v (%s): %.1f req/s, latency min %v / p50 %v / p95 %v / max %v / mean %v\n",
+		len(lat), wall.Round(time.Millisecond), mode,
+		float64(len(lat))/wall.Seconds(),
+		lat[0].Round(time.Microsecond),
+		lat[len(lat)/2].Round(time.Microsecond),
+		lat[len(lat)*95/100].Round(time.Microsecond),
+		lat[len(lat)-1].Round(time.Microsecond),
+		(sum / time.Duration(len(lat))).Round(time.Microsecond))
+}
+
+func trimSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,100 @@
+// Command coserve is the long-lived benchmark server: it loads one shared
+// base per storage model from a cogen-built .codb snapshot (mmap'ed
+// read-only in place where the platform allows) and serves benchmark
+// query requests over HTTP/JSON, each on a throwaway copy-on-write view
+// from a bounded per-model pool.
+//
+// Usage:
+//
+//	coserve -db bench.codb [-addr :8077] [-buffer 1200] [-views 8]
+//	        [-model all] [-loops 300] [-samples 40] [-seed 1993]
+//
+// Endpoints: /run, /stats, /info, /healthz (see internal/server). Drive
+// it with cobench -serve-url; the served counters are bit-identical to
+// the local batch run with the same flags.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"complexobj"
+	"complexobj/internal/server"
+)
+
+func main() {
+	var (
+		dbPath  = flag.String("db", "", "cogen-built .codb snapshot to serve (required)")
+		addr    = flag.String("addr", ":8077", "listen address")
+		buffer  = flag.Int("buffer", 1200, "buffer pool pages per view")
+		views   = flag.Int("views", 8, "max concurrent views (requests) per model")
+		model   = flag.String("model", "all", "served models: all, or one of dsm, ddsm, nsm, nsmx, dnsm")
+		loops   = flag.Int("loops", 300, "default loops for queries 2b/3b")
+		samples = flag.Int("samples", 40, "default samples for single-shot queries")
+		seed    = flag.Uint64("seed", 1993, "default workload seed")
+	)
+	flag.Parse()
+	if err := run(*dbPath, *addr, *buffer, *views, *model, *loops, *samples, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "coserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbPath, addr string, buffer, views int, model string, loops, samples int, seed uint64) error {
+	if dbPath == "" {
+		return fmt.Errorf("-db is required (build one with: cogen -db bench.codb)")
+	}
+	cfg := server.Config{
+		Snapshot:    dbPath,
+		BufferPages: buffer,
+		MaxViews:    views,
+	}
+	cfg.Workload.Loops = loops
+	cfg.Workload.Samples = samples
+	cfg.Workload.Seed = seed
+	if model != "all" {
+		k, err := complexobj.ModelByName(model)
+		if err != nil {
+			return err
+		}
+		cfg.Models = []complexobj.ModelKind{k}
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	info := srv.Info()
+	fmt.Printf("coserve: serving %s (N=%d, seed=%d, page %d B) on %s\n",
+		dbPath, info.Gen.N, info.Gen.Seed, info.PageSize, addr)
+	fmt.Printf("coserve: %d models, %.1f MiB shared arenas, %d views x %d buffer pages per model\n",
+		len(info.Models), float64(srv.TotalArenaBytes())/(1<<20), views, buffer)
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("coserve: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+	return nil
+}

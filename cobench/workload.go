@@ -30,6 +30,18 @@ const (
 // AllQueries lists the benchmark queries in paper order.
 func AllQueries() []Query { return []Query{Q1a, Q1b, Q1c, Q2a, Q2b, Q3a, Q3b} }
 
+// QueryByName resolves a query by its printed name ("1a" … "3b") — the
+// shared lookup for every surface that accepts query names (CLI flags,
+// server requests), so they cannot drift.
+func QueryByName(name string) (Query, bool) {
+	for _, q := range AllQueries() {
+		if q.String() == name {
+			return q, true
+		}
+	}
+	return 0, false
+}
+
 // String implements fmt.Stringer.
 func (q Query) String() string {
 	switch q {

@@ -317,12 +317,9 @@ func (b *Base) Close() error { return b.base.Release() }
 // with a cold cache and zeroed counters and measures bit-identically to a
 // freshly loaded database.
 func (b *Base) Open(opts Options) (*DB, error) {
-	so, err := opts.internal()
+	so, err := b.viewOptions(opts)
 	if err != nil {
 		return nil, err
-	}
-	if so.Backend.Kind != disk.MemArena && so.Backend.Kind != disk.COWArena {
-		return nil, fmt.Errorf("complexobj: backend %q cannot open a shared base (views are copy-on-write)", opts.Backend)
 	}
 	m, err := b.base.Open(so)
 	if err != nil {
@@ -502,13 +499,22 @@ type QueryResult struct {
 // and returns its measurement. The cache is reset before the query, as in
 // the experiment harness.
 func (db *DB) Run(q cobench.Query, w cobench.Workload) (QueryResult, error) {
-	res, err := workload.NewRunner(db.model, w).Run(q)
+	return runQuery(db.kind, db.model, q, w)
+}
+
+// runQuery is the one execution path every surface shares: batch
+// databases (DB.Run), request-scoped views (View.Run) and, through them,
+// the benchmark server all drive the same workload.Runner over the
+// workload.View interface — which is what makes served counters
+// bit-identical to the batch tables.
+func runQuery(kind ModelKind, v workload.View, q cobench.Query, w cobench.Workload) (QueryResult, error) {
+	res, err := workload.NewRunner(v, w).Run(q)
 	if err != nil {
 		return QueryResult{}, err
 	}
 	out := QueryResult{
 		Query:     res.Query,
-		Model:     db.kind,
+		Model:     kind,
 		Supported: res.Supported,
 		Units:     res.Units,
 		Raw: Stats{

@@ -90,6 +90,7 @@ type Suite struct {
 	stations    []*cobench.Station
 	genStats    *cobench.Stats
 	bases       *store.BaseCache
+	gens        *genShare
 	models      map[store.Kind]store.Model
 	matrix      *Matrix
 	fig5        []Fig5Cell
@@ -109,7 +110,7 @@ func New(cfg Config) *Suite {
 	if cfg.BufferPages == 0 {
 		cfg.BufferPages = 1200
 	}
-	s := &Suite{cfg: cfg, models: make(map[store.Kind]store.Model), bases: store.NewBaseCache()}
+	s := &Suite{cfg: cfg, models: make(map[store.Kind]store.Model), bases: store.NewBaseCache(), gens: newGenShare()}
 	s.storeOpts = store.Options{PageSize: cfg.PageSize, BufferPages: cfg.BufferPages}
 	if cfg.UseClock {
 		s.storeOpts.Policy = buffer.Clock
@@ -198,7 +199,25 @@ func (s *Suite) useSharedBases() bool {
 // regeneration of gen when the caller has none — and freezing the result.
 func (s *Suite) sharedBase(k store.Kind, gen cobench.Config, stations []*cobench.Station) (*store.SharedBase, error) {
 	key := store.BaseKey{Kind: k, PageSize: s.storeOpts.PageSize, Gen: gen}
-	return s.bases.Get(key, func() (*store.SharedBase, error) {
+	return s.bases.Get(key, s.buildBase(k, gen, stations))
+}
+
+// scopedBase is sharedBase for one-off configurations: the cache entry is
+// released — its base dropped — as soon as every cell that acquired it
+// has called the returned release function, so a paper-scale sweep over
+// many non-default configurations (Figure 5/6 columns, the Table 7 skew
+// extension) holds only the bases of cells in flight instead of retaining
+// all of them until Suite.Close.
+func (s *Suite) scopedBase(k store.Kind, gen cobench.Config, stations []*cobench.Station) (*store.SharedBase, func() error, error) {
+	key := store.BaseKey{Kind: k, PageSize: s.storeOpts.PageSize, Gen: gen}
+	return s.bases.GetScoped(key, s.buildBase(k, gen, stations))
+}
+
+// buildBase is the build closure shared by the pinned and the scoped
+// cache paths: snapshot-backed for the suite's own extension, otherwise
+// load-and-freeze over a generation.
+func (s *Suite) buildBase(k store.Kind, gen cobench.Config, stations []*cobench.Station) func() (*store.SharedBase, error) {
+	return func() (*store.SharedBase, error) {
 		if s.cfg.Snapshot != "" && gen == s.cfg.Gen {
 			if err := s.snapshotOK(); err != nil {
 				return nil, err
@@ -231,7 +250,7 @@ func (s *Suite) sharedBase(k store.Kind, gen cobench.Config, stations []*cobench
 			return nil, fmt.Errorf("experiments: load %s: %w", k, err)
 		}
 		return store.Freeze(loader)
-	})
+	}
 }
 
 // openLoaded builds one loaded model of kind k over the extension
@@ -611,10 +630,38 @@ func (s *Suite) runQueriesOn(k store.Kind, opts store.Options, gen cobench.Confi
 // runQueriesLoaded is runQueriesOn with optionally pre-generated stations
 // of gen (callers that already share one generation across cells pass it;
 // nil regenerates on demand).
+//
+// Non-default configurations get cell-scoped sharing and release: the
+// extension comes from the transient generation share (cells of the same
+// configuration running concurrently generate it once; nothing outlives
+// the cells), and on the shared-base path the frozen base is acquired
+// scoped — dropped from the cache as soon as the last cell of its
+// configuration finishes — so a sweep's memory tracks the cells in
+// flight, not the number of configurations swept.
 func (s *Suite) runQueriesLoaded(k store.Kind, opts store.Options, gen cobench.Config, stations []*cobench.Station, w cobench.Workload, queries ...cobench.Query) (map[cobench.Query]Measured, error) {
-	m, err := s.openLoaded(k, opts, gen, stations)
-	if err != nil {
-		return nil, err
+	if stations == nil && gen != s.cfg.Gen {
+		st, release, err := s.gens.acquire(gen)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		stations = st
+	}
+	var m store.Model
+	if s.useSharedBases() && gen != s.cfg.Gen {
+		base, release, err := s.scopedBase(k, gen, stations)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		if m, err = base.Open(opts); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		if m, err = s.openLoaded(k, opts, gen, stations); err != nil {
+			return nil, err
+		}
 	}
 	defer m.Engine().Close()
 	runner := workload.NewRunner(m, w)

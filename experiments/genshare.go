@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"sync"
+
+	"complexobj/cobench"
+)
+
+// genShare is a transient, in-flight-scoped cache of generated benchmark
+// extensions for the sweep cells that measure non-default configurations
+// (the Figure 6 database sizes, the Table 7 skew extension): the up to
+// three per-kind cells of one configuration running concurrently share a
+// single generation instead of each regenerating it, and the extension is
+// dropped as soon as the last in-flight user releases — unlike the
+// suite-lifetime extension cache, nothing is retained beyond the cells
+// that are actually running. A configuration acquired again after its
+// entry was dropped simply regenerates, deterministically.
+type genShare struct {
+	mu      sync.Mutex
+	entries map[cobench.Config]*genEntry
+	built   int64
+}
+
+type genEntry struct {
+	once     sync.Once
+	stations []*cobench.Station
+	err      error
+	users    int
+}
+
+func newGenShare() *genShare {
+	return &genShare{entries: make(map[cobench.Config]*genEntry)}
+}
+
+// acquire returns the generated extension of gen, generating it at most
+// once per set of overlapping acquisitions, plus a release function the
+// caller must invoke (exactly once) when its cell no longer needs the
+// stations. The returned slice is shared read-only.
+func (g *genShare) acquire(gen cobench.Config) ([]*cobench.Station, func(), error) {
+	g.mu.Lock()
+	e, ok := g.entries[gen]
+	if !ok {
+		e = &genEntry{}
+		g.entries[gen] = e
+	}
+	e.users++
+	g.mu.Unlock()
+	e.once.Do(func() {
+		e.stations, e.err = cobench.Generate(gen)
+		if e.err == nil {
+			g.mu.Lock()
+			g.built++
+			g.mu.Unlock()
+		}
+	})
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			g.mu.Lock()
+			e.users--
+			if e.users == 0 && g.entries[gen] == e {
+				delete(g.entries, gen)
+			}
+			g.mu.Unlock()
+		})
+	}
+	if e.err != nil {
+		release()
+		return nil, nil, e.err
+	}
+	return e.stations, release, nil
+}
+
+// generations returns how many extensions were generated through the
+// share (diagnostics; in-flight overlap makes it ≤ the acquire count).
+func (g *genShare) generations() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.built
+}
+
+// inFlight returns the number of live entries (must be 0 between
+// experiments — the share retains nothing).
+func (g *genShare) inFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.entries)
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"complexobj/cobench"
+)
+
+// TestGenShare pins the transient generation share: overlapping acquires
+// of one configuration generate once, the entry dies with its last user,
+// and a later acquire regenerates — nothing is retained between cells.
+func TestGenShare(t *testing.T) {
+	g := newGenShare()
+	gen := cobench.DefaultConfig().WithN(30)
+
+	var wg sync.WaitGroup
+	releases := make([]func(), 8)
+	stations := make([][]*cobench.Station, 8)
+	for i := range releases {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, release, err := g.acquire(gen)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			stations[i], releases[i] = st, release
+		}(i)
+	}
+	wg.Wait()
+	if g.generations() != 1 {
+		t.Fatalf("8 overlapping acquires generated %d times, want 1", g.generations())
+	}
+	for _, st := range stations[1:] {
+		if len(st) != len(stations[0]) {
+			t.Fatal("acquirers got different extensions")
+		}
+	}
+	for _, release := range releases[:7] {
+		release()
+	}
+	if g.inFlight() != 1 {
+		t.Fatalf("entry dropped while a user is live (inFlight %d)", g.inFlight())
+	}
+	releases[7]()
+	releases[7]() // idempotent per acquisition
+	if g.inFlight() != 0 {
+		t.Fatalf("entry retained after last release (inFlight %d)", g.inFlight())
+	}
+
+	// A fresh acquire after the drop regenerates, deterministically.
+	st, release, err := g.acquire(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if g.generations() != 2 {
+		t.Fatalf("re-acquire generated %d times total, want 2", g.generations())
+	}
+	if len(st) != 30 {
+		t.Fatalf("regenerated extension has %d stations, want 30", len(st))
+	}
+
+	// Distinct configurations never share an entry.
+	_, release2, err := g.acquire(gen.WithN(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release2()
+	if g.inFlight() != 2 || g.generations() != 3 {
+		t.Fatalf("distinct config: inFlight %d generations %d, want 2 and 3", g.inFlight(), g.generations())
+	}
+}

@@ -110,6 +110,15 @@ func (p *Pool) Len() int {
 	return p.resident
 }
 
+// DirtyLen returns the number of resident frames holding unwritten
+// modifications (view recycling uses it to decide whether a request
+// mutated anything before Discard throws the evidence away).
+func (p *Pool) DirtyLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dirtyLen
+}
+
 // Fixes returns the total number of page fixes so far.
 func (p *Pool) Fixes() int64 {
 	p.mu.Lock()
@@ -528,6 +537,22 @@ func (p *Pool) Drop(ids []disk.PageID) error {
 // queries start with a cold cache. Returns an error if a page is still
 // pinned.
 func (p *Pool) Reset() error {
+	return p.empty(true)
+}
+
+// Discard empties the pool without writing dirty pages back. It exists
+// for view recycling: when the device underneath is about to be reset to
+// a pristine shared base, the dirty frames describe pages that are about
+// to vanish, and flushing them would only materialize overlay copies that
+// are dropped a moment later. Returns an error if a page is still pinned.
+// Frame structs and page buffers go to the free lists, so a recycled
+// view's next request allocates nothing on the buffer hot path.
+func (p *Pool) Discard() error {
+	return p.empty(false)
+}
+
+// empty drops every resident frame, optionally flushing dirty ones first.
+func (p *Pool) empty(flush bool) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	// Collect resident frames into a local list first: flushing reuses the
@@ -542,8 +567,10 @@ func (p *Pool) Reset() error {
 			return fmt.Errorf("buffer: reset with pinned page %d", f.ID)
 		}
 	}
-	if err := p.flushDirtyLocked(); err != nil {
-		return err
+	if flush {
+		if err := p.flushDirtyLocked(); err != nil {
+			return err
+		}
 	}
 	for _, f := range residents {
 		p.index[f.ID] = nil

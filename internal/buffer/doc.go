@@ -36,7 +36,12 @@
 // modification when releasing the pin); dirty frames are written back on
 // flush or overflow, never while pinned by the eviction path. Drop
 // discards resident frames without write-back — the cache-coherence hook
-// for page recycling — and refuses pinned pages.
+// for page recycling — and refuses pinned pages. Discard empties the
+// whole pool without write-back (Reset's flushing counterpart) for view
+// recycling, where the device underneath is about to be reset to a
+// pristine shared base; evicted frame structs and page buffers land on
+// free lists either way, so a recycled engine's next request allocates
+// nothing on the buffer hot path.
 //
 // Frames hold private copies of page bytes (filled by the device's
 // ReadRun), never aliases of backend memory. That makes the pool

@@ -108,7 +108,8 @@ type cowBackend struct {
 	size int      // logical arena length
 	over [][]byte // overlay page images indexed by page number; nil = base
 
-	overlaid int // number of materialized overlay pages
+	overlaid int      // number of materialized overlay pages
+	freeImgs [][]byte // page images recycled by reset, ready for reuse
 }
 
 // NewCOWBackend layers a private overlay over base (nil means an empty
@@ -183,14 +184,23 @@ func (b *cowBackend) WriteAt(p []byte, off int) error {
 		}
 		img := b.overlayPage(pg)
 		if img == nil {
-			img = make([]byte, b.gran)
+			if k := len(b.freeImgs); k > 0 {
+				img = b.freeImgs[k-1]
+				b.freeImgs = b.freeImgs[:k-1]
+			} else {
+				img = make([]byte, b.gran)
+			}
 			if n < b.gran {
 				// Partial-page write: materialize the underlying content
-				// first so the untouched bytes of the page survive. A
+				// first so the untouched bytes of the page survive (and,
+				// for a recycled image, no stale bytes either). A
 				// full-page write (the device's normal unit) skips this.
-				if lo := pg * b.gran; lo < len(base) {
-					copy(img, base[lo:])
+				lo := pg * b.gran
+				var m int
+				if lo < len(base) {
+					m = copy(img, base[lo:])
 				}
+				clear(img[m:])
 			}
 			if pg >= len(b.over) {
 				grown := make([][]byte, (pg+1)*2)
@@ -211,6 +221,22 @@ func (b *cowBackend) WriteAt(p []byte, off int) error {
 // private view), and the base is immutable.
 func (b *cowBackend) Flush() error { return nil }
 
+// reset drops every overlay page and truncates growth past the base, so
+// the backend reads as the pristine shared base again. The overlay index
+// keeps its capacity and the page images move to a free list (view
+// recycling re-dirties a similar working set, so the next request's
+// writes materialize pages without allocating).
+func (b *cowBackend) reset() {
+	for i, img := range b.over {
+		if img != nil {
+			b.freeImgs = append(b.freeImgs, img)
+			b.over[i] = nil
+		}
+	}
+	b.overlaid = 0
+	b.size = b.base.Len()
+}
+
 // Close releases the overlay and the backend's reference on the shared
 // base. Other engines keep reading through the base; only when the last
 // reference (views plus the owner handle) goes is the base storage —
@@ -219,6 +245,7 @@ func (b *cowBackend) Close() error {
 	base := b.base
 	b.over = nil
 	b.overlaid = 0
+	b.freeImgs = nil
 	b.base = nil
 	b.size = 0
 	return base.Release()

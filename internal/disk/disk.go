@@ -234,6 +234,26 @@ func (d *Disk) Close() error {
 	return d.backend.Close()
 }
 
+// ResetView restores a device layered over a copy-on-write backend to the
+// pristine shared base: every overlay page is dropped, growth past the
+// base is truncated (allocated page count back to the base's), and the
+// device counters are untouched (the caller resets statistics as part of
+// its own lifecycle). Any buffer pool over the device must have been
+// emptied first — resident frames would otherwise alias pages that no
+// longer exist. Returns false, changing nothing, when the backend is not
+// copy-on-write; recycling is a COW-view affordance.
+func (d *Disk) ResetView() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.backend.(*cowBackend)
+	if !ok {
+		return false
+	}
+	c.reset()
+	d.numPages = c.size / d.pageSize
+	return true
+}
+
 // DumpTo streams the raw images of all allocated pages to w, without
 // touching the I/O counters (snapshots are a dictionary-level operation,
 // like allocation).

@@ -73,4 +73,11 @@
 //
 // Backends change only the storage substrate — allocation, run transfers
 // and the I/O counters are identical across backends by construction.
+//
+// Disk.ResetView is the COW-only recycling hook: it drops every overlay
+// page and truncates growth past the base, restoring the device to the
+// pristine shared state so a request-scoped view can serve its next
+// request without being torn down. Dropped overlay page images go to a
+// free list inside the backend and are reused by the next writes, so a
+// recycled view's overlay materializes without allocating.
 package disk

@@ -25,4 +25,12 @@
 // attribute" operations allocate a page pool of which all pages are
 // written immediately, making DASDBS-DSM updates expensive for small
 // objects.
+//
+// A Store has a single owner (the engine it belongs to) and reuses
+// scratch buffers across calls on that assumption. ReadAllShared is the
+// scratch-backed ReadAll used by the storage models' fetch paths: its
+// components are valid only until the next ReadAllShared call on the same
+// store, and in exchange a steady-state object read allocates nothing
+// beyond the values the caller decodes out — which keeps the benchmark
+// server's allocation rate flat under sustained load.
 package longobj

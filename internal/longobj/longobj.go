@@ -81,6 +81,16 @@ type Store struct {
 	// device, so relocation-heavy workloads reach a stable device size
 	// instead of growing the arena unboundedly.
 	free []pageRun
+
+	// Scratch buffers reused across calls. A Store, like the engine it
+	// belongs to, has a single owner (workers and views never share one),
+	// so the reuse is safe: hdrScratch backs readHeader, spanScratch the
+	// directory walk, and compScratch/blockScratch the components of
+	// ReadAllShared (whose results are valid only until its next call).
+	hdrScratch   []byte
+	spanScratch  []dirSpan
+	compScratch  []Component
+	blockScratch []byte
 }
 
 // New creates a store whose small objects live in a shared heap called
@@ -299,7 +309,14 @@ func (s *Store) readHeader(ref Ref) ([]byte, error) {
 		ids[i] = ref.Start + disk.PageID(i)
 	}
 	eff := s.effSize()
-	hdr := make([]byte, int(ref.HeaderPages)*eff)
+	need := int(ref.HeaderPages) * eff
+	if cap(s.hdrScratch) < need {
+		s.hdrScratch = make([]byte, need)
+	}
+	// The scratch is fully overwritten (every visited page copies eff
+	// bytes) and only read until the caller returns — no call path reads
+	// two headers at once.
+	hdr := s.hdrScratch[:need]
 	err := s.visitPages(ids, false, func(i int, payload []byte) {
 		copy(hdr[i*eff:], payload)
 	})
@@ -307,6 +324,12 @@ func (s *Store) readHeader(ref Ref) ([]byte, error) {
 		return nil, err
 	}
 	return hdr, nil
+}
+
+// dirSpan is one directory entry resolved to its data-area interval.
+type dirSpan struct {
+	off, end int
+	tag      uint8
 }
 
 // dataPageIDs returns the page IDs of the object's data area.
@@ -319,14 +342,56 @@ func (s *Store) dataPageIDs(ref Ref) []disk.PageID {
 }
 
 // ReadAll returns every component (DSM read path: header call + one call
-// for the full contiguous data run).
+// for the full contiguous data run). The returned components are freshly
+// allocated and belong to the caller.
 func (s *Store) ReadAll(ref Ref) ([]Component, error) {
+	return s.readAll(ref, false)
+}
+
+// ReadAllShared is ReadAll over per-store scratch buffers: the returned
+// slice and every component's Data are valid only until the next
+// ReadAllShared call on this store. The storage models' fetch paths
+// decode components into result objects immediately, so they ride on this
+// variant and a steady-state object read allocates nothing beyond the
+// decoded values — which is what keeps a serving process's allocation
+// rate (and with it the GC's transient footprint) flat under load.
+func (s *Store) ReadAllShared(ref Ref) ([]Component, error) {
+	return s.readAll(ref, true)
+}
+
+// scratch returns the component and data scratch for a scratch-backed
+// read, or fresh allocations for the plain contract.
+func (s *Store) scratch(scratch bool, n, total int) ([]Component, []byte) {
+	if !scratch {
+		return make([]Component, n), make([]byte, total)
+	}
+	if cap(s.compScratch) < n {
+		s.compScratch = make([]Component, n+8)
+	}
+	if cap(s.blockScratch) < total {
+		s.blockScratch = make([]byte, total+total/2)
+	}
+	return s.compScratch[:n], s.blockScratch[:total]
+}
+
+func (s *Store) readAll(ref Ref, scratch bool) ([]Component, error) {
 	if ref.Small {
-		rec, err := s.shared.Get(ref.RID)
-		if err != nil {
-			return nil, err
+		if !scratch {
+			rec, err := s.shared.Get(ref.RID)
+			if err != nil {
+				return nil, err
+			}
+			return decodeInline(rec)
 		}
-		return decodeInline(rec)
+		// Scratch path: decode straight out of the heap page view, so
+		// even the record copy disappears.
+		var comps []Component
+		err := s.shared.View(ref.RID, func(rec []byte) error {
+			var err error
+			comps, err = s.decodeInlineShared(rec)
+			return err
+		})
+		return comps, err
 	}
 	hdr, err := s.readHeader(ref)
 	if err != nil {
@@ -334,25 +399,85 @@ func (s *Store) ReadAll(ref Ref) ([]Component, error) {
 	}
 	n := int(binary.BigEndian.Uint16(hdr))
 	eff := s.effSize()
-	stream := make([]byte, int(ref.DataPages)*eff)
-	err = s.visitPages(s.dataPageIDs(ref), false, func(i int, payload []byte) {
-		copy(stream[i*eff:], payload)
-	})
-	if err != nil {
-		return nil, err
+	// Decode the directory once, back every component with one shared
+	// block, and copy each visited page straight into the components it
+	// feeds — the object is moved exactly once, with at most two
+	// allocations per read no matter how many components it has. (An
+	// earlier version staged the whole object in a stream buffer and
+	// copied every component out of it again; at serving rates that
+	// staging was the single largest allocation site in the process.)
+	dataLen := int(ref.DataPages) * eff
+	if cap(s.spanScratch) < n {
+		s.spanScratch = make([]dirSpan, n+8)
 	}
-	comps := make([]Component, n)
+	spans := s.spanScratch[:n]
+	total := 0
 	for i := 0; i < n; i++ {
 		tag, off, length, err := dirEntryAt(hdr, i)
 		if err != nil {
 			return nil, err
 		}
-		if off+length > len(stream) {
+		if off+length > dataLen {
 			return nil, fmt.Errorf("%w: component %d beyond data", ErrBadRef, i)
 		}
-		data := make([]byte, length)
-		copy(data, stream[off:off+length])
-		comps[i] = Component{Tag: tag, Data: data}
+		spans[i] = dirSpan{off: off, end: off + length, tag: tag}
+		total += length
+	}
+	comps, block := s.scratch(scratch, n, total)
+	pos := 0
+	for i := range comps {
+		length := spans[i].end - spans[i].off
+		comps[i] = Component{Tag: spans[i].tag, Data: block[pos : pos+length : pos+length]}
+		pos += length
+	}
+	err = s.visitPages(s.dataPageIDs(ref), false, func(p int, payload []byte) {
+		pageLo := p * eff
+		for i := range spans {
+			lo, hi := max(spans[i].off, pageLo), min(spans[i].end, pageLo+eff)
+			if lo < hi {
+				copy(comps[i].Data[lo-spans[i].off:], payload[lo-pageLo:hi-pageLo])
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return comps, nil
+}
+
+// decodeInlineShared is decodeInline over the store scratch; see
+// ReadAllShared for the aliasing contract.
+func (s *Store) decodeInlineShared(rec []byte) ([]Component, error) {
+	if len(rec) < inlinePrologue {
+		return nil, fmt.Errorf("%w: short inline object", ErrBadRef)
+	}
+	n := int(binary.BigEndian.Uint16(rec))
+	if len(rec) < inlinePrologue+inlineEntry*n {
+		return nil, fmt.Errorf("%w: truncated inline directory", ErrBadRef)
+	}
+	// Validate every directory length against the record before sizing
+	// the scratch: a corrupt record must produce an error, not a huge
+	// allocation retained on the store.
+	total := 0
+	end := inlinePrologue + inlineEntry*n
+	for i := 0; i < n; i++ {
+		l := int(binary.BigEndian.Uint16(rec[inlinePrologue+inlineEntry*i+1:]))
+		if end+total+l > len(rec) {
+			return nil, fmt.Errorf("%w: truncated inline component %d", ErrBadRef, i)
+		}
+		total += l
+	}
+	comps, block := s.scratch(true, n, total)
+	off := end
+	pos := 0
+	for i := 0; i < n; i++ {
+		base := inlinePrologue + inlineEntry*i
+		l := int(binary.BigEndian.Uint16(rec[base+1:]))
+		data := block[pos : pos+l : pos+l]
+		copy(data, rec[off:off+l])
+		comps[i] = Component{Tag: rec[base], Data: data}
+		off += l
+		pos += l
 	}
 	return comps, nil
 }

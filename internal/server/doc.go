@@ -1,0 +1,35 @@
+// Package server is the long-lived benchmark server: it loads one
+// immutable complexobj.Base per storage model from a .codb snapshot at
+// startup (mmap'ed read-only in place where the platform allows) and
+// serves benchmark query requests over HTTP/JSON, each on a throwaway
+// copy-on-write view acquired from a per-model ViewPool.
+//
+// The contract that makes the served numbers meaningful: a request runs
+// exactly the batch execution path — the same workload.Runner over the
+// same workload.View interface as DB.Run and the experiments suite — on a
+// view with a private buffer pool, a private overlay and private
+// counters, reset to the pristine base between requests. A served
+// (model, query, workload) measurement is therefore bit-identical to the
+// same cell of a serial batch table, no matter how many requests run
+// concurrently (pinned by the tests in this package and by the CI smoke
+// job that diffs cobench -serve-url output against the local run).
+//
+// Concurrency and memory are bounded by the view pools: at most MaxViews
+// requests per model are in flight, the rest queue in Acquire; recycled
+// views reuse their engines, so steady-state serving allocates almost
+// nothing and the resident set stays near (shared bases) + MaxViews ×
+// (buffer pool + dirtied overlay pages).
+//
+// Endpoints:
+//
+//	GET /run?model=dnsm&query=2b[&loops=300][&samples=40][&seed=1993]
+//	    — execute one query, return its per-request counters.
+//	GET /stats   — aggregate per-(model, query, workload) counters plus
+//	               latency, with a divergence flag that must stay false
+//	               (every repetition of a deterministic cell is identical).
+//	GET /info    — snapshot metadata, per-model base and pool statistics.
+//	GET /healthz — liveness.
+//
+// Command coserve wraps this package; cobench -serve-url is the matching
+// load generator.
+package server

@@ -1,0 +1,551 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"complexobj"
+	"complexobj/cobench"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Snapshot is the path of the cogen-built .codb snapshot to serve.
+	Snapshot string
+	// Models selects the storage models to serve (nil: every model the
+	// snapshot holds). Each gets its own base and view pool.
+	Models []complexobj.ModelKind
+	// BufferPages is the buffer-pool capacity of every view (default
+	// 1200, the paper's installation).
+	BufferPages int
+	// MaxViews bounds the views — and so the in-flight requests — per
+	// model (default 8). Requests beyond the bound queue.
+	MaxViews int
+	// Workload supplies the request defaults for loops, samples and seed;
+	// zero fields fall back to the benchmark defaults.
+	Workload cobench.Workload
+}
+
+// Server serves benchmark queries from snapshot-backed shared bases. See
+// the package comment for the endpoint list and the measurement contract.
+type Server struct {
+	cfg      Config
+	info     complexobj.SnapshotInfo
+	models   []complexobj.ModelKind
+	bases    map[complexobj.ModelKind]*complexobj.Base
+	pools    map[complexobj.ModelKind]*complexobj.ViewPool
+	start    time.Time
+	requests atomic.Int64
+
+	mu         sync.Mutex
+	agg        map[AggKey]*aggregate
+	aggDropped int64
+}
+
+// New opens one shared base per served model from the snapshot and builds
+// the view pools. Close the server to release them.
+func New(cfg Config) (*Server, error) {
+	info, err := complexobj.StatSnapshot(cfg.Snapshot)
+	if err != nil {
+		return nil, err
+	}
+	models := cfg.Models
+	if len(models) == 0 {
+		models = info.Models
+	} else {
+		// Deduplicate caller-supplied kinds: a duplicate would open a
+		// second base+pool for the kind and leak the first (Close walks
+		// the maps, which only keep the last).
+		seen := make(map[complexobj.ModelKind]bool, len(models))
+		dedup := models[:0:0]
+		for _, k := range models {
+			if !seen[k] {
+				seen[k] = true
+				dedup = append(dedup, k)
+			}
+		}
+		models = dedup
+	}
+	// Default field by field, so a caller setting only some workload
+	// knobs (just a seed, just loops) keeps them and gets the benchmark
+	// defaults for the rest. Seed is defaulted only when the whole
+	// workload is unset: zero loops/samples are meaningless, but zero is
+	// a perfectly good seed (`coserve -seed 0` must stay seed 0).
+	def := cobench.DefaultWorkload()
+	if cfg.Workload == (cobench.Workload{}) {
+		cfg.Workload.Seed = def.Seed
+	}
+	if cfg.Workload.Loops == 0 {
+		cfg.Workload.Loops = def.Loops
+	}
+	if cfg.Workload.Samples == 0 {
+		cfg.Workload.Samples = def.Samples
+	}
+	if cfg.BufferPages == 0 {
+		cfg.BufferPages = 1200 // the paper's installation; keeps /info truthful
+	}
+	s := &Server{
+		cfg:    cfg,
+		info:   info,
+		models: models,
+		bases:  make(map[complexobj.ModelKind]*complexobj.Base, len(models)),
+		pools:  make(map[complexobj.ModelKind]*complexobj.ViewPool, len(models)),
+		start:  time.Now(),
+		agg:    make(map[AggKey]*aggregate),
+	}
+	opts := complexobj.Options{BufferPages: cfg.BufferPages, Backend: "cow"}
+	for _, k := range models {
+		base, err := complexobj.OpenBase(cfg.Snapshot, k)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("server: open base %s: %w", k, err)
+		}
+		s.bases[k] = base
+		pool, err := complexobj.NewViewPool(base, opts, cfg.MaxViews)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("server: pool %s: %w", k, err)
+		}
+		s.pools[k] = pool
+	}
+	return s, nil
+}
+
+// Close releases the view pools and then the shared bases (dropping the
+// snapshot file mappings).
+func (s *Server) Close() error {
+	var first error
+	for k, p := range s.pools {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.pools, k)
+	}
+	for k, b := range s.bases {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.bases, k)
+	}
+	return first
+}
+
+// Info returns the snapshot metadata of the served database.
+func (s *Server) Info() complexobj.SnapshotInfo { return s.info }
+
+// TotalArenaBytes sums the shared arena sizes of every served base — the
+// memory the bases cost if fully resident, paid once regardless of view
+// count (the RSS smoke bounds the serving process against a multiple of
+// this).
+func (s *Server) TotalArenaBytes() int {
+	n := 0
+	for _, b := range s.bases {
+		n += b.ArenaBytes()
+	}
+	return n
+}
+
+// WorkloadParams identifies the workload knobs of a request (and so of an
+// aggregation cell).
+type WorkloadParams struct {
+	Loops   int    `json:"loops"`
+	Samples int    `json:"samples"`
+	Seed    uint64 `json:"seed"`
+}
+
+// Counters are raw I/O counters, JSON-shaped.
+type Counters struct {
+	PagesRead    int64 `json:"pagesRead"`
+	PagesWritten int64 `json:"pagesWritten"`
+	ReadCalls    int64 `json:"readCalls"`
+	WriteCalls   int64 `json:"writeCalls"`
+	BufferFixes  int64 `json:"bufferFixes"`
+	BufferHits   int64 `json:"bufferHits"`
+}
+
+func toCounters(s complexobj.Stats) Counters {
+	return Counters{
+		PagesRead:    s.PagesRead,
+		PagesWritten: s.PagesWritten,
+		ReadCalls:    s.ReadCalls,
+		WriteCalls:   s.WriteCalls,
+		BufferFixes:  s.BufferFixes,
+		BufferHits:   s.BufferHits,
+	}
+}
+
+// Stats is the inverse of toCounters, kept adjacent so a counter added to
+// one mapping cannot silently be dropped from the other (cobench's client
+// mode reconstructs local results from served payloads through these).
+func (c Counters) Stats() complexobj.Stats {
+	return complexobj.Stats{
+		PagesRead:    c.PagesRead,
+		PagesWritten: c.PagesWritten,
+		ReadCalls:    c.ReadCalls,
+		WriteCalls:   c.WriteCalls,
+		BufferFixes:  c.BufferFixes,
+		BufferHits:   c.BufferHits,
+	}
+}
+
+func (c *Counters) add(o Counters) {
+	c.PagesRead += o.PagesRead
+	c.PagesWritten += o.PagesWritten
+	c.ReadCalls += o.ReadCalls
+	c.WriteCalls += o.WriteCalls
+	c.BufferFixes += o.BufferFixes
+	c.BufferHits += o.BufferHits
+}
+
+// PerUnit are the normalized counters, the numbers of the paper's tables.
+type PerUnit struct {
+	Pages        float64 `json:"pages"`
+	PagesRead    float64 `json:"pagesRead"`
+	PagesWritten float64 `json:"pagesWritten"`
+	Calls        float64 `json:"calls"`
+	ReadCalls    float64 `json:"readCalls"`
+	WriteCalls   float64 `json:"writeCalls"`
+	Fixes        float64 `json:"fixes"`
+	Hits         float64 `json:"hits"`
+}
+
+func toPerUnit(r complexobj.QueryResult) PerUnit {
+	return PerUnit{
+		Pages:        r.Pages,
+		PagesRead:    r.PagesRead,
+		PagesWritten: r.PagesWritten,
+		Calls:        r.Calls,
+		ReadCalls:    r.ReadCalls,
+		WriteCalls:   r.WriteCalls,
+		Fixes:        r.Fixes,
+		Hits:         r.Hits,
+	}
+}
+
+// Apply is the inverse of toPerUnit (see Counters.Stats for why the pair
+// lives here): it writes the normalized counters back onto a result.
+func (p PerUnit) Apply(r *complexobj.QueryResult) {
+	r.Pages = p.Pages
+	r.PagesRead = p.PagesRead
+	r.PagesWritten = p.PagesWritten
+	r.Calls = p.Calls
+	r.ReadCalls = p.ReadCalls
+	r.WriteCalls = p.WriteCalls
+	r.Fixes = p.Fixes
+	r.Hits = p.Hits
+}
+
+// RunResponse is the /run payload: one query execution with its private,
+// per-request counters.
+type RunResponse struct {
+	Model     string         `json:"model"`
+	Query     string         `json:"query"`
+	Supported bool           `json:"supported"`
+	Units     float64        `json:"units"`
+	Workload  WorkloadParams `json:"workload"`
+	Raw       Counters       `json:"raw"`
+	PerUnit   PerUnit        `json:"perUnit"`
+	ElapsedUS int64          `json:"elapsedMicros"`
+}
+
+// AggKey identifies one aggregation cell: everything that determines a
+// deterministic measurement.
+type AggKey struct {
+	Model    string         `json:"model"`
+	Query    string         `json:"query"`
+	Workload WorkloadParams `json:"workload"`
+}
+
+type aggregate struct {
+	count     int64
+	supported bool
+	rawSum    Counters
+	perUnit   PerUnit // of the first run; later runs must match
+	raw       Counters
+	divergent bool
+	elapsedUS int64
+	maxUS     int64
+}
+
+// AggCell is one /stats row: every run of a deterministic cell must be
+// identical, so PerUnit/Raw are per-run values and Divergent flags any
+// run that broke the determinism contract.
+type AggCell struct {
+	AggKey
+	Count     int64    `json:"count"`
+	Supported bool     `json:"supported"`
+	Raw       Counters `json:"raw"`
+	RawSum    Counters `json:"rawSum"`
+	PerUnit   PerUnit  `json:"perUnit"`
+	Divergent bool     `json:"divergent"`
+	MeanUS    int64    `json:"meanMicros"`
+	MaxUS     int64    `json:"maxMicros"`
+}
+
+// StatsResponse is the /stats payload. DroppedCells counts runs whose
+// distinct workload parameters arrived after the aggregate cap was
+// reached (they were served, just not aggregated).
+type StatsResponse struct {
+	UptimeSeconds float64   `json:"uptimeSeconds"`
+	Requests      int64     `json:"requests"`
+	Cells         []AggCell `json:"cells"`
+	DroppedCells  int64     `json:"droppedCells"`
+}
+
+// PoolInfo describes one served model in /info.
+type PoolInfo struct {
+	Model      string `json:"model"`
+	ArenaBytes int    `json:"arenaBytes"`
+	NumPages   int    `json:"numPages"`
+	Mapped     bool   `json:"mapped"`
+	MaxViews   int    `json:"maxViews"`
+	InUse      int    `json:"inUse"`
+	Idle       int    `json:"idle"`
+	Created    int64  `json:"created"`
+	Reused     int64  `json:"reused"`
+	Recycled   int64  `json:"recycled"`
+	Rebuilt    int64  `json:"rebuilt"`
+	Destroyed  int64  `json:"destroyed"`
+}
+
+// InfoResponse is the /info payload.
+type InfoResponse struct {
+	Snapshot    string         `json:"snapshot"`
+	Gen         cobench.Config `json:"gen"`
+	PageSize    int            `json:"pageSize"`
+	BufferPages int            `json:"bufferPages"`
+	Workload    WorkloadParams `json:"defaultWorkload"`
+	Models      []PoolInfo     `json:"models"`
+}
+
+// Handler returns the HTTP handler serving the package's endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/info", s.handleInfo)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// workloadOf resolves the request's workload parameters over the server
+// defaults.
+func (s *Server) workloadOf(r *http.Request) (cobench.Workload, error) {
+	w := s.cfg.Workload
+	q := r.URL.Query()
+	if v := q.Get("loops"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return w, fmt.Errorf("bad loops %q", v)
+		}
+		w.Loops = n
+	}
+	if v := q.Get("samples"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return w, fmt.Errorf("bad samples %q", v)
+		}
+		w.Samples = n
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return w, fmt.Errorf("bad seed %q", v)
+		}
+		w.Seed = n
+	}
+	return w, nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	kind, err := complexobj.ModelByName(r.URL.Query().Get("model"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pool, ok := s.pools[kind]
+	if !ok {
+		httpError(w, http.StatusBadRequest, "model %s is not served", kind)
+		return
+	}
+	q, ok := cobench.QueryByName(r.URL.Query().Get("query"))
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown query %q", r.URL.Query().Get("query"))
+		return
+	}
+	wl, err := s.workloadOf(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	start := time.Now()
+	view, err := pool.AcquireContext(r.Context())
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "acquire view: %v", err)
+		return
+	}
+	var res complexobj.QueryResult
+	func() {
+		// Close via defer so even a panicking query path (swallowed by
+		// net/http's recover) cannot leak the pool's concurrency slot.
+		defer func() {
+			if cerr := view.Close(); cerr != nil {
+				// The request measured fine; a failed recycle only cost
+				// the pool a view (visible as Destroyed in /info) — log
+				// it rather than failing the response.
+				log.Printf("server: %s %s: view recycle: %v", kind, q, cerr)
+			}
+		}()
+		res, err = view.Run(q, wl)
+	}()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "run %s %s: %v", kind, q, err)
+		return
+	}
+	elapsed := time.Since(start).Microseconds()
+	s.requests.Add(1)
+
+	resp := RunResponse{
+		Model:     res.Model.String(),
+		Query:     res.Query.String(),
+		Supported: res.Supported,
+		Units:     res.Units,
+		Workload:  WorkloadParams{Loops: wl.Loops, Samples: wl.Samples, Seed: wl.Seed},
+		Raw:       toCounters(res.Raw),
+		PerUnit:   toPerUnit(res),
+		ElapsedUS: elapsed,
+	}
+	s.record(resp)
+	writeJSON(w, resp)
+}
+
+// maxAggCells bounds the aggregate map: the legitimate key space (model ×
+// query × a handful of workloads) is tiny, but workload parameters come
+// from the request, so without a cap a caller sweeping seeds would grow
+// server memory without bound. Runs beyond the cap are still served and
+// counted in Requests; only their per-cell aggregation is dropped
+// (reported as DroppedCells in /stats).
+const maxAggCells = 4096
+
+// record folds one run into the aggregates and flags divergence: a
+// deterministic cell must produce identical counters on every run.
+func (s *Server) record(r RunResponse) {
+	key := AggKey{Model: r.Model, Query: r.Query, Workload: r.Workload}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.agg[key]
+	if !ok {
+		if len(s.agg) >= maxAggCells {
+			s.aggDropped++
+			return
+		}
+		a = &aggregate{supported: r.Supported, perUnit: r.PerUnit, raw: r.Raw}
+		s.agg[key] = a
+	}
+	a.count++
+	a.rawSum.add(r.Raw)
+	a.elapsedUS += r.ElapsedUS
+	if r.ElapsedUS > a.maxUS {
+		a.maxUS = r.ElapsedUS
+	}
+	if r.Raw != a.raw || r.PerUnit != a.perUnit || r.Supported != a.supported {
+		a.divergent = true
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	dropped := s.aggDropped
+	cells := make([]AggCell, 0, len(s.agg))
+	for key, a := range s.agg {
+		cells = append(cells, AggCell{
+			AggKey:    key,
+			Count:     a.count,
+			Supported: a.supported,
+			Raw:       a.raw,
+			RawSum:    a.rawSum,
+			PerUnit:   a.perUnit,
+			Divergent: a.divergent,
+			MeanUS:    a.elapsedUS / a.count,
+			MaxUS:     a.maxUS,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		// Same cell under different workload parameters: order those too,
+		// so repeated /stats reads are byte-comparable.
+		if a.Workload.Loops != b.Workload.Loops {
+			return a.Workload.Loops < b.Workload.Loops
+		}
+		if a.Workload.Samples != b.Workload.Samples {
+			return a.Workload.Samples < b.Workload.Samples
+		}
+		return a.Workload.Seed < b.Workload.Seed
+	})
+	writeJSON(w, StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Cells:         cells,
+		DroppedCells:  dropped,
+	})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	resp := InfoResponse{
+		Snapshot:    s.cfg.Snapshot,
+		Gen:         s.info.Gen,
+		PageSize:    s.info.PageSize,
+		BufferPages: s.cfg.BufferPages,
+		Workload: WorkloadParams{
+			Loops: s.cfg.Workload.Loops, Samples: s.cfg.Workload.Samples, Seed: s.cfg.Workload.Seed,
+		},
+	}
+	for _, k := range s.models {
+		base, pool := s.bases[k], s.pools[k]
+		ps := pool.Stats()
+		resp.Models = append(resp.Models, PoolInfo{
+			Model:      k.String(),
+			ArenaBytes: base.ArenaBytes(),
+			NumPages:   base.NumPages(),
+			Mapped:     base.Mapped(),
+			MaxViews:   ps.MaxViews,
+			InUse:      ps.InUse,
+			Idle:       ps.Idle,
+			Created:    ps.Created,
+			Reused:     ps.Reused,
+			Recycled:   ps.Recycled,
+			Rebuilt:    ps.Rebuilt,
+			Destroyed:  ps.Destroyed,
+		})
+	}
+	writeJSON(w, resp)
+}

@@ -34,6 +34,7 @@ type BaseKey struct {
 type BaseCache struct {
 	mu      sync.Mutex
 	entries map[BaseKey]*baseCacheEntry
+	built   int64
 	closed  bool
 }
 
@@ -41,6 +42,14 @@ type baseCacheEntry struct {
 	once sync.Once
 	base *SharedBase
 	err  error
+
+	// Scoped-release bookkeeping, guarded by the cache mutex. An entry
+	// acquired via Get is pinned: it lives until Close, because later
+	// experiments may come back for it. An entry only ever acquired via
+	// GetScoped is released — the cache's base reference dropped, the
+	// entry forgotten — as soon as its last outstanding user releases.
+	pinned bool
+	users  int
 }
 
 // NewBaseCache returns an empty cache.
@@ -49,22 +58,47 @@ func NewBaseCache() *BaseCache {
 }
 
 // Get returns the base cached under key, building it with build on the
-// first request. A zero key.PageSize is normalized to the default page
-// size, so callers with defaulted options and callers with explicit ones
-// land on the same entry.
+// first request, and pins the entry until Close. A zero key.PageSize is
+// normalized to the default page size, so callers with defaulted options
+// and callers with explicit ones land on the same entry.
 func (c *BaseCache) Get(key BaseKey, build func() (*SharedBase, error)) (*SharedBase, error) {
+	base, _, err := c.acquire(key, build, true)
+	return base, err
+}
+
+// GetScoped is Get for a caller whose use of the base is scoped: it
+// returns a release function alongside the base, and once every scoped
+// user of the key has released — and no Get ever pinned it — the cache
+// drops its reference and forgets the entry, instead of retaining every
+// base until Close. A paper-scale sweep over many one-off configurations
+// (the Figure 5/6 columns, the Table 7 skew extension) therefore holds at
+// most the bases of the cells currently in flight; a key that is needed
+// again later simply rebuilds, deterministically. The release function is
+// idempotent and must be called exactly once per successful GetScoped
+// (views opened from the base keep their own arena references, so release
+// order against view closes does not matter).
+func (c *BaseCache) GetScoped(key BaseKey, build func() (*SharedBase, error)) (*SharedBase, func() error, error) {
+	return c.acquire(key, build, false)
+}
+
+func (c *BaseCache) acquire(key BaseKey, build func() (*SharedBase, error), pin bool) (*SharedBase, func() error, error) {
 	if key.PageSize == 0 {
 		key.PageSize = disk.DefaultPageSize
 	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, fmt.Errorf("store: base cache is closed")
+		return nil, nil, fmt.Errorf("store: base cache is closed")
 	}
 	e, ok := c.entries[key]
 	if !ok {
 		e = &baseCacheEntry{}
 		c.entries[key] = e
+	}
+	if pin {
+		e.pinned = true
+	} else {
+		e.users++
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
@@ -75,8 +109,42 @@ func (c *BaseCache) Get(key BaseKey, build func() (*SharedBase, error)) (*Shared
 				e.base, e.err = nil, fmt.Errorf("store: base cache: built base has page size %d, key says %d", got, key.PageSize)
 			}
 		}
+		if e.err == nil {
+			c.mu.Lock()
+			c.built++
+			c.mu.Unlock()
+		}
 	})
-	return e.base, e.err
+	if pin {
+		return e.base, nil, e.err
+	}
+	var once sync.Once
+	release := func() error {
+		var err error
+		once.Do(func() { err = c.releaseScoped(key, e) })
+		return err
+	}
+	if e.err != nil {
+		release()
+		return nil, nil, e.err
+	}
+	return e.base, release, nil
+}
+
+// releaseScoped drops one scoped use of e. The last scoped user of an
+// unpinned entry evicts it and returns the cache's base reference.
+func (c *BaseCache) releaseScoped(key BaseKey, e *baseCacheEntry) error {
+	c.mu.Lock()
+	e.users--
+	evict := e.users == 0 && !e.pinned && !c.closed && c.entries[key] == e
+	if evict {
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+	if evict && e.base != nil {
+		return e.base.Release()
+	}
+	return nil
 }
 
 // Len returns the number of cached entries, including failed builds
@@ -85,6 +153,16 @@ func (c *BaseCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// Built returns how many bases the cache has built over its lifetime,
+// including entries since evicted by scoped release — together with Len
+// this shows how much a run shared (cells measured vs bases built) and
+// how much scoped release let go.
+func (c *BaseCache) Built() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.built
 }
 
 // Close releases the cache's reference on every cached base and empties

@@ -145,3 +145,83 @@ func TestBaseCacheReleaseLifecycle(t *testing.T) {
 		t.Error("Get after Close succeeded")
 	}
 }
+
+// TestBaseCacheScopedRelease pins the scoped-acquisition contract: the
+// cache drops a base — reference released, entry forgotten — when the
+// last scoped user of its key releases, unless a pinning Get ever touched
+// the key; a key acquired again after eviction rebuilds deterministically.
+func TestBaseCacheScopedRelease(t *testing.T) {
+	stations := testExtension(t, 30)
+	c := NewBaseCache()
+	defer c.Close()
+	var builds atomic.Int64
+	build := func() (*SharedBase, error) {
+		builds.Add(1)
+		m := loadModel(t, DASDBSNSM, stations)
+		defer m.Engine().Close()
+		return Freeze(m)
+	}
+	key := BaseKey{Kind: DASDBSNSM, Gen: cobench.DefaultConfig().WithN(30)}
+
+	// Two overlapping scoped users share one build; the second release
+	// evicts the entry and releases the base.
+	b1, rel1, err := c.GetScoped(key, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, rel2, err := c.GetScoped(key, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 || builds.Load() != 1 {
+		t.Fatalf("overlapping scoped gets: %d builds, shared=%v", builds.Load(), b1 == b2)
+	}
+	if err := rel1(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("entry evicted while a scoped user is live (len %d)", c.Len())
+	}
+	if err := rel1(); err != nil { // idempotent per acquisition
+		t.Fatal(err)
+	}
+	if err := rel2(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("entry not evicted after last scoped release (len %d)", c.Len())
+	}
+	if got := b1.arena.Refs(); got != 0 {
+		t.Fatalf("scoped base not released: refs = %d", got)
+	}
+
+	// Re-acquiring the evicted key rebuilds.
+	_, rel3, err := c.GetScoped(key, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("re-acquire after eviction ran %d builds, want 2", builds.Load())
+	}
+
+	// A pinning Get on the live entry disables eviction for good.
+	b4, err := c.Get(key, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("pinning get rebuilt (builds %d)", builds.Load())
+	}
+	if err := rel3(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("pinned entry evicted by scoped release (len %d)", c.Len())
+	}
+	if b4.arena.Refs() == 0 {
+		t.Fatal("pinned base released by scoped release")
+	}
+	if c.Built() != 2 {
+		t.Fatalf("Built() = %d, want 2", c.Built())
+	}
+}

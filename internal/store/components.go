@@ -40,18 +40,25 @@ func EncodeRoot(r cobench.RootRecord) ([]byte, error) {
 	))
 }
 
-// DecodeRoot parses an encoded root record.
+// DecodeRoot parses an encoded root record. Like the other decoders on
+// the object-assembly hot path it reads attribute-at-a-time instead of
+// materializing a Tuple, so the only allocations are the strings that end
+// up in the result.
 func DecodeRoot(data []byte) (cobench.RootRecord, error) {
-	t, err := RootType.Decode(data)
+	var r cobench.RootRecord
+	for i, dst := range [...]*int32{&r.Key, &r.NoPlatform, &r.NoSeeing} {
+		v, err := RootType.DecodeAttr(data, i)
+		if err != nil {
+			return cobench.RootRecord{}, err
+		}
+		*dst = v.Int()
+	}
+	v, err := RootType.DecodeAttr(data, 3)
 	if err != nil {
 		return cobench.RootRecord{}, err
 	}
-	return cobench.RootRecord{
-		Key:        t.Vals[0].Int(),
-		NoPlatform: t.Vals[1].Int(),
-		NoSeeing:   t.Vals[2].Int(),
-		Name:       t.Vals[3].Str(),
-	}, nil
+	r.Name = v.Str()
+	return r, nil
 }
 
 // DecodeRootKey extracts only the key from an encoded root record (value
@@ -86,38 +93,74 @@ func encodePlatform(p cobench.Platform) ([]byte, error) {
 }
 
 func decodePlatform(data []byte) (cobench.Platform, error) {
-	t, err := cobench.PlatformType.Decode(data)
+	var p cobench.Platform
+	pt := cobench.PlatformType
+	for _, f := range [...]struct {
+		idx int
+		dst *int32
+	}{{cobench.PlNr, &p.Nr}, {cobench.PlNoLine, &p.NoLine}, {cobench.PlTicketCode, &p.TicketCode}} {
+		v, err := pt.DecodeAttr(data, f.idx)
+		if err != nil {
+			return cobench.Platform{}, err
+		}
+		*f.dst = v.Int()
+	}
+	v, err := pt.DecodeAttr(data, cobench.PlInformation)
 	if err != nil {
 		return cobench.Platform{}, err
 	}
-	p := cobench.Platform{
-		Nr:          t.Vals[cobench.PlNr].Int(),
-		NoLine:      t.Vals[cobench.PlNoLine].Int(),
-		TicketCode:  t.Vals[cobench.PlTicketCode].Int(),
-		Information: t.Vals[cobench.PlInformation].Str(),
-	}
-	for _, ct := range t.Vals[cobench.PlConns].Tuples() {
-		p.Conns = append(p.Conns, cobench.Connection{
-			LineNr:         ct.Vals[cobench.CoLineNr].Int(),
-			KeyConnection:  ct.Vals[cobench.CoKeyConnection].Int(),
-			OidConnection:  ct.Vals[cobench.CoOid].Int(),
-			DepartureTimes: ct.Vals[cobench.CoDepartureTimes].Str(),
-		})
+	p.Information = v.Str()
+	ct := pt.Attrs[cobench.PlConns].Type.Elem
+	err = pt.VisitRel(data, cobench.PlConns, func(j, n int, elem []byte) error {
+		if p.Conns == nil {
+			p.Conns = make([]cobench.Connection, 0, n)
+		}
+		var c cobench.Connection
+		for _, f := range [...]struct {
+			idx int
+			dst *int32
+		}{{cobench.CoLineNr, &c.LineNr}, {cobench.CoKeyConnection, &c.KeyConnection}, {cobench.CoOid, &c.OidConnection}} {
+			v, err := ct.DecodeAttr(elem, f.idx)
+			if err != nil {
+				return err
+			}
+			*f.dst = v.Int()
+		}
+		v, err := ct.DecodeAttr(elem, cobench.CoDepartureTimes)
+		if err != nil {
+			return err
+		}
+		c.DepartureTimes = v.Str()
+		p.Conns = append(p.Conns, c)
+		return nil
+	})
+	if err != nil {
+		return cobench.Platform{}, err
 	}
 	return p, nil
 }
 
 // platformChildren extracts only the child references from an encoded
 // platform subtuple (partial decoding: navigation projects the LINK
-// attribute without materializing the strings).
+// attribute without materializing the strings — or, since it rides on
+// VisitRel, any tuple scaffolding at all).
 func platformChildren(data []byte) ([]int32, error) {
-	v, err := cobench.PlatformType.DecodeAttr(data, cobench.PlConns)
+	var out []int32
+	pt := cobench.PlatformType
+	ct := pt.Attrs[cobench.PlConns].Type.Elem
+	err := pt.VisitRel(data, cobench.PlConns, func(j, n int, elem []byte) error {
+		v, err := ct.DecodeAttr(elem, cobench.CoOid)
+		if err != nil {
+			return err
+		}
+		if out == nil {
+			out = make([]int32, 0, n)
+		}
+		out = append(out, v.Int())
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	var out []int32
-	for _, ct := range v.Tuples() {
-		out = append(out, ct.Vals[cobench.CoOid].Int())
 	}
 	return out, nil
 }
@@ -133,17 +176,25 @@ func encodeSightseeing(g cobench.Sightseeing) ([]byte, error) {
 }
 
 func decodeSightseeing(data []byte) (cobench.Sightseeing, error) {
-	t, err := cobench.SightseeingType.Decode(data)
+	var g cobench.Sightseeing
+	st := cobench.SightseeingType
+	v, err := st.DecodeAttr(data, cobench.SeNr)
 	if err != nil {
 		return cobench.Sightseeing{}, err
 	}
-	return cobench.Sightseeing{
-		Nr:          t.Vals[cobench.SeNr].Int(),
-		Description: t.Vals[cobench.SeDescription].Str(),
-		Location:    t.Vals[cobench.SeLocation].Str(),
-		History:     t.Vals[cobench.SeHistory].Str(),
-		Remarks:     t.Vals[cobench.SeRemarks].Str(),
-	}, nil
+	g.Nr = v.Int()
+	for _, f := range [...]struct {
+		idx int
+		dst *string
+	}{{cobench.SeDescription, &g.Description}, {cobench.SeLocation, &g.Location},
+		{cobench.SeHistory, &g.History}, {cobench.SeRemarks, &g.Remarks}} {
+		v, err := st.DecodeAttr(data, f.idx)
+		if err != nil {
+			return cobench.Sightseeing{}, err
+		}
+		*f.dst = v.Str()
+	}
+	return g, nil
 }
 
 // EncodeComponents splits a station into its direct-storage components:
@@ -175,6 +226,24 @@ func EncodeComponents(s *cobench.Station) ([]longobj.Component, error) {
 // DecodeComponents reassembles a station from direct-storage components.
 func DecodeComponents(comps []longobj.Component) (*cobench.Station, error) {
 	var s cobench.Station
+	// Size the sub-object slices exactly: a station can carry dozens of
+	// sightseeings, and append-doubling them per fetched object was a
+	// measurable share of the serving path's allocations.
+	var nPlat, nSee int
+	for _, c := range comps {
+		switch c.Tag {
+		case TagPlatform:
+			nPlat++
+		case TagSightseeing:
+			nSee++
+		}
+	}
+	if nPlat > 0 {
+		s.Platforms = make([]cobench.Platform, 0, nPlat)
+	}
+	if nSee > 0 {
+		s.Seeings = make([]cobench.Sightseeing, 0, nSee)
+	}
 	seenRoot := false
 	for _, c := range comps {
 		switch c.Tag {

@@ -76,7 +76,7 @@ func (m *direct) Load(stations []*cobench.Station) error {
 
 // fetch reads one whole object.
 func (m *direct) fetch(i int) (*cobench.Station, error) {
-	comps, err := m.objs.ReadAll(m.addr[i])
+	comps, err := m.objs.ReadAllShared(m.addr[i])
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +148,7 @@ func (m *direct) Navigate(i int) (cobench.RootRecord, []int32, error) {
 			return tag == TagRoot || tag == TagPlatform
 		})
 	} else {
-		comps, err = m.objs.ReadAll(m.addr[i])
+		comps, err = m.objs.ReadAllShared(m.addr[i])
 	}
 	if err != nil {
 		return cobench.RootRecord{}, nil, err
@@ -191,7 +191,7 @@ func (m *direct) ReadRoot(i int) (cobench.RootRecord, error) {
 		}
 		return DecodeRoot(comps[0].Data)
 	}
-	comps, err := m.objs.ReadAll(m.addr[i])
+	comps, err := m.objs.ReadAllShared(m.addr[i])
 	if err != nil {
 		return cobench.RootRecord{}, err
 	}
@@ -242,7 +242,7 @@ func (m *direct) UpdateRoots(idxs []int32, mutate func(i int32, r *cobench.RootR
 			}
 			continue
 		}
-		comps, err := m.objs.ReadAll(m.addr[i])
+		comps, err := m.objs.ReadAllShared(m.addr[i])
 		if err != nil {
 			return err
 		}

@@ -184,7 +184,7 @@ func (m *dnsm) storeFor(slot int) *longobj.Store {
 
 // readTuple fetches the single nested tuple behind a ref.
 func (m *dnsm) readTuple(slot, i int) ([]byte, error) {
-	comps, err := m.storeFor(slot).ReadAll(m.refs[i][slot])
+	comps, err := m.storeFor(slot).ReadAllShared(m.refs[i][slot])
 	if err != nil {
 		return nil, err
 	}
@@ -207,64 +207,109 @@ func (m *dnsm) assemble(i int) (*cobench.Station, error) {
 	s := &cobench.Station{}
 	s.SetRoot(root)
 
+	// The nested relations decode attribute-at-a-time over VisitRel (no
+	// tuple scaffolding): only the values that end up in the station are
+	// allocated, which keeps the assembly hot path cheap under serving
+	// load.
 	plRec, err := m.readTuple(dnsmPlatform, i)
 	if err != nil {
 		return nil, err
 	}
-	plT, err := dnsmPlatformType.Decode(plRec)
+	byOwn := map[int32]int{}
+	plElem := dnsmPlatformType.Attrs[1].Type.Elem
+	err = dnsmPlatformType.VisitRel(plRec, 1, func(j, n int, elem []byte) error {
+		if s.Platforms == nil {
+			s.Platforms = make([]cobench.Platform, 0, n)
+		}
+		var p cobench.Platform
+		var own int32
+		for idx, dst := range [...]*int32{&own, &p.Nr, &p.NoLine, &p.TicketCode} {
+			v, err := plElem.DecodeAttr(elem, idx)
+			if err != nil {
+				return err
+			}
+			*dst = v.Int()
+		}
+		v, err := plElem.DecodeAttr(elem, 4)
+		if err != nil {
+			return err
+		}
+		p.Information = v.Str()
+		s.Platforms = append(s.Platforms, p)
+		byOwn[own] = len(s.Platforms) - 1
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	byOwn := map[int32]int{}
-	for _, pt := range plT.Vals[1].Tuples() {
-		s.Platforms = append(s.Platforms, cobench.Platform{
-			Nr:          pt.Vals[1].Int(),
-			NoLine:      pt.Vals[2].Int(),
-			TicketCode:  pt.Vals[3].Int(),
-			Information: pt.Vals[4].Str(),
-		})
-		byOwn[pt.Vals[0].Int()] = len(s.Platforms) - 1
 	}
 
 	coRec, err := m.readTuple(dnsmConnection, i)
 	if err != nil {
 		return nil, err
 	}
-	coT, err := dnsmConnectionType.Decode(coRec)
+	groupElem := dnsmConnectionType.Attrs[1].Type.Elem
+	connElem := groupElem.Attrs[1].Type.Elem
+	err = dnsmConnectionType.VisitRel(coRec, 1, func(j, n int, group []byte) error {
+		v, err := groupElem.DecodeAttr(group, 0)
+		if err != nil {
+			return err
+		}
+		pi, ok := byOwn[v.Int()]
+		if !ok {
+			return fmt.Errorf("store: connection group with unknown parent %d", v.Int())
+		}
+		return groupElem.VisitRel(group, 1, func(j, n int, elem []byte) error {
+			if s.Platforms[pi].Conns == nil {
+				s.Platforms[pi].Conns = make([]cobench.Connection, 0, n)
+			}
+			var c cobench.Connection
+			for idx, dst := range [...]*int32{&c.LineNr, &c.KeyConnection, &c.OidConnection} {
+				v, err := connElem.DecodeAttr(elem, idx)
+				if err != nil {
+					return err
+				}
+				*dst = v.Int()
+			}
+			v, err := connElem.DecodeAttr(elem, 3)
+			if err != nil {
+				return err
+			}
+			c.DepartureTimes = v.Str()
+			s.Platforms[pi].Conns = append(s.Platforms[pi].Conns, c)
+			return nil
+		})
+	})
 	if err != nil {
 		return nil, err
-	}
-	for _, group := range coT.Vals[1].Tuples() {
-		pi, ok := byOwn[group.Vals[0].Int()]
-		if !ok {
-			return nil, fmt.Errorf("store: connection group with unknown parent %d", group.Vals[0].Int())
-		}
-		for _, ct := range group.Vals[1].Tuples() {
-			s.Platforms[pi].Conns = append(s.Platforms[pi].Conns, cobench.Connection{
-				LineNr:         ct.Vals[0].Int(),
-				KeyConnection:  ct.Vals[1].Int(),
-				OidConnection:  ct.Vals[2].Int(),
-				DepartureTimes: ct.Vals[3].Str(),
-			})
-		}
 	}
 
 	seRec, err := m.readTuple(dnsmSightseeing, i)
 	if err != nil {
 		return nil, err
 	}
-	seT, err := dnsmSightseeingType.Decode(seRec)
+	seElem := dnsmSightseeingType.Attrs[1].Type.Elem
+	err = dnsmSightseeingType.VisitRel(seRec, 1, func(j, n int, elem []byte) error {
+		if s.Seeings == nil {
+			s.Seeings = make([]cobench.Sightseeing, 0, n)
+		}
+		var g cobench.Sightseeing
+		v, err := seElem.DecodeAttr(elem, 0)
+		if err != nil {
+			return err
+		}
+		g.Nr = v.Int()
+		for idx, dst := range [...]*string{&g.Description, &g.Location, &g.History, &g.Remarks} {
+			v, err := seElem.DecodeAttr(elem, idx+1)
+			if err != nil {
+				return err
+			}
+			*dst = v.Str()
+		}
+		s.Seeings = append(s.Seeings, g)
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	for _, gt := range seT.Vals[1].Tuples() {
-		s.Seeings = append(s.Seeings, cobench.Sightseeing{
-			Nr:          gt.Vals[0].Int(),
-			Description: gt.Vals[1].Str(),
-			Location:    gt.Vals[2].Str(),
-			History:     gt.Vals[3].Str(),
-			Remarks:     gt.Vals[4].Str(),
-		})
 	}
 	return s, nil
 }

@@ -28,5 +28,19 @@
 // databases, so every fan-out experiment — the matrix, the sweeps,
 // repeated CLI runs within one process — can route model acquisition
 // through one cache and pay for each distinct database exactly once,
-// with concurrent requesters blocking on a single build.
+// with concurrent requesters blocking on a single build. Entries come in
+// two lifetimes: Get pins an entry until Close (default-configuration
+// bases that later experiments revisit), while GetScoped hands back a
+// release function and the cache drops the base as soon as the last
+// scoped user of a one-off configuration releases it — sweep memory
+// tracks the cells in flight, not the number of configurations swept.
+//
+// View is the request-scoped execution handle built on a SharedBase: a
+// copy-on-write model view that Recycle resets to the pristine base
+// between requests (overlay dropped, pool emptied without write-back,
+// counters zeroed, directory metadata rebuilt only after a mutating
+// request), reusing the engine and its free lists instead of rebuilding
+// them. A recycled view is indistinguishable from a fresh one — the
+// benchmark server serves every request from one and measures
+// bit-identically to a batch run.
 package store

@@ -286,51 +286,96 @@ func (m *nsm) IndexStats() (pages, height int) {
 	return pages, m.stationTree.Height()
 }
 
-// assemble rebuilds a station from its four tuple groups.
-func assembleNSM(root nf2.Tuple, plats, conns, sees []nf2.Tuple) (*cobench.Station, error) {
+// platRow and connRow carry the flat relations' join keys alongside the
+// decoded result values during assembly. The decoders below read
+// attribute-at-a-time straight off the record bytes (valid only during
+// the heap view/scan callback) — no tuple scaffolding, only the values
+// that end up in the station are allocated.
+type platRow struct {
+	own int32
+	p   cobench.Platform
+}
+
+type connRow struct {
+	parent int32
+	c      cobench.Connection
+}
+
+func decodeNSMPlat(rec []byte) (platRow, error) {
+	var r platRow
+	for idx, dst := range [...]*int32{&r.own, &r.p.Nr, &r.p.NoLine, &r.p.TicketCode} {
+		v, err := nsmPlatformType.DecodeAttr(rec, idx+1)
+		if err != nil {
+			return platRow{}, err
+		}
+		*dst = v.Int()
+	}
+	v, err := nsmPlatformType.DecodeAttr(rec, 5)
+	if err != nil {
+		return platRow{}, err
+	}
+	r.p.Information = v.Str()
+	return r, nil
+}
+
+func decodeNSMConn(rec []byte) (connRow, error) {
+	var r connRow
+	for idx, dst := range [...]*int32{&r.parent, &r.c.LineNr, &r.c.KeyConnection, &r.c.OidConnection} {
+		v, err := nsmConnectionType.DecodeAttr(rec, idx+1)
+		if err != nil {
+			return connRow{}, err
+		}
+		*dst = v.Int()
+	}
+	v, err := nsmConnectionType.DecodeAttr(rec, 5)
+	if err != nil {
+		return connRow{}, err
+	}
+	r.c.DepartureTimes = v.Str()
+	return r, nil
+}
+
+func decodeNSMSee(rec []byte) (cobench.Sightseeing, error) {
+	var g cobench.Sightseeing
+	v, err := nsmSightseeingType.DecodeAttr(rec, 1)
+	if err != nil {
+		return cobench.Sightseeing{}, err
+	}
+	g.Nr = v.Int()
+	for idx, dst := range [...]*string{&g.Description, &g.Location, &g.History, &g.Remarks} {
+		v, err := nsmSightseeingType.DecodeAttr(rec, idx+2)
+		if err != nil {
+			return cobench.Sightseeing{}, err
+		}
+		*dst = v.Str()
+	}
+	return g, nil
+}
+
+// joinNSM assembles a station from its decoded relation rows.
+func joinNSM(root cobench.RootRecord, plats []platRow, conns []connRow, sees []cobench.Sightseeing) (*cobench.Station, error) {
 	s := &cobench.Station{
-		Key:        root.Vals[0].Int(),
-		NoPlatform: root.Vals[1].Int(),
-		NoSeeing:   root.Vals[2].Int(),
-		Name:       root.Vals[3].Str(),
+		Key:        root.Key,
+		NoPlatform: root.NoPlatform,
+		NoSeeing:   root.NoSeeing,
+		Name:       root.Name,
 	}
-	byOwn := map[int32]*cobench.Platform{}
-	var order []int32
-	for _, pt := range plats {
-		own := pt.Vals[1].Int()
-		byOwn[own] = &cobench.Platform{
-			Nr:          pt.Vals[2].Int(),
-			NoLine:      pt.Vals[3].Int(),
-			TicketCode:  pt.Vals[4].Int(),
-			Information: pt.Vals[5].Str(),
-		}
-		order = append(order, own)
+	byOwn := map[int32]int{}
+	if len(plats) > 0 {
+		s.Platforms = make([]cobench.Platform, 0, len(plats))
 	}
-	for _, ct := range conns {
-		parent := ct.Vals[1].Int()
-		p, ok := byOwn[parent]
+	for _, pr := range plats {
+		s.Platforms = append(s.Platforms, pr.p)
+		byOwn[pr.own] = len(s.Platforms) - 1
+	}
+	for _, cr := range conns {
+		pi, ok := byOwn[cr.parent]
 		if !ok {
-			return nil, fmt.Errorf("store: connection with unknown parent %d", parent)
+			return nil, fmt.Errorf("store: connection with unknown parent %d", cr.parent)
 		}
-		p.Conns = append(p.Conns, cobench.Connection{
-			LineNr:         ct.Vals[2].Int(),
-			KeyConnection:  ct.Vals[3].Int(),
-			OidConnection:  ct.Vals[4].Int(),
-			DepartureTimes: ct.Vals[5].Str(),
-		})
+		s.Platforms[pi].Conns = append(s.Platforms[pi].Conns, cr.c)
 	}
-	for _, own := range order {
-		s.Platforms = append(s.Platforms, *byOwn[own])
-	}
-	for _, gt := range sees {
-		s.Seeings = append(s.Seeings, cobench.Sightseeing{
-			Nr:          gt.Vals[1].Int(),
-			Description: gt.Vals[2].Str(),
-			Location:    gt.Vals[3].Str(),
-			History:     gt.Vals[4].Str(),
-			Remarks:     gt.Vals[5].Str(),
-		})
-	}
+	s.Seeings = sees
 	return s, nil
 }
 
@@ -340,46 +385,62 @@ func (m *nsm) fetchAssembled(i int) (*cobench.Station, error) {
 	if err != nil {
 		return nil, err
 	}
-	rootRec, err := m.stations.Get(srid)
-	if err != nil {
+	var root cobench.RootRecord
+	if err := m.stations.View(srid, func(rec []byte) error {
+		var err error
+		root, err = DecodeRoot(rec)
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	root, err := nsmStationType.Decode(rootRec)
-	if err != nil {
-		return nil, err
-	}
-	decode := func(h *heap.Heap, tt *nf2.TupleType, tree *btree.Tree, inMemory []heap.RID) ([]nf2.Tuple, error) {
+	// visit runs fn over each of the object's records in one relation,
+	// through a zero-copy heap view (the decoders copy what they keep).
+	visit := func(h *heap.Heap, tree *btree.Tree, inMemory []heap.RID, fn func(rec []byte) error) error {
 		rids, err := m.groupRIDs(tree, inMemory, i)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out := make([]nf2.Tuple, 0, len(rids))
 		for _, rid := range rids {
-			rec, err := h.Get(rid)
-			if err != nil {
-				return nil, err
+			if err := h.View(rid, fn); err != nil {
+				return err
 			}
-			t, err := tt.Decode(rec)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, t)
 		}
-		return out, nil
+		return nil
 	}
-	plats, err := decode(m.plats, nsmPlatformType, m.platTree, m.platRIDs[i])
+	var plats []platRow
+	err = visit(m.plats, m.platTree, m.platRIDs[i], func(rec []byte) error {
+		r, err := decodeNSMPlat(rec)
+		if err == nil {
+			plats = append(plats, r)
+		}
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	conns, err := decode(m.conns, nsmConnectionType, m.connTree, m.connRIDs[i])
+	var conns []connRow
+	err = visit(m.conns, m.connTree, m.connRIDs[i], func(rec []byte) error {
+		r, err := decodeNSMConn(rec)
+		if err == nil {
+			conns = append(conns, r)
+		}
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	sees, err := decode(m.seeings, nsmSightseeingType, m.seeingTree, m.seeingRIDs[i])
+	var sees []cobench.Sightseeing
+	err = visit(m.seeings, m.seeingTree, m.seeingRIDs[i], func(rec []byte) error {
+		g, err := decodeNSMSee(rec)
+		if err == nil {
+			sees = append(sees, g)
+		}
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	return assembleNSM(root, plats, conns, sees)
+	return joinNSM(root, plats, conns, sees)
 }
 
 // FetchByAddress implements Model: only the indexed variant has an
@@ -433,37 +494,56 @@ func (m *nsm) FetchByKey(key int32) (*cobench.Station, error) {
 		}
 		return m.fetchAssembled(idx)
 	}
-	var root *nf2.Tuple
-	var plats, conns, sees []nf2.Tuple
-	scan := func(h *heap.Heap, tt *nf2.TupleType, sink func(nf2.Tuple)) error {
+	var root *cobench.RootRecord
+	var plats []platRow
+	var conns []connRow
+	var sees []cobench.Sightseeing
+	scan := func(h *heap.Heap, tt *nf2.TupleType, sink func(rec []byte)) error {
 		return h.Scan(func(_ heap.RID, rec []byte) bool {
 			v, err := tt.DecodeAttr(rec, 0) // root (foreign) key is attribute 0
 			if err != nil || v.Int() != key {
 				return true
 			}
-			t, err := tt.Decode(rec)
-			if err == nil {
-				sink(t)
-			}
+			sink(rec)
 			return true
 		})
 	}
-	if err := scan(m.stations, nsmStationType, func(t nf2.Tuple) { root = &t }); err != nil {
+	err := scan(m.stations, nsmStationType, func(rec []byte) {
+		if r, err := DecodeRoot(rec); err == nil {
+			root = &r
+		}
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := scan(m.plats, nsmPlatformType, func(t nf2.Tuple) { plats = append(plats, t) }); err != nil {
+	err = scan(m.plats, nsmPlatformType, func(rec []byte) {
+		if r, err := decodeNSMPlat(rec); err == nil {
+			plats = append(plats, r)
+		}
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := scan(m.conns, nsmConnectionType, func(t nf2.Tuple) { conns = append(conns, t) }); err != nil {
+	err = scan(m.conns, nsmConnectionType, func(rec []byte) {
+		if r, err := decodeNSMConn(rec); err == nil {
+			conns = append(conns, r)
+		}
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := scan(m.seeings, nsmSightseeingType, func(t nf2.Tuple) { sees = append(sees, t) }); err != nil {
+	err = scan(m.seeings, nsmSightseeingType, func(rec []byte) {
+		if g, err := decodeNSMSee(rec); err == nil {
+			sees = append(sees, g)
+		}
+	})
+	if err != nil {
 		return nil, err
 	}
 	if root == nil {
 		return nil, fmt.Errorf("store: no station with key %d", key)
 	}
-	return assembleNSM(*root, plats, conns, sees)
+	return joinNSM(*root, plats, conns, sees)
 }
 
 // ScanAll implements Model: one physical scan of each relation, joined in
@@ -473,10 +553,10 @@ func (m *nsm) ScanAll(fn func(i int, s *cobench.Station) error) error {
 	if n == 0 {
 		return ErrNotLoaded
 	}
-	roots := make([]nf2.Tuple, n)
-	plats := make([][]nf2.Tuple, n)
-	conns := make([][]nf2.Tuple, n)
-	sees := make([][]nf2.Tuple, n)
+	roots := make([]cobench.RootRecord, n)
+	plats := make([][]platRow, n)
+	conns := make([][]connRow, n)
+	sees := make([][]cobench.Sightseeing, n)
 	idxOfKey := func(rec []byte, tt *nf2.TupleType) (int, error) {
 		v, err := tt.DecodeAttr(rec, 0)
 		if err != nil {
@@ -489,19 +569,17 @@ func (m *nsm) ScanAll(fn func(i int, s *cobench.Station) error) error {
 		return i, nil
 	}
 	var scanErr error
-	collect := func(h *heap.Heap, tt *nf2.TupleType, sink func(i int, t nf2.Tuple)) error {
+	collect := func(h *heap.Heap, tt *nf2.TupleType, sink func(i int, rec []byte) error) error {
 		err := h.Scan(func(_ heap.RID, rec []byte) bool {
 			i, err := idxOfKey(rec, tt)
 			if err != nil {
 				scanErr = err
 				return false
 			}
-			t, err := tt.Decode(rec)
-			if err != nil {
+			if err := sink(i, rec); err != nil {
 				scanErr = err
 				return false
 			}
-			sink(i, t)
 			return true
 		})
 		if err != nil {
@@ -509,20 +587,46 @@ func (m *nsm) ScanAll(fn func(i int, s *cobench.Station) error) error {
 		}
 		return scanErr
 	}
-	if err := collect(m.stations, nsmStationType, func(i int, t nf2.Tuple) { roots[i] = t }); err != nil {
+	err := collect(m.stations, nsmStationType, func(i int, rec []byte) error {
+		var err error
+		roots[i], err = DecodeRoot(rec)
+		return err
+	})
+	if err != nil {
 		return err
 	}
-	if err := collect(m.plats, nsmPlatformType, func(i int, t nf2.Tuple) { plats[i] = append(plats[i], t) }); err != nil {
+	err = collect(m.plats, nsmPlatformType, func(i int, rec []byte) error {
+		r, err := decodeNSMPlat(rec)
+		if err == nil {
+			plats[i] = append(plats[i], r)
+		}
+		return err
+	})
+	if err != nil {
 		return err
 	}
-	if err := collect(m.conns, nsmConnectionType, func(i int, t nf2.Tuple) { conns[i] = append(conns[i], t) }); err != nil {
+	err = collect(m.conns, nsmConnectionType, func(i int, rec []byte) error {
+		r, err := decodeNSMConn(rec)
+		if err == nil {
+			conns[i] = append(conns[i], r)
+		}
+		return err
+	})
+	if err != nil {
 		return err
 	}
-	if err := collect(m.seeings, nsmSightseeingType, func(i int, t nf2.Tuple) { sees[i] = append(sees[i], t) }); err != nil {
+	err = collect(m.seeings, nsmSightseeingType, func(i int, rec []byte) error {
+		g, err := decodeNSMSee(rec)
+		if err == nil {
+			sees[i] = append(sees[i], g)
+		}
+		return err
+	})
+	if err != nil {
 		return err
 	}
 	for i := 0; i < n; i++ {
-		s, err := assembleNSM(roots[i], plats[i], conns[i], sees[i])
+		s, err := joinNSM(roots[i], plats[i], conns[i], sees[i])
 		if err != nil {
 			return err
 		}

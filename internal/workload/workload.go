@@ -34,14 +34,46 @@ func (r Result) PerUnit() iostat.Normalized {
 	return r.Stats.Normalize(r.Units)
 }
 
-// Runner executes queries against one loaded model.
+// View is the execution surface a Runner drives: the query operations of
+// a storage model plus the engine hooks for cache control and statistics.
+// It is the narrow waist shared by every execution path — a full
+// store.Model (the batch tables), a recyclable store.View over a frozen
+// base (the benchmark server), and anything else that can answer the
+// paper's queries. A Runner never loads, snapshots or restructures; a
+// request-scoped handle therefore only has to provide the read/navigate/
+// update operations below to measure bit-identically to a private model.
+type View interface {
+	// Kind returns the storage-model identity (for result rows).
+	Kind() store.Kind
+	// Engine exposes cache control and the I/O counters.
+	Engine() *store.Engine
+	// NumObjects returns the extension size.
+	NumObjects() int
+	// FetchByAddress retrieves one whole object by address (query 1a).
+	FetchByAddress(i int) (*cobench.Station, error)
+	// FetchByKey retrieves one whole object by key selection (query 1b).
+	FetchByKey(key int32) (*cobench.Station, error)
+	// ScanAll retrieves every object (query 1c).
+	ScanAll(fn func(i int, s *cobench.Station) error) error
+	// Navigate reads a root record and its children's identifiers (2/3).
+	Navigate(i int) (cobench.RootRecord, []int32, error)
+	// ReadRoot inputs just the root record of an object.
+	ReadRoot(i int) (cobench.RootRecord, error)
+	// UpdateRoots applies mutate to root records and writes them back (3).
+	UpdateRoots(idxs []int32, mutate func(i int32, r *cobench.RootRecord)) error
+	// Flush forces deferred writes out (end of an update query).
+	Flush() error
+}
+
+// Runner executes queries against one loaded view.
 type Runner struct {
-	model store.Model
+	model View
 	w     cobench.Workload
 }
 
-// NewRunner wraps a loaded model with workload parameters.
-func NewRunner(m store.Model, w cobench.Workload) *Runner {
+// NewRunner wraps a loaded view with workload parameters. store.Model is
+// a superset of the View interface, so batch callers pass models directly.
+func NewRunner(m View, w cobench.Workload) *Runner {
 	return &Runner{model: m, w: w}
 }
 

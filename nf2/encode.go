@@ -150,6 +150,55 @@ func (tt *TupleType) Decode(buf []byte) (Tuple, error) {
 	return t, nil
 }
 
+// VisitRel iterates the elements of Rel attribute i without materializing
+// any tuples: fn is invoked once per element with its index, the element
+// count and the element's encoded bytes (aliasing buf — valid only during
+// the call), and decodes what it needs via Elem's DecodeAttr. This is the
+// allocation-free counterpart of DecodeAttr for relation attributes; the
+// object-assembly hot paths use it so that decoding a stored object
+// allocates only the values that end up in the result.
+func (tt *TupleType) VisitRel(buf []byte, i int, fn func(j, n int, elem []byte) error) error {
+	if i < 0 || i >= len(tt.Attrs) {
+		return fmt.Errorf("nf2: attribute %d out of range for %s", i, tt.Name)
+	}
+	a := tt.Attrs[i]
+	if a.Type.Kind != Rel {
+		return fmt.Errorf("nf2: %s.%s is not a relation attribute", tt.Name, a.Name)
+	}
+	total, err := EncodedLen(buf)
+	if err != nil {
+		return err
+	}
+	buf = buf[:total]
+	need := 2 + 2*len(tt.Attrs)
+	if total < need {
+		return fmt.Errorf("%w: %s directory truncated", ErrCorrupt, tt.Name)
+	}
+	off := int(binary.BigEndian.Uint16(buf[2+2*i:]))
+	if off < need || off > total {
+		return fmt.Errorf("%w: %s.%s offset %d", ErrCorrupt, tt.Name, a.Name, off)
+	}
+	if off+2 > total {
+		return fmt.Errorf("%w: %s.%s rel count", ErrCorrupt, tt.Name, a.Name)
+	}
+	count := int(binary.BigEndian.Uint16(buf[off:]))
+	dir := off + 2
+	if dir+2*count > total {
+		return fmt.Errorf("%w: %s.%s rel directory", ErrCorrupt, tt.Name, a.Name)
+	}
+	for j := 0; j < count; j++ {
+		rel := int(binary.BigEndian.Uint16(buf[dir+2*j:]))
+		subOff := off + rel
+		if rel < 2+2*count || subOff >= total {
+			return fmt.Errorf("%w: %s.%s[%d] offset", ErrCorrupt, tt.Name, a.Name, j)
+		}
+		if err := fn(j, count, buf[subOff:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // DecodeAttr decodes only attribute i of the encoded tuple, using the
 // offset directory for random access. This is the CPU-level counterpart of
 // the paper's "only the attributes tuples that are needed will be

@@ -1,0 +1,318 @@
+package complexobj
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"complexobj/cobench"
+	"complexobj/internal/disk"
+	"complexobj/internal/store"
+)
+
+// View is a request-scoped handle on a Base: an independent database view
+// (copy-on-write overlay, private buffer pool, private I/O counters) that
+// costs almost nothing to open and nothing to reuse. Views are how a
+// long-lived process serves concurrent traffic from one loaded database —
+// each in-flight request runs on its own view, measures its own counters,
+// and the shared base is never copied. A View is not safe for concurrent
+// use; run one request on it at a time.
+//
+// Views come from Base.NewView (standalone; Close destroys it) or from a
+// ViewPool (Close recycles it back into the pool).
+type View struct {
+	kind ModelKind
+	sv   *store.View
+	pool *ViewPool
+	// closed flips on Close, making a double Close an error instead of a
+	// double release. A View is one lease: pools hand every acquisition a
+	// fresh wrapper, so a stale closed handle can never reach the engine
+	// of a later lease.
+	closed atomic.Bool
+}
+
+// NewView opens a fresh standalone view of the base, with a cold cache
+// and zeroed counters. The options follow the same rules as Base.Open.
+func (b *Base) NewView(opts Options) (*View, error) {
+	so, err := b.viewOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	sv, err := b.base.NewView(so)
+	if err != nil {
+		return nil, err
+	}
+	return &View{kind: b.kind, sv: sv}, nil
+}
+
+// viewOptions validates facade options for opening views of the base.
+func (b *Base) viewOptions(opts Options) (store.Options, error) {
+	so, err := opts.internal()
+	if err != nil {
+		return store.Options{}, err
+	}
+	if so.Backend.Kind != disk.MemArena && so.Backend.Kind != disk.COWArena {
+		return store.Options{}, fmt.Errorf("complexobj: backend %q cannot open a shared base (views are copy-on-write)", opts.Backend)
+	}
+	return so, nil
+}
+
+// Kind returns the storage model the view executes.
+func (v *View) Kind() ModelKind { return v.kind }
+
+// NumObjects returns the number of objects in the base extension (0
+// after Close).
+func (v *View) NumObjects() int {
+	if v.closed.Load() {
+		return 0
+	}
+	return v.sv.NumObjects()
+}
+
+// Run executes one benchmark query on the view and returns its
+// measurement. This is the same execution path as DB.Run — the same
+// runner over the same interface — so a view measures bit-identically to
+// a freshly loaded batch database. Running on a closed view is an error:
+// for a pooled view the engine may already be serving another lease.
+func (v *View) Run(q cobench.Query, w cobench.Workload) (QueryResult, error) {
+	if v.closed.Load() {
+		return QueryResult{}, fmt.Errorf("complexobj: Run on a closed view")
+	}
+	return runQuery(v.kind, v.sv, q, w)
+}
+
+// Stats returns the view's private accumulated I/O counters (zero after
+// Close — the engine may already belong to another lease).
+func (v *View) Stats() Stats {
+	if v.closed.Load() {
+		return Stats{}
+	}
+	s := v.sv.Engine().Stats()
+	return Stats{
+		PagesRead:    s.PagesRead,
+		PagesWritten: s.PagesWritten,
+		ReadCalls:    s.ReadCalls,
+		WriteCalls:   s.WriteCalls,
+		BufferFixes:  s.Fixes,
+		BufferHits:   s.Hits,
+	}
+}
+
+// ViewMemStats describes what a view costs beyond its shared base.
+type ViewMemStats struct {
+	// BaseBytes is the size of the shared arena (paid once per base, not
+	// per view).
+	BaseBytes int
+	// OverlayPages is the number of base pages this view has privately
+	// materialized by writing; OverlayBytes is their memory.
+	OverlayPages int
+	OverlayBytes int
+}
+
+// MemStats reports the view's private memory split (the buffer pool, of
+// capacity Options.BufferPages, comes on top; zero after Close).
+func (v *View) MemStats() ViewMemStats {
+	if v.closed.Load() {
+		return ViewMemStats{}
+	}
+	cs, _ := disk.COWStatsOf(v.sv.Engine().Dev.Backend())
+	return ViewMemStats{BaseBytes: cs.BaseBytes, OverlayPages: cs.OverlayPages, OverlayBytes: cs.OverlayBytes}
+}
+
+// Close finishes the request the view was serving. A pooled view is
+// recycled back into its pool (overlay dropped, pool emptied, counters
+// zeroed — the next request finds it indistinguishable from fresh); a
+// standalone view releases its engine.
+func (v *View) Close() error {
+	if !v.closed.CompareAndSwap(false, true) {
+		return fmt.Errorf("complexobj: view closed twice")
+	}
+	if v.pool != nil {
+		return v.pool.release(v)
+	}
+	return v.sv.Close()
+}
+
+// ErrPoolClosed reports Acquire on a closed ViewPool.
+var ErrPoolClosed = errors.New("complexobj: view pool is closed")
+
+// ViewPool serves request-scoped views of one Base and recycles them:
+// releasing a view resets it to the pristine base state (reusing its
+// engine, buffer-frame free lists and overlay index) instead of tearing
+// it down, so a steady-state server allocates next to nothing per
+// request. The pool also bounds concurrency — at most MaxViews views are
+// out at once, further Acquires block — which caps the server's memory at
+// MaxViews × (buffer pool + dirtied overlay pages) over the shared base.
+//
+// The pool does not own its Base: close the pool first, the base after
+// (views in flight keep the base arena alive either way, but opening new
+// views from a closed base is a bug).
+type ViewPool struct {
+	base *Base
+	opts Options
+	max  int
+	sem  chan struct{}
+	done chan struct{}
+
+	mu sync.Mutex
+	// idle holds the recycled engines. Acquire wraps each handout in a
+	// fresh *View, so a stale handle from a previous lease — including a
+	// duplicate Close racing a later request — can never touch the engine
+	// its new holder is using; the one-word wrapper is the entire
+	// per-request allocation.
+	idle      []*store.View
+	closed    bool
+	created   int64
+	reused    int64
+	destroyed int64
+	recycled  int64
+	rebuilt   int64
+}
+
+// NewViewPool builds a pool over base. maxViews bounds the views alive at
+// once (and therefore the concurrent requests served from this base);
+// maxViews <= 0 defaults to 8. The options apply to every view and follow
+// the same rules as Base.Open.
+func NewViewPool(base *Base, opts Options, maxViews int) (*ViewPool, error) {
+	if _, err := base.viewOptions(opts); err != nil {
+		return nil, err
+	}
+	if maxViews <= 0 {
+		maxViews = 8
+	}
+	return &ViewPool{
+		base: base,
+		opts: opts,
+		max:  maxViews,
+		sem:  make(chan struct{}, maxViews),
+		done: make(chan struct{}),
+	}, nil
+}
+
+// Base returns the pool's underlying base.
+func (p *ViewPool) Base() *Base { return p.base }
+
+// Acquire returns a view ready for one request, blocking while MaxViews
+// views are already out. Close the view to return it.
+func (p *ViewPool) Acquire() (*View, error) {
+	return p.AcquireContext(context.Background())
+}
+
+// AcquireContext is Acquire, giving up when ctx is done (so e.g. an HTTP
+// request canceled while waiting for a view stops waiting).
+func (p *ViewPool) AcquireContext(ctx context.Context) (*View, error) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-p.done:
+		return nil, ErrPoolClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.sem
+		return nil, ErrPoolClosed
+	}
+	if n := len(p.idle); n > 0 {
+		sv := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.reused++
+		p.mu.Unlock()
+		return &View{kind: p.base.kind, sv: sv, pool: p}, nil
+	}
+	p.mu.Unlock()
+	v, err := p.base.NewView(p.opts)
+	if err != nil {
+		<-p.sem
+		return nil, err
+	}
+	v.pool = p
+	p.mu.Lock()
+	p.created++
+	p.mu.Unlock()
+	return v, nil
+}
+
+// release recycles v back into the pool (or destroys it if recycling
+// failed or the pool has closed) and frees its concurrency slot.
+func (p *ViewPool) release(v *View) error {
+	defer func() { <-p.sem }()
+	rebuilt, err := v.sv.Recycle()
+	p.mu.Lock()
+	if err == nil {
+		p.recycled++
+		if rebuilt {
+			p.rebuilt++
+		}
+	}
+	if err == nil && !p.closed {
+		p.idle = append(p.idle, v.sv)
+		p.mu.Unlock()
+		return nil
+	}
+	p.destroyed++
+	p.mu.Unlock()
+	if cerr := v.sv.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ViewPoolStats describes pool effectiveness over the pool's lifetime:
+// Reused counts acquisitions served by a recycled view (the steady
+// state), Created the views built from the base, Recycled the successful
+// view resets, Rebuilt the subset of those that had to restore directory
+// metadata after a mutating request, Destroyed the views torn down
+// (recycle failure or pool shutdown).
+type ViewPoolStats struct {
+	MaxViews  int
+	InUse     int
+	Idle      int
+	Created   int64
+	Reused    int64
+	Destroyed int64
+	Recycled  int64
+	Rebuilt   int64
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *ViewPool) Stats() ViewPoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return ViewPoolStats{
+		MaxViews:  p.max,
+		InUse:     len(p.sem),
+		Idle:      len(p.idle),
+		Created:   p.created,
+		Reused:    p.reused,
+		Destroyed: p.destroyed,
+		Recycled:  p.recycled,
+		Rebuilt:   p.rebuilt,
+	}
+}
+
+// Close marks the pool closed (unblocking and failing pending Acquires)
+// and destroys the idle views. Views still in flight are destroyed as
+// they are released.
+func (p *ViewPool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	close(p.done)
+	var first error
+	for _, sv := range idle {
+		if err := sv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
