@@ -9,6 +9,7 @@
 //	        [-workers 0] [-backend mem|file|file:DIR|cow] [-db snapshot.codb]
 //	        [-repeat 1] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	        [-serve-url http://host:8077] [-clients 8] [-rate 0]
+//	        [-faults SPEC]
 //
 // Each storage model owns an independent simulated engine, so the model
 // rows are measured concurrently by a bounded worker pool (-workers, 0 =
@@ -32,8 +33,17 @@
 // R requests per second regardless of completions. The printed table is
 // built from the served per-request counters and is byte-identical to the
 // local run with the same flags — that equivalence is the server's
-// acceptance test — while a latency/throughput report goes to stderr so
-// stdout stays diffable.
+// acceptance test — while a latency/throughput report (including retry
+// and shed counts: the client retries transient connection errors and
+// 503 sheds with bounded backoff) goes to stderr so stdout stays
+// diffable.
+//
+// -faults arms a seeded fault-injection schedule under every local
+// engine (see complexobj.ParseFaultPlan for the grammar); in -serve-url
+// mode faults are the server's business — start coserve -faults instead.
+// Injected faults surface as errors and never alter the counters of
+// successful runs, so a table measured under a transient-only schedule
+// still diffs clean against the fault-free run.
 package main
 
 import (
@@ -70,6 +80,7 @@ func main() {
 		serveURL  = flag.String("serve-url", "", "drive a running coserve at this base URL instead of measuring locally")
 		clients   = flag.Int("clients", 8, "concurrent closed-loop clients in -serve-url mode")
 		rate      = flag.Float64("rate", 0, "open-loop request rate per second in -serve-url mode (0 = closed loop)")
+		faults    = flag.String("faults", "", "fault-injection schedule for every local engine, e.g. seed=7,read=0.02,latency=0.05:2ms")
 	)
 	flag.Parse()
 
@@ -78,7 +89,7 @@ func main() {
 		fatal(err)
 	}
 	err = run(*model, *query, *n, *buffer, *loops, *samples, *seed, *skew, *maxSeeing,
-		*metric, *workers, *backend, *dbPath, *repeat, *serveURL, *clients, *rate)
+		*metric, *workers, *backend, *dbPath, *repeat, *serveURL, *clients, *rate, *faults)
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -91,7 +102,7 @@ func main() {
 // (os.Exit lives only in main).
 func run(model, query string, n, buffer, loops, samples int, seed uint64, skew bool,
 	maxSeeing int, metric string, workers int, backend, dbPath string, repeat int,
-	serveURL string, clients int, rate float64) error {
+	serveURL string, clients int, rate float64, faults string) error {
 
 	gen := cobench.DefaultConfig().WithN(n).WithMaxSeeing(maxSeeing)
 	gen.Seed = seed
@@ -146,9 +157,16 @@ func run(model, query string, n, buffer, loops, samples int, seed uint64, skew b
 		err  error
 	)
 	if serveURL != "" {
+		if faults != "" {
+			return fmt.Errorf("-faults injects under local engines; with -serve-url, arm the server instead (coserve -faults %q)", faults)
+		}
 		rows, err = measureServed(serveURL, models, queries, gen, w, buffer, clients, rate, repeat, get)
 	} else {
-		opts := complexobj.Options{BufferPages: buffer, Backend: backend}
+		plan, perr := complexobj.ParseFaultPlan(faults)
+		if perr != nil {
+			return perr
+		}
+		opts := complexobj.Options{BufferPages: buffer, Backend: backend, Faults: plan}
 		bases := newBaseCache(dbPath, backend)
 		defer bases.Close()
 		rows, err = measureModels(models, queries, gen, w, opts, workers, repeat, bases, get)

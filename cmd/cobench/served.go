@@ -9,6 +9,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"complexobj"
@@ -22,6 +23,13 @@ import (
 type servedClient struct {
 	base string
 	hc   *http.Client
+
+	// retries counts request re-attempts after a transient failure (a
+	// transport error or a 503 shed); shed counts the 503 responses the
+	// server degraded with. Both go to the stderr report only — stdout
+	// stays byte-comparable to the local table.
+	retries atomic.Int64
+	shed    atomic.Int64
 
 	mu        sync.Mutex
 	latencies []time.Duration
@@ -54,9 +62,32 @@ func (c *servedClient) checkServer(gen cobench.Config, bufferPages int) error {
 	return nil
 }
 
-// runOne executes one (model, query) cell on the server and reconstructs
-// the QueryResult the local path would have produced.
+// runOne executes one (model, query) cell on the server with bounded
+// retry-with-backoff — transport errors and 503 sheds are transient by
+// contract (the server's counters are deterministic, so a retried cell
+// measures identically) — and reconstructs the QueryResult the local
+// path would have produced.
 func (c *servedClient) runOne(k complexobj.ModelKind, q cobench.Query, w cobench.Workload) (complexobj.QueryResult, error) {
+	const maxAttempts = 5
+	backoff := 50 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		res, retryable, err := c.tryOne(k, q, w)
+		if err == nil {
+			return res, nil
+		}
+		if !retryable || attempt == maxAttempts {
+			return complexobj.QueryResult{}, err
+		}
+		c.retries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// tryOne is one attempt of runOne. retryable marks failures worth another
+// attempt: connection errors and 503 (the server shedding load, which
+// also counts toward the shed column).
+func (c *servedClient) tryOne(k complexobj.ModelKind, q cobench.Query, w cobench.Workload) (_ complexobj.QueryResult, retryable bool, _ error) {
 	params := url.Values{}
 	params.Set("model", k.String())
 	params.Set("query", q.String())
@@ -66,16 +97,20 @@ func (c *servedClient) runOne(k complexobj.ModelKind, q cobench.Query, w cobench
 	start := time.Now()
 	resp, err := c.hc.Get(c.base + "/run?" + params.Encode())
 	if err != nil {
-		return complexobj.QueryResult{}, err
+		return complexobj.QueryResult{}, true, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return complexobj.QueryResult{}, fmt.Errorf("%s %s: %s: %s", k, q, resp.Status, body)
+		retryable := resp.StatusCode == http.StatusServiceUnavailable
+		if retryable {
+			c.shed.Add(1)
+		}
+		return complexobj.QueryResult{}, retryable, fmt.Errorf("%s %s: %s: %s", k, q, resp.Status, body)
 	}
 	var rr server.RunResponse
 	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
-		return complexobj.QueryResult{}, fmt.Errorf("%s %s: %w", k, q, err)
+		return complexobj.QueryResult{}, false, fmt.Errorf("%s %s: %w", k, q, err)
 	}
 	c.mu.Lock()
 	c.latencies = append(c.latencies, time.Since(start))
@@ -88,7 +123,7 @@ func (c *servedClient) runOne(k complexobj.ModelKind, q cobench.Query, w cobench
 		Raw:       rr.Raw.Stats(),
 	}
 	rr.PerUnit.Apply(&res)
-	return res, nil
+	return res, false, nil
 }
 
 // measureServed builds the measurement table by driving a coserve: the
@@ -215,14 +250,15 @@ func (c *servedClient) report(w io.Writer, wall time.Duration, clients int, rate
 	if rate > 0 {
 		mode = fmt.Sprintf("open loop, %.1f req/s", rate)
 	}
-	fmt.Fprintf(w, "served %d requests in %v (%s): %.1f req/s, latency min %v / p50 %v / p95 %v / max %v / mean %v\n",
+	fmt.Fprintf(w, "served %d requests in %v (%s): %.1f req/s, latency min %v / p50 %v / p95 %v / max %v / mean %v, retries %d, shed %d\n",
 		len(lat), wall.Round(time.Millisecond), mode,
 		float64(len(lat))/wall.Seconds(),
 		lat[0].Round(time.Microsecond),
 		lat[len(lat)/2].Round(time.Microsecond),
 		lat[len(lat)*95/100].Round(time.Microsecond),
 		lat[len(lat)-1].Round(time.Microsecond),
-		(sum / time.Duration(len(lat))).Round(time.Microsecond))
+		(sum / time.Duration(len(lat))).Round(time.Microsecond),
+		c.retries.Load(), c.shed.Load())
 }
 
 func trimSlash(s string) string {

@@ -5,13 +5,18 @@
 // Usage:
 //
 //	cogen [-n 1500] [-seed 1993] [-prob 0.8] [-fanout 2] [-maxseeing 15] [-skew]
-//	      [-dump 42] [-db bench.codb] [-buffer 1200]
+//	      [-dump 42] [-db bench.codb] [-buffer 1200] [-faults SPEC]
 //
 // With -db, the extension is loaded into every storage model and the
 // result is serialized as a .codb snapshot (device arenas + directory
 // metadata), which cotables -db / cobench -db replay without regenerating
 // or reloading anything. The models load concurrently, each over its own
-// engine.
+// engine. -faults arms a seeded fault-injection schedule under those
+// loading engines (see complexobj.ParseFaultPlan for the grammar) —
+// mainly a resilience exercise: the load either survives transient
+// faults and writes a snapshot identical to the fault-free one, or fails
+// with a structured error, never a corrupt snapshot; the injected-fault
+// counters go to stderr.
 package main
 
 import (
@@ -38,6 +43,7 @@ func main() {
 		hist      = flag.Bool("hist", false, "print the object-size histogram (pages per object)")
 		dbPath    = flag.String("db", "", "load every storage model and write a reusable .codb snapshot here")
 		buffer    = flag.Int("buffer", 1200, "buffer pool pages used while loading the snapshot models")
+		faults    = flag.String("faults", "", "fault-injection schedule under the snapshot-loading engines, e.g. seed=7,read=0.02")
 	)
 	flag.Parse()
 
@@ -94,7 +100,7 @@ func main() {
 	}
 
 	if *dbPath != "" {
-		if err := buildSnapshot(*dbPath, cfg, stations, *buffer); err != nil {
+		if err := buildSnapshot(*dbPath, cfg, stations, *buffer, *faults); err != nil {
 			fmt.Fprintln(os.Stderr, "cogen:", err)
 			os.Exit(1)
 		}
@@ -103,7 +109,11 @@ func main() {
 
 // buildSnapshot loads the generated extension into every storage model
 // (concurrently, each over its own engine) and writes the .codb snapshot.
-func buildSnapshot(path string, cfg cobench.Config, stations []*cobench.Station, bufferPages int) error {
+func buildSnapshot(path string, cfg cobench.Config, stations []*cobench.Station, bufferPages int, faults string) error {
+	plan, err := complexobj.ParseFaultPlan(faults)
+	if err != nil {
+		return err
+	}
 	kinds := complexobj.AllModels()
 	dbs := make([]*complexobj.DB, len(kinds))
 	defer func() {
@@ -113,8 +123,8 @@ func buildSnapshot(path string, cfg cobench.Config, stations []*cobench.Station,
 			}
 		}
 	}()
-	err := fanout.Run(len(kinds), 0, func(i int) error {
-		db, err := complexobj.Open(kinds[i], complexobj.Options{BufferPages: bufferPages})
+	err = fanout.Run(len(kinds), 0, func(i int) error {
+		db, err := complexobj.Open(kinds[i], complexobj.Options{BufferPages: bufferPages, Faults: plan})
 		if err != nil {
 			return err
 		}
@@ -137,6 +147,11 @@ func buildSnapshot(path string, cfg cobench.Config, stations []*cobench.Station,
 	}
 	fmt.Printf("wrote snapshot %s: %d models, N=%d, %.1f MiB\n",
 		path, len(kinds), cfg.N, float64(st.Size())/(1<<20))
+	if plan != nil {
+		fs := plan.Stats()
+		fmt.Fprintf(os.Stderr, "cogen: survived %d injected faults over %d device ops (%s)\n",
+			fs.Injected(), fs.Ops, plan)
+	}
 	return nil
 }
 

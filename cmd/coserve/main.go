@@ -8,10 +8,20 @@
 //
 //	coserve -db bench.codb [-addr :8077] [-buffer 1200] [-views 8]
 //	        [-model all] [-loops 300] [-samples 40] [-seed 1993]
+//	        [-max-inflight 0] [-request-timeout 0] [-faults SPEC]
 //
 // Endpoints: /run, /stats, /info, /healthz (see internal/server). Drive
 // it with cobench -serve-url; the served counters are bit-identical to
 // the local batch run with the same flags.
+//
+// -max-inflight bounds admitted requests across every model (0: twice
+// the summed view bound, negative: unbounded) and -request-timeout
+// deadlines each request end to end; beyond either budget the server
+// degrades gracefully with 503 + Retry-After instead of queueing without
+// bound. -faults arms a seeded fault-injection schedule under every view
+// engine (see complexobj.ParseFaultPlan for the grammar) — injected
+// faults surface as structured errors and never alter the counters of
+// successful responses.
 package main
 
 import (
@@ -22,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -31,30 +42,41 @@ import (
 
 func main() {
 	var (
-		dbPath  = flag.String("db", "", "cogen-built .codb snapshot to serve (required)")
-		addr    = flag.String("addr", ":8077", "listen address")
-		buffer  = flag.Int("buffer", 1200, "buffer pool pages per view")
-		views   = flag.Int("views", 8, "max concurrent views (requests) per model")
-		model   = flag.String("model", "all", "served models: all, or one of dsm, ddsm, nsm, nsmx, dnsm")
-		loops   = flag.Int("loops", 300, "default loops for queries 2b/3b")
-		samples = flag.Int("samples", 40, "default samples for single-shot queries")
-		seed    = flag.Uint64("seed", 1993, "default workload seed")
+		dbPath     = flag.String("db", "", "cogen-built .codb snapshot to serve (required)")
+		addr       = flag.String("addr", ":8077", "listen address")
+		buffer     = flag.Int("buffer", 1200, "buffer pool pages per view")
+		views      = flag.Int("views", 8, "max concurrent views (requests) per model")
+		model      = flag.String("model", "all", "served models: all, or one of dsm, ddsm, nsm, nsmx, dnsm")
+		loops      = flag.Int("loops", 300, "default loops for queries 2b/3b")
+		samples    = flag.Int("samples", 40, "default samples for single-shot queries")
+		seed       = flag.Uint64("seed", 1993, "default workload seed")
+		maxInFl    = flag.Int("max-inflight", 0, "server-wide admitted-request bound (0: 2x the summed view bound, <0: unbounded)")
+		reqTimeout = flag.Duration("request-timeout", 0, "per-request deadline across admission, view acquire and execution (0: none)")
+		faults     = flag.String("faults", "", "fault-injection schedule for every view engine, e.g. seed=7,read=0.02,latency=0.05:2ms")
 	)
 	flag.Parse()
-	if err := run(*dbPath, *addr, *buffer, *views, *model, *loops, *samples, *seed); err != nil {
+	if err := run(*dbPath, *addr, *buffer, *views, *model, *loops, *samples, *seed, *maxInFl, *reqTimeout, *faults); err != nil {
 		fmt.Fprintln(os.Stderr, "coserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, addr string, buffer, views int, model string, loops, samples int, seed uint64) error {
+func run(dbPath, addr string, buffer, views int, model string, loops, samples int, seed uint64,
+	maxInflight int, reqTimeout time.Duration, faults string) error {
 	if dbPath == "" {
 		return fmt.Errorf("-db is required (build one with: cogen -db bench.codb)")
 	}
+	plan, err := complexobj.ParseFaultPlan(faults)
+	if err != nil {
+		return err
+	}
 	cfg := server.Config{
-		Snapshot:    dbPath,
-		BufferPages: buffer,
-		MaxViews:    views,
+		Snapshot:       dbPath,
+		BufferPages:    buffer,
+		MaxViews:       views,
+		MaxInflight:    maxInflight,
+		RequestTimeout: reqTimeout,
+		Faults:         plan,
 	}
 	cfg.Workload.Loops = loops
 	cfg.Workload.Samples = samples
@@ -78,6 +100,13 @@ func run(dbPath, addr string, buffer, views int, model string, loops, samples in
 		dbPath, info.Gen.N, info.Gen.Seed, info.PageSize, addr)
 	fmt.Printf("coserve: %d models, %.1f MiB shared arenas, %d views x %d buffer pages per model\n",
 		len(info.Models), float64(srv.TotalArenaBytes())/(1<<20), views, buffer)
+	if maxInflight >= 0 || reqTimeout > 0 {
+		fmt.Printf("coserve: admission bound %s, request timeout %s\n",
+			boundString(maxInflight), timeoutString(reqTimeout))
+	}
+	if plan != nil {
+		fmt.Printf("coserve: fault injection armed: %s\n", plan)
+	}
 
 	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -97,4 +126,21 @@ func run(dbPath, addr string, buffer, views int, model string, loops, samples in
 		}
 	}
 	return nil
+}
+
+// boundString renders the -max-inflight value ("auto" for 0, which the
+// server resolves to twice the summed view bound).
+func boundString(n int) string {
+	if n == 0 {
+		return "auto"
+	}
+	return strconv.Itoa(n)
+}
+
+// timeoutString renders the -request-timeout value ("none" for 0).
+func timeoutString(d time.Duration) string {
+	if d <= 0 {
+		return "none"
+	}
+	return d.String()
 }

@@ -9,6 +9,7 @@
 //	         [-only table4,fig6] [-list] [-workers 0]
 //	         [-backend mem|file|file:DIR|cow] [-db snapshot.codb]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	         [-faults SPEC]
 //
 // The measurement matrix behind Tables 4-6 and 8 and the sweep
 // experiments are computed by bounded worker pools with independent
@@ -32,6 +33,12 @@
 // -cpuprofile/-memprofile write runtime/pprof profiles of the run, so
 // performance work on the harness can attribute time and allocations
 // without editing code.
+//
+// -faults arms a seeded fault-injection schedule under every engine the
+// suite builds (see complexobj.ParseFaultPlan for the grammar). Injected
+// faults surface as errors, never as corrupted tables: a run that
+// completes under a transient-only schedule emits tables byte-identical
+// to the fault-free run.
 package main
 
 import (
@@ -73,6 +80,7 @@ func run() error {
 		dbPath  = flag.String("db", "", "open this cogen-built .codb snapshot for the default-extension models instead of regenerating")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		faults  = flag.String("faults", "", "fault-injection schedule under every suite engine, e.g. seed=7,read=0.02")
 	)
 	flag.Parse()
 
@@ -100,6 +108,7 @@ func run() error {
 	cfg.Workers = *workers
 	cfg.Backend = *backend
 	cfg.Snapshot = *dbPath
+	cfg.Faults = *faults
 
 	suite := experiments.New(cfg)
 	defer suite.Close()

@@ -18,6 +18,7 @@
 package complexobj
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -114,6 +115,13 @@ type Options struct {
 	// private page copies for writes). The backend changes only where the
 	// bytes live; the measured counters are bit-identical across backends.
 	Backend string
+	// Faults, when non-nil, injects the plan's seeded fault schedule
+	// under every engine opened with these options (see ParseFaultPlan).
+	// Injected faults surface as errors; the counters of successful
+	// operations are never altered — the device counts only completed
+	// transfers, so a retried transient fault is invisible in the
+	// paper's statistics.
+	Faults *FaultPlan
 }
 
 func (o Options) internal() (store.Options, error) {
@@ -126,6 +134,7 @@ func (o Options) internal() (store.Options, error) {
 		BufferPages:  o.BufferPages,
 		CountIndexIO: o.CountIndexIO,
 		Backend:      spec,
+		Faults:       o.Faults.injector(),
 	}
 	if o.ClockReplacement {
 		so.Policy = buffer.Clock
@@ -499,16 +508,21 @@ type QueryResult struct {
 // and returns its measurement. The cache is reset before the query, as in
 // the experiment harness.
 func (db *DB) Run(q cobench.Query, w cobench.Workload) (QueryResult, error) {
-	return runQuery(db.kind, db.model, q, w)
+	return runQuery(nil, db.kind, db.model, q, w)
 }
 
 // runQuery is the one execution path every surface shares: batch
-// databases (DB.Run), request-scoped views (View.Run) and, through them,
-// the benchmark server all drive the same workload.Runner over the
-// workload.View interface — which is what makes served counters
-// bit-identical to the batch tables.
-func runQuery(kind ModelKind, v workload.View, q cobench.Query, w cobench.Workload) (QueryResult, error) {
-	res, err := workload.NewRunner(v, w).Run(q)
+// databases (DB.Run), request-scoped views (View.Run/RunContext) and,
+// through them, the benchmark server all drive the same workload.Runner
+// over the workload.View interface — which is what makes served counters
+// bit-identical to the batch tables. A non-nil ctx bounds the query (the
+// runner checks it between object visits); a nil ctx never interrupts.
+func runQuery(ctx context.Context, kind ModelKind, v workload.View, q cobench.Query, w cobench.Workload) (QueryResult, error) {
+	r := workload.NewRunner(v, w)
+	if ctx != nil {
+		r = r.WithContext(ctx)
+	}
+	res, err := r.Run(q)
 	if err != nil {
 		return QueryResult{}, err
 	}

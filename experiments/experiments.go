@@ -19,6 +19,7 @@ import (
 	"complexobj/internal/buffer"
 	"complexobj/internal/disk"
 	"complexobj/internal/fanout"
+	"complexobj/internal/faultdisk"
 	"complexobj/internal/snapshot"
 	"complexobj/internal/store"
 	"complexobj/internal/workload"
@@ -64,6 +65,14 @@ type Config struct {
 	// mapping per model kind, shared by every view, paged in on demand).
 	// Sweeps that need non-default extensions still generate.
 	Snapshot string
+	// Faults is an optional seeded fault-injection schedule (the
+	// faultdisk grammar, e.g. "seed=7,read=0.02") armed under every
+	// engine the suite builds. Injected faults surface as errors from the
+	// experiments and never alter the counters of runs that complete, so
+	// tables produced under a transient-only schedule are byte-identical
+	// to the fault-free tables — the resilience property the chaos tests
+	// pin.
+	Faults string
 }
 
 // DefaultConfig mirrors the paper's installation.
@@ -116,6 +125,15 @@ func New(cfg Config) *Suite {
 		s.storeOpts.Policy = buffer.Clock
 	}
 	s.storeOpts.Backend, s.optsErr = disk.ParseBackendSpec(cfg.Backend)
+	if s.optsErr == nil && cfg.Faults != "" {
+		var spec faultdisk.Spec
+		if spec, s.optsErr = faultdisk.ParseSpec(cfg.Faults); s.optsErr == nil {
+			// One injector for the whole suite: every engine gets its own
+			// deterministic schedule stream from it, and the counters
+			// accumulate across all experiments.
+			s.storeOpts.Faults = faultdisk.New(spec)
+		}
+	}
 	return s
 }
 

@@ -261,9 +261,10 @@ type COWStats struct {
 	OverlayBytes int
 }
 
-// COWStatsOf reports overlay usage when b is a COW backend.
+// COWStatsOf reports overlay usage when b is a COW backend, seeing
+// through any stack of wrapping backends (fault injection).
 func COWStatsOf(b Backend) (COWStats, bool) {
-	c, ok := b.(*cowBackend)
+	c, ok := asCOW(b)
 	if !ok {
 		return COWStats{}, false
 	}

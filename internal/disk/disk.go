@@ -49,6 +49,8 @@ type Disk struct {
 	backend  Backend
 	flat     []byte // contiguous arena fast path (nil for layered backends)
 	stats    iostat.Stats
+	retry    RetryPolicy
+	retries  int64 // backend read retries performed (diagnostics)
 }
 
 // New creates a device with the given raw page size over the default
@@ -64,7 +66,7 @@ func NewWithBackend(pageSize int, b Backend) *Disk {
 	if pageSize <= SysHeaderSize {
 		panic(fmt.Sprintf("disk: page size %d not larger than system header %d", pageSize, SysHeaderSize))
 	}
-	d := &Disk{pageSize: pageSize, backend: b}
+	d := &Disk{pageSize: pageSize, backend: b, retry: DefaultRetryPolicy}
 	d.refreshFlat()
 	return d
 }
@@ -160,7 +162,7 @@ func (d *Disk) ReadRun(start PageID, dst [][]byte) error {
 		}
 		if d.flat != nil {
 			copy(buf, d.page(int(start)+i))
-		} else if err := d.backend.ReadAt(buf, (int(start)+i)*d.pageSize); err != nil {
+		} else if err := d.readBackend(buf, (int(start)+i)*d.pageSize); err != nil {
 			return err
 		}
 	}
@@ -245,7 +247,7 @@ func (d *Disk) Close() error {
 func (d *Disk) ResetView() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	c, ok := d.backend.(*cowBackend)
+	c, ok := asCOW(d.backend)
 	if !ok {
 		return false
 	}
@@ -271,7 +273,7 @@ func (d *Disk) DumpTo(w io.Writer) error {
 		if n-off < len(chunk) {
 			chunk = chunk[:n-off]
 		}
-		if err := d.backend.ReadAt(chunk, off); err != nil {
+		if err := d.readBackend(chunk, off); err != nil {
 			return err
 		}
 		if _, err := w.Write(chunk); err != nil {

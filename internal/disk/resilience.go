@@ -1,0 +1,101 @@
+package disk
+
+import (
+	"errors"
+	"time"
+)
+
+// IsTransient reports whether err marks a failure a retry may clear. It
+// walks the error chain for an implementation of `Transient() bool` (the
+// convention fault-injecting and real backends use to classify their
+// errors); permanent failures and plain errors report false.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// RetryPolicy bounds the device's retry-with-backoff on transiently
+// failing backend reads. Only reads are retried: a read retry is
+// idempotent and invisible in the I/O counters (which increment solely on
+// success), while failed writes propagate so the request is reported
+// instead of papered over.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (1 means no retry; 0 means
+	// DefaultRetryPolicy.Attempts).
+	Attempts int
+	// Backoff is the sleep before the first retry, doubling on each
+	// further one (0 means no sleep).
+	Backoff time.Duration
+}
+
+// DefaultRetryPolicy is the device default: up to 4 attempts with a tiny
+// doubling backoff, enough to ride out sporadic transient faults without
+// stretching a genuinely failing request.
+var DefaultRetryPolicy = RetryPolicy{Attempts: 4, Backoff: 50 * time.Microsecond}
+
+func (p RetryPolicy) attempts() int {
+	if p.Attempts <= 0 {
+		return DefaultRetryPolicy.Attempts
+	}
+	return p.Attempts
+}
+
+// SetRetryPolicy replaces the device's read-retry policy (construction
+// installs DefaultRetryPolicy).
+func (d *Disk) SetRetryPolicy(p RetryPolicy) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.retry = p
+}
+
+// Retries returns how many backend read retries the device has performed.
+// The count is diagnostics, not a paper counter: it survives ResetStats
+// and never feeds the reported statistics.
+func (d *Disk) Retries() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.retries
+}
+
+// readBackend is backend.ReadAt behind the retry policy: transient
+// failures are retried with doubling backoff, anything else (or
+// exhaustion) propagates. Caller holds d.mu.
+func (d *Disk) readBackend(p []byte, off int) error {
+	err := d.backend.ReadAt(p, off)
+	backoff := d.retry.Backoff
+	for attempt := 1; err != nil && attempt < d.retry.attempts() && IsTransient(err); attempt++ {
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		d.retries++
+		err = d.backend.ReadAt(p, off)
+	}
+	return err
+}
+
+// unwrapBackend peels one wrapping layer (fault injection, future
+// instrumentation) off b. Wrappers advertise themselves by an
+// `Unwrap() Backend` method, mirroring errors.Unwrap.
+func unwrapBackend(b Backend) (Backend, bool) {
+	u, ok := b.(interface{ Unwrap() Backend })
+	if !ok {
+		return nil, false
+	}
+	return u.Unwrap(), true
+}
+
+// asCOW finds the copy-on-write backend under any stack of wrappers.
+func asCOW(b Backend) (*cowBackend, bool) {
+	for b != nil {
+		if c, ok := b.(*cowBackend); ok {
+			return c, true
+		}
+		inner, ok := unwrapBackend(b)
+		if !ok {
+			return nil, false
+		}
+		b = inner
+	}
+	return nil, false
+}

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -31,6 +33,22 @@ type Config struct {
 	// Workload supplies the request defaults for loops, samples and seed;
 	// zero fields fall back to the benchmark defaults.
 	Workload cobench.Workload
+	// MaxInflight bounds the /run requests admitted concurrently across
+	// every model — the deployment-level memory envelope on top of the
+	// per-model view semaphores. 0 defaults to twice the summed view
+	// bound (so admission queues before the pools do); negative means
+	// unbounded. Requests beyond the bound wait until a slot frees or
+	// their deadline expires, then are shed with 503 + Retry-After.
+	MaxInflight int
+	// RequestTimeout bounds one /run request end to end — waiting for
+	// admission, acquiring a view and executing the query. 0 means no
+	// deadline. Deadlined requests are shed with 503 + Retry-After and
+	// report no counters at all (never a truncated measurement).
+	RequestTimeout time.Duration
+	// Faults arms the fault-injection schedule on every view engine
+	// (nil: none). Injected faults never alter the counters of
+	// successful responses; see complexobj.ParseFaultPlan.
+	Faults *complexobj.FaultPlan
 }
 
 // Server serves benchmark queries from snapshot-backed shared bases. See
@@ -43,6 +61,13 @@ type Server struct {
 	pools    map[complexobj.ModelKind]*complexobj.ViewPool
 	start    time.Time
 	requests atomic.Int64
+
+	// admit is the server-wide admission semaphore (nil: unbounded).
+	admit        chan struct{}
+	maxInflight  int
+	shedAdmit    atomic.Int64 // requests shed waiting for an admission slot
+	shedDeadline atomic.Int64 // requests shed by their deadline after admission
+	panics       atomic.Int64 // recovered /run panics (their views quarantined)
 
 	mu         sync.Mutex
 	agg        map[AggKey]*aggregate
@@ -100,7 +125,23 @@ func New(cfg Config) (*Server, error) {
 		start:  time.Now(),
 		agg:    make(map[AggKey]*aggregate),
 	}
-	opts := complexobj.Options{BufferPages: cfg.BufferPages, Backend: "cow"}
+	// Admission envelope: by default twice the summed per-model view
+	// bound, so the global gate queues (and sheds) before every pool is
+	// saturated and the memory promise — MaxInflight × (buffer pool +
+	// dirtied overlay) over the shared bases — holds whatever mix of
+	// models the traffic hits.
+	mv := cfg.MaxViews
+	if mv <= 0 {
+		mv = 8
+	}
+	s.maxInflight = cfg.MaxInflight
+	if s.maxInflight == 0 {
+		s.maxInflight = 2 * mv * len(models)
+	}
+	if s.maxInflight > 0 {
+		s.admit = make(chan struct{}, s.maxInflight)
+	}
+	opts := complexobj.Options{BufferPages: cfg.BufferPages, Backend: "cow", Faults: cfg.Faults}
 	for _, k := range models {
 		base, err := complexobj.OpenBase(cfg.Snapshot, k)
 		if err != nil {
@@ -301,18 +342,36 @@ type StatsResponse struct {
 
 // PoolInfo describes one served model in /info.
 type PoolInfo struct {
-	Model      string `json:"model"`
-	ArenaBytes int    `json:"arenaBytes"`
-	NumPages   int    `json:"numPages"`
-	Mapped     bool   `json:"mapped"`
-	MaxViews   int    `json:"maxViews"`
-	InUse      int    `json:"inUse"`
-	Idle       int    `json:"idle"`
-	Created    int64  `json:"created"`
-	Reused     int64  `json:"reused"`
-	Recycled   int64  `json:"recycled"`
-	Rebuilt    int64  `json:"rebuilt"`
-	Destroyed  int64  `json:"destroyed"`
+	Model       string `json:"model"`
+	ArenaBytes  int    `json:"arenaBytes"`
+	NumPages    int    `json:"numPages"`
+	Mapped      bool   `json:"mapped"`
+	MaxViews    int    `json:"maxViews"`
+	InUse       int    `json:"inUse"`
+	Idle        int    `json:"idle"`
+	Created     int64  `json:"created"`
+	Reused      int64  `json:"reused"`
+	Recycled    int64  `json:"recycled"`
+	Rebuilt     int64  `json:"rebuilt"`
+	Destroyed   int64  `json:"destroyed"`
+	Quarantined int64  `json:"quarantined"`
+}
+
+// ResilienceInfo is the /info resilience block: the admission/deadline
+// envelope and what degradation has cost so far.
+type ResilienceInfo struct {
+	MaxInflight      int    `json:"maxInflight"` // <= 0: unbounded
+	InFlight         int    `json:"inFlight"`
+	RequestTimeoutMS int64  `json:"requestTimeoutMillis"` // 0: no deadline
+	ShedAdmission    int64  `json:"shedAdmission"`
+	ShedDeadline     int64  `json:"shedDeadline"`
+	Panics           int64  `json:"panics"`
+	QuarantinedViews int64  `json:"quarantinedViews"`
+	FaultSpec        string `json:"faultSpec,omitempty"`
+	// Faults counts what the armed fault plan has injected (absent
+	// without -faults). Injected faults never alter the counters of
+	// successful responses.
+	Faults *complexobj.FaultStats `json:"faults,omitempty"`
 }
 
 // InfoResponse is the /info payload.
@@ -323,6 +382,7 @@ type InfoResponse struct {
 	BufferPages int            `json:"bufferPages"`
 	Workload    WorkloadParams `json:"defaultWorkload"`
 	Models      []PoolInfo     `json:"models"`
+	Resilience  ResilienceInfo `json:"resilience"`
 }
 
 // Handler returns the HTTP handler serving the package's endpoints.
@@ -331,11 +391,51 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/info", s.handleInfo)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// HealthResponse is the /healthz payload. Status is "ok" or "degraded";
+// degraded means the admission gate is saturated (new requests queue or
+// shed) — the process is still serving, so the HTTP status stays 200 and
+// liveness probes keep passing.
+type HealthResponse struct {
+	Status      string `json:"status"`
+	InFlight    int    `json:"inFlight"`
+	MaxInflight int    `json:"maxInflight"`
+	Shed        int64  `json:"shed"`
+	Panics      int64  `json:"panics"`
+	Quarantined int64  `json:"quarantinedViews"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	inFlight := 0
+	if s.admit != nil {
+		inFlight = len(s.admit)
+	}
+	status := "ok"
+	if s.admit != nil && inFlight >= s.maxInflight {
+		status = "degraded"
+	}
+	var quarantined int64
+	for _, p := range s.pools {
+		quarantined += p.Stats().Quarantined
+	}
+	writeJSON(w, HealthResponse{
+		Status:      status,
+		InFlight:    inFlight,
+		MaxInflight: s.maxInflight,
+		Shed:        s.shedAdmit.Load() + s.shedDeadline.Load(),
+		Panics:      s.panics.Load(),
+		Quarantined: quarantined,
+	})
+}
+
+// unavailable reports graceful degradation: 503 with a Retry-After hint,
+// the contract cobench's client-side retry loop keys off.
+func (s *Server) unavailable(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusServiceUnavailable, format, args...)
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -400,27 +500,78 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	// Server-wide admission: the global envelope on top of the per-model
+	// view semaphores. A full gate queues the request until a slot frees
+	// or its deadline expires — then sheds it with 503 + Retry-After, the
+	// signal a well-behaved client (cobench's retry loop) backs off on.
+	if s.admit != nil {
+		select {
+		case s.admit <- struct{}{}:
+			defer func() { <-s.admit }()
+		case <-ctx.Done():
+			s.shedAdmit.Add(1)
+			s.unavailable(w, "admission: %d requests in flight: %v", s.maxInflight, ctx.Err())
+			return
+		}
+	}
+
 	start := time.Now()
-	view, err := pool.AcquireContext(r.Context())
+	view, err := pool.AcquireContext(ctx)
 	if err != nil {
+		if ctx.Err() != nil {
+			s.shedDeadline.Add(1)
+			s.unavailable(w, "acquire view: %v", err)
+			return
+		}
 		httpError(w, http.StatusServiceUnavailable, "acquire view: %v", err)
 		return
 	}
-	var res complexobj.QueryResult
-	func() {
-		// Close via defer so even a panicking query path (swallowed by
-		// net/http's recover) cannot leak the pool's concurrency slot.
+	// Run with panic containment: a panicking query path (an injected
+	// backend panic, a latent bug) becomes a structured 500 and the view
+	// is quarantined — closed for good, never recycled — so whatever the
+	// panic left behind cannot leak into a later request. The engine's
+	// deferred mutex unlocks make Close after an unwound panic safe.
+	res, err := func() (res complexobj.QueryResult, err error) {
 		defer func() {
-			if cerr := view.Close(); cerr != nil {
-				// The request measured fine; a failed recycle only cost
-				// the pool a view (visible as Destroyed in /info) — log
-				// it rather than failing the response.
-				log.Printf("server: %s %s: view recycle: %v", kind, q, cerr)
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				view.Quarantine()
+				err = fmt.Errorf("panic: %v", p)
 			}
 		}()
-		res, err = view.Run(q, wl)
+		return view.RunContext(ctx, q, wl)
 	}()
+	if err != nil && complexobj.IsPermanentFault(err) {
+		// The engine has a poisoned page; recycling would hand the next
+		// request a view that can never read it. Retire it instead.
+		view.Quarantine()
+	}
+	if cerr := view.Close(); cerr != nil {
+		// The request measured fine; a failed recycle only cost the pool
+		// a view (visible as Destroyed in /info) — log it rather than
+		// failing the response.
+		log.Printf("server: %s %s: view recycle: %v", kind, q, cerr)
+	}
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.shedDeadline.Add(1)
+			s.unavailable(w, "run %s %s: %v", kind, q, err)
+			return
+		}
+		if errors.Is(err, context.Canceled) {
+			// The client went away; nobody reads this response. Report it
+			// as unavailable without counting it against the deadline
+			// budget.
+			s.unavailable(w, "run %s %s: %v", kind, q, err)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, "run %s %s: %v", kind, q, err)
 		return
 	}
@@ -529,23 +680,42 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 			Loops: s.cfg.Workload.Loops, Samples: s.cfg.Workload.Samples, Seed: s.cfg.Workload.Seed,
 		},
 	}
+	var quarantined int64
 	for _, k := range s.models {
 		base, pool := s.bases[k], s.pools[k]
 		ps := pool.Stats()
+		quarantined += ps.Quarantined
 		resp.Models = append(resp.Models, PoolInfo{
-			Model:      k.String(),
-			ArenaBytes: base.ArenaBytes(),
-			NumPages:   base.NumPages(),
-			Mapped:     base.Mapped(),
-			MaxViews:   ps.MaxViews,
-			InUse:      ps.InUse,
-			Idle:       ps.Idle,
-			Created:    ps.Created,
-			Reused:     ps.Reused,
-			Recycled:   ps.Recycled,
-			Rebuilt:    ps.Rebuilt,
-			Destroyed:  ps.Destroyed,
+			Model:       k.String(),
+			ArenaBytes:  base.ArenaBytes(),
+			NumPages:    base.NumPages(),
+			Mapped:      base.Mapped(),
+			MaxViews:    ps.MaxViews,
+			InUse:       ps.InUse,
+			Idle:        ps.Idle,
+			Created:     ps.Created,
+			Reused:      ps.Reused,
+			Recycled:    ps.Recycled,
+			Rebuilt:     ps.Rebuilt,
+			Destroyed:   ps.Destroyed,
+			Quarantined: ps.Quarantined,
 		})
+	}
+	resp.Resilience = ResilienceInfo{
+		MaxInflight:      s.maxInflight,
+		RequestTimeoutMS: s.cfg.RequestTimeout.Milliseconds(),
+		ShedAdmission:    s.shedAdmit.Load(),
+		ShedDeadline:     s.shedDeadline.Load(),
+		Panics:           s.panics.Load(),
+		QuarantinedViews: quarantined,
+	}
+	if s.admit != nil {
+		resp.Resilience.InFlight = len(s.admit)
+	}
+	if s.cfg.Faults != nil {
+		fs := s.cfg.Faults.Stats()
+		resp.Resilience.FaultSpec = s.cfg.Faults.String()
+		resp.Resilience.Faults = &fs
 	}
 	writeJSON(w, resp)
 }

@@ -7,6 +7,7 @@ import (
 	"complexobj/cobench"
 	"complexobj/internal/buffer"
 	"complexobj/internal/disk"
+	"complexobj/internal/faultdisk"
 	"complexobj/internal/iostat"
 )
 
@@ -77,6 +78,13 @@ type Options struct {
 	// The backend never changes the measured counters, only where the
 	// page bytes are stored.
 	Backend disk.BackendSpec
+	// Faults, when non-nil, wraps every backend opened through these
+	// options in the injector's seeded fault schedule (transient and
+	// permanent I/O errors, latency, short reads, torn writes). Injected
+	// faults surface as errors and never alter the counters of
+	// successful operations — the device counts only completed
+	// transfers.
+	Faults *faultdisk.Injector
 }
 
 // DefaultOptions mirrors the paper's installation.
@@ -108,9 +116,21 @@ type Engine struct {
 // persisted device instead of aliasing it.
 func NewEngine(o Options) (*Engine, error) {
 	o = o.withDefaults()
+	// Validate before opening the backend: an invalid configuration must
+	// come back as an error, not as a construction panic holding a base
+	// reference or an arena file.
+	if o.PageSize <= disk.SysHeaderSize {
+		return nil, fmt.Errorf("store: page size %d not larger than the %d-byte system header", o.PageSize, disk.SysHeaderSize)
+	}
+	if o.BufferPages < 0 {
+		return nil, fmt.Errorf("store: negative buffer capacity %d", o.BufferPages)
+	}
 	b, err := o.Backend.Open(o.PageSize)
 	if err != nil {
 		return nil, err
+	}
+	if o.Faults != nil {
+		b = o.Faults.Wrap(b, o.PageSize)
 	}
 	var dev *disk.Disk
 	if b.Len() > 0 {

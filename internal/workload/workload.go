@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"complexobj/cobench"
@@ -69,12 +70,39 @@ type View interface {
 type Runner struct {
 	model View
 	w     cobench.Workload
+	ctx   context.Context
 }
 
 // NewRunner wraps a loaded view with workload parameters. store.Model is
 // a superset of the View interface, so batch callers pass models directly.
 func NewRunner(m View, w cobench.Workload) *Runner {
 	return &Runner{model: m, w: w}
+}
+
+// WithContext bounds the runner's queries by ctx: execution checks the
+// context between object visits (per sample, per scanned object, per
+// navigation loop) and stops with the context's error, so a deadlined or
+// canceled request releases its view promptly instead of finishing a long
+// scan nobody is waiting for. A nil context (the default) never
+// interrupts. The check granularity is an object, not a page — a query
+// interrupted mid-object has still performed whole page transfers, which
+// is why interrupted runs report no counters at all rather than a
+// truncated measurement.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	r.ctx = ctx
+	return r
+}
+
+// interrupted reports the context's error once the runner's context is
+// done (nil context: never).
+func (r *Runner) interrupted() error {
+	if r.ctx == nil {
+		return nil
+	}
+	if err := r.ctx.Err(); err != nil {
+		return fmt.Errorf("workload: interrupted: %w", err)
+	}
+	return nil
 }
 
 // Run executes one benchmark query and returns its measurement.
@@ -157,6 +185,9 @@ func (r *Runner) runQ1a() (Result, error) {
 		return Result{}, err
 	}
 	for _, i := range idxs {
+		if err := r.interrupted(); err != nil {
+			return Result{}, err
+		}
 		if _, err := r.model.FetchByAddress(i); err != nil {
 			return Result{}, err
 		}
@@ -180,6 +211,9 @@ func (r *Runner) runQ1b() (Result, error) {
 		return Result{}, err
 	}
 	for _, i := range idxs {
+		if err := r.interrupted(); err != nil {
+			return Result{}, err
+		}
 		if _, err := r.model.FetchByKey(cobench.KeyOf(i)); err != nil {
 			return Result{}, err
 		}
@@ -196,6 +230,9 @@ func (r *Runner) runQ1c() (Result, error) {
 	}
 	count := 0
 	err := r.model.ScanAll(func(int, *cobench.Station) error {
+		if err := r.interrupted(); err != nil {
+			return err
+		}
 		count++
 		return nil
 	})
@@ -251,6 +288,9 @@ func (r *Runner) runNav(q cobench.Query, update bool) (Result, error) {
 	}
 	var touched int64
 	for s, root := range idxs {
+		if err := r.interrupted(); err != nil {
+			return Result{}, err
+		}
 		tc, err := r.loop(root, s, update)
 		if err != nil {
 			return Result{}, err
@@ -280,6 +320,9 @@ func (r *Runner) runLoops(q cobench.Query, update bool) (Result, error) {
 	}
 	var touched int64
 	for l := 0; l < loops; l++ {
+		if err := r.interrupted(); err != nil {
+			return Result{}, err
+		}
 		root := rng.Intn(r.model.NumObjects())
 		tc, err := r.loop(root, l, update)
 		if err != nil {

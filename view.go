@@ -31,6 +31,9 @@ type View struct {
 	// fresh wrapper, so a stale closed handle can never reach the engine
 	// of a later lease.
 	closed atomic.Bool
+	// damaged flips on Quarantine: Close then destroys the engine
+	// instead of recycling it into the pool.
+	damaged atomic.Bool
 }
 
 // NewView opens a fresh standalone view of the base, with a cold cache
@@ -77,11 +80,28 @@ func (v *View) NumObjects() int {
 // a freshly loaded batch database. Running on a closed view is an error:
 // for a pooled view the engine may already be serving another lease.
 func (v *View) Run(q cobench.Query, w cobench.Workload) (QueryResult, error) {
+	return v.RunContext(nil, q, w)
+}
+
+// RunContext is Run bounded by ctx: the query checks the context between
+// object visits and stops with its error (wrapping context.DeadlineExceeded
+// or context.Canceled), so a deadlined request frees its view promptly
+// instead of finishing a scan nobody waits for. An interrupted run
+// reports no counters at all — never a truncated measurement. A nil ctx
+// never interrupts.
+func (v *View) RunContext(ctx context.Context, q cobench.Query, w cobench.Workload) (QueryResult, error) {
 	if v.closed.Load() {
 		return QueryResult{}, fmt.Errorf("complexobj: Run on a closed view")
 	}
-	return runQuery(v.kind, v.sv, q, w)
+	return runQuery(ctx, v.kind, v.sv, q, w)
 }
+
+// Quarantine marks the view damaged — a request panicked on it, or an
+// engine-level fault (a permanently poisoned page) makes its reuse
+// unsafe. Close then destroys the engine instead of recycling it into
+// the pool, and the pool counts it as Quarantined; for a standalone view
+// Quarantine changes nothing (Close destroys it anyway).
+func (v *View) Quarantine() { v.damaged.Store(true) }
 
 // Stats returns the view's private accumulated I/O counters (zero after
 // Close — the engine may already belong to another lease).
@@ -162,13 +182,14 @@ type ViewPool struct {
 	// duplicate Close racing a later request — can never touch the engine
 	// its new holder is using; the one-word wrapper is the entire
 	// per-request allocation.
-	idle      []*store.View
-	closed    bool
-	created   int64
-	reused    int64
-	destroyed int64
-	recycled  int64
-	rebuilt   int64
+	idle        []*store.View
+	closed      bool
+	created     int64
+	reused      int64
+	destroyed   int64
+	recycled    int64
+	rebuilt     int64
+	quarantined int64
 }
 
 // NewViewPool builds a pool over base. maxViews bounds the views alive at
@@ -236,10 +257,18 @@ func (p *ViewPool) AcquireContext(ctx context.Context) (*View, error) {
 	return v, nil
 }
 
-// release recycles v back into the pool (or destroys it if recycling
-// failed or the pool has closed) and frees its concurrency slot.
+// release recycles v back into the pool (or destroys it if it was
+// quarantined, recycling failed or the pool has closed) and frees its
+// concurrency slot.
 func (p *ViewPool) release(v *View) error {
 	defer func() { <-p.sem }()
+	if v.damaged.Load() {
+		p.mu.Lock()
+		p.quarantined++
+		p.destroyed++
+		p.mu.Unlock()
+		return v.sv.Close()
+	}
 	rebuilt, err := v.sv.Recycle()
 	p.mu.Lock()
 	if err == nil {
@@ -266,16 +295,19 @@ func (p *ViewPool) release(v *View) error {
 // state), Created the views built from the base, Recycled the successful
 // view resets, Rebuilt the subset of those that had to restore directory
 // metadata after a mutating request, Destroyed the views torn down
-// (recycle failure or pool shutdown).
+// (quarantine, recycle failure or pool shutdown), Quarantined the subset
+// of Destroyed retired via View.Quarantine (panicked request, permanent
+// engine fault).
 type ViewPoolStats struct {
-	MaxViews  int
-	InUse     int
-	Idle      int
-	Created   int64
-	Reused    int64
-	Destroyed int64
-	Recycled  int64
-	Rebuilt   int64
+	MaxViews    int
+	InUse       int
+	Idle        int
+	Created     int64
+	Reused      int64
+	Destroyed   int64
+	Recycled    int64
+	Rebuilt     int64
+	Quarantined int64
 }
 
 // Stats returns a snapshot of the pool counters.
@@ -283,14 +315,15 @@ func (p *ViewPool) Stats() ViewPoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return ViewPoolStats{
-		MaxViews:  p.max,
-		InUse:     len(p.sem),
-		Idle:      len(p.idle),
-		Created:   p.created,
-		Reused:    p.reused,
-		Destroyed: p.destroyed,
-		Recycled:  p.recycled,
-		Rebuilt:   p.rebuilt,
+		MaxViews:    p.max,
+		InUse:       len(p.sem),
+		Idle:        len(p.idle),
+		Created:     p.created,
+		Reused:      p.reused,
+		Destroyed:   p.destroyed,
+		Recycled:    p.recycled,
+		Rebuilt:     p.rebuilt,
+		Quarantined: p.quarantined,
 	}
 }
 
