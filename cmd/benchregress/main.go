@@ -1,0 +1,150 @@
+// benchregress compares a `go test -bench -benchmem` run against a
+// committed baseline and fails when allocs/op regresses. Wall-clock
+// numbers are reported but never gated: time is noisy on shared CI
+// machines, while allocation counts on the fix hit/miss paths are
+// deterministic and must stay pinned.
+//
+// Usage:
+//
+//	benchregress -baseline ci/bench-baseline.txt current.txt
+//	go test ./internal/buffer -bench . -benchmem | benchregress -baseline ci/bench-baseline.txt -
+//
+// Rules:
+//   - allocs/op may grow at most -tolerance percent (default 10) over
+//     the baseline value;
+//   - a baseline of 0 allocs/op is a hard pin: any nonzero count fails;
+//   - benchmarks present in the baseline but missing from the current
+//     run fail (a silently dropped benchmark is not an improvement);
+//   - new benchmarks absent from the baseline are reported, not gated.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+// benchLine matches one benchmark result, e.g.
+//
+//	BenchmarkFixHit-4   10000   48.12 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+
+func parse(r io.Reader) (map[string]result, error) {
+	out := make(map[string]result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		res := result{}
+		res.nsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			res.bytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+			res.allocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+			res.hasAllocs = true
+		}
+		out[m[1]] = res
+	}
+	return out, sc.Err()
+}
+
+func parseFile(path string) (map[string]result, error) {
+	if path == "-" {
+		return parse(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed baseline bench output")
+	tolerance := flag.Float64("tolerance", 10, "allowed allocs/op growth in percent")
+	flag.Parse()
+	if *baselinePath == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchregress -baseline FILE (CURRENT|-)")
+		os.Exit(2)
+	}
+	baseline, err := parseFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchregress: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchregress: %v\n", err)
+		os.Exit(2)
+	}
+	if len(baseline) == 0 {
+		fmt.Fprintln(os.Stderr, "benchregress: baseline holds no benchmark lines")
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			fmt.Printf("FAIL %s: present in baseline, missing from current run\n", name)
+			failed = true
+			continue
+		}
+		if !base.hasAllocs || !cur.hasAllocs {
+			fmt.Printf("  ok %s: no -benchmem columns, time-only (%.1f ns/op vs %.1f baseline)\n",
+				name, cur.nsPerOp, base.nsPerOp)
+			continue
+		}
+		switch {
+		case base.allocsPerOp == 0 && cur.allocsPerOp > 0:
+			fmt.Printf("FAIL %s: %.0f allocs/op, baseline pins 0\n", name, cur.allocsPerOp)
+			failed = true
+		case cur.allocsPerOp > base.allocsPerOp*(1+*tolerance/100):
+			fmt.Printf("FAIL %s: %.0f allocs/op, baseline %.0f (+%.1f%% > %.0f%% tolerance)\n",
+				name, cur.allocsPerOp, base.allocsPerOp,
+				100*(cur.allocsPerOp-base.allocsPerOp)/base.allocsPerOp, *tolerance)
+			failed = true
+		default:
+			fmt.Printf("  ok %s: %.0f allocs/op (baseline %.0f), %.0f B/op, %.1f ns/op\n",
+				name, cur.allocsPerOp, base.allocsPerOp, cur.bytesPerOp, cur.nsPerOp)
+		}
+	}
+	var fresh []string
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		fmt.Printf(" new %s: not in baseline (add it to ci/bench-baseline.txt)\n", name)
+	}
+	if failed {
+		fmt.Println(strings.Repeat("-", 40))
+		fmt.Println("allocs/op regression detected")
+		os.Exit(1)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"net/url"
 	"os"
 	"sort"
 	"sync"
@@ -88,12 +87,7 @@ func (c *servedClient) runOne(k complexobj.ModelKind, q cobench.Query, w cobench
 // attempt: connection errors and 503 (the server shedding load, which
 // also counts toward the shed column).
 func (c *servedClient) tryOne(k complexobj.ModelKind, q cobench.Query, w cobench.Workload) (_ complexobj.QueryResult, retryable bool, _ error) {
-	params := url.Values{}
-	params.Set("model", k.String())
-	params.Set("query", q.String())
-	params.Set("loops", fmt.Sprint(w.Loops))
-	params.Set("samples", fmt.Sprint(w.Samples))
-	params.Set("seed", fmt.Sprint(w.Seed))
+	params := server.RunSpecFor(k, q, w).Values()
 	start := time.Now()
 	resp, err := c.hc.Get(c.base + "/run?" + params.Encode())
 	if err != nil {

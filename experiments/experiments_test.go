@@ -3,6 +3,7 @@ package experiments
 import (
 	"math"
 	"os"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -517,6 +518,45 @@ func TestIndexAblation(t *testing.T) {
 	tbl := RenderIndexAblation(a)
 	if len(tbl.Rows) != len(a.Rows) {
 		t.Error("render lost rows")
+	}
+}
+
+// TestIndexAblationAndTable7Golden pins the rendered index ablation and
+// Table 7 rows bit-for-bit. Both tables exercise the NSM+index probe path
+// (counted B+-tree descents and the groupRIDs scratch), so any change to
+// the decode or index-probe code that shifts a single counter shows up
+// here as a cell diff. The values are backend-invariant: counters are
+// logical, so mem, file and cow report the same digits.
+func TestIndexAblationAndTable7Golden(t *testing.T) {
+	a, err := paperSuite(t).IndexAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAblation := [][]string{
+		{"1a", "5.950", "15.12", "14.57", "26.75"},
+		{"1b", "104.4", "14.60", "113.4", "27.60"},
+		{"2a", "26.88", "48.55", "46.20", "110.3"},
+		{"2b", "1.757", "2.167", "43.74", "104.5"},
+		{"3b", "2.117", "2.527", "78.89", "209.5"},
+	}
+	if got := RenderIndexAblation(a).Rows; !reflect.DeepEqual(got, wantAblation) {
+		t.Errorf("index ablation rows changed:\ngot  %v\nwant %v", got, wantAblation)
+	}
+	if a.IndexPages != 344 || a.TreeHeight != 2 {
+		t.Errorf("index footprint: %d pages, height %d (want 344, 2)", a.IndexPages, a.TreeHeight)
+	}
+	rows, err := paperSuite(t).Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT7 := [][]string{
+		{"DSM", "75.78", "51.89", "100.6", "53.94"},
+		{"DASDBS-DSM", "41.60", "19.67", "55.00", "20.79"},
+		{"NSM+index", "26.88", "1.757", "30.48", "1.747"},
+		{"DASDBS-NSM", "25.73", "1.900", "30.52", "2.013"},
+	}
+	if got := RenderTable7(rows).Rows; !reflect.DeepEqual(got, wantT7) {
+		t.Errorf("Table 7 rows changed:\ngot  %v\nwant %v", got, wantT7)
 	}
 }
 

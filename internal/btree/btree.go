@@ -64,6 +64,7 @@ func New(dev *disk.Disk, pool *buffer.Pool) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
+	pool.MarkDirty(f)
 	initNode(f.Data, true)
 	pool.Unfix(pid, true)
 	return t, nil
@@ -307,6 +308,7 @@ func (t *Tree) insertAt(pid disk.PageID, key, value uint64) (splitResult, error)
 	n := count(f.Data)
 	i := lowerBound(f.Data, res.sep, internalEntry, internalKey)
 	if n < t.internalCap {
+		t.pool.MarkDirty(f) // promotes a borrowed frame before mutation
 		shiftEntries(f.Data, i, n, internalEntry)
 		setInternalEntry(f.Data, i, res.sep, res.child)
 		setCount(f.Data, n+1)
@@ -344,6 +346,7 @@ func (t *Tree) insertLeaf(pid disk.PageID, f *buffer.Frame, key, value uint64) (
 		return splitResult{}, fmt.Errorf("%w: %d", ErrDuplicate, key)
 	}
 	if n < t.leafCap {
+		t.pool.MarkDirty(f) // promotes a borrowed frame before mutation
 		shiftEntries(f.Data, i, n, leafEntry)
 		setLeafEntry(f.Data, i, key, value)
 		setCount(f.Data, n+1)
@@ -387,6 +390,7 @@ func (t *Tree) splitLeaf(pid disk.PageID, f *buffer.Frame, i int, key, value uin
 			t.pool.Unfix(pid, false)
 			return splitResult{}, err
 		}
+		t.pool.MarkDirty(f)
 		initNode(f.Data, false)
 		setInternalEntry(f.Data, 0, keys[mid-1], leftPid)
 		setCount(f.Data, 1)
@@ -409,6 +413,7 @@ func (t *Tree) splitLeaf(pid disk.PageID, f *buffer.Frame, i int, key, value uin
 		t.pool.Unfix(pid, false)
 		return splitResult{}, err
 	}
+	t.pool.MarkDirty(rf)
 	initNode(rf.Data, true)
 	for j := mid; j < len(keys); j++ {
 		setLeafEntry(rf.Data, j-mid, keys[j], vals[j])
@@ -417,6 +422,7 @@ func (t *Tree) splitLeaf(pid disk.PageID, f *buffer.Frame, i int, key, value uin
 	setRightPtr(rf.Data, rightPtr(f.Data))
 	t.pool.Unfix(rightPid, true)
 
+	t.pool.MarkDirty(f)
 	for j := 0; j < mid; j++ {
 		setLeafEntry(f.Data, j, keys[j], vals[j])
 	}
@@ -467,6 +473,7 @@ func (t *Tree) splitInternal(pid disk.PageID, f *buffer.Frame, i int, sep uint64
 			t.pool.Unfix(pid, false)
 			return splitResult{}, err
 		}
+		t.pool.MarkDirty(f)
 		initNode(f.Data, false)
 		setInternalEntry(f.Data, 0, keys[mid-1], leftPid)
 		setCount(f.Data, 1)
@@ -486,6 +493,7 @@ func (t *Tree) splitInternal(pid disk.PageID, f *buffer.Frame, i int, sep uint64
 		t.pool.Unfix(pid, false)
 		return splitResult{}, err
 	}
+	t.pool.MarkDirty(rf)
 	initNode(rf.Data, false)
 	remain := keys[mid:]
 	remainKids := kids[mid:]
@@ -496,6 +504,7 @@ func (t *Tree) splitInternal(pid disk.PageID, f *buffer.Frame, i int, sep uint64
 	setRightPtr(rf.Data, remainKids[len(remain)])
 	t.pool.Unfix(rightPid, true)
 
+	t.pool.MarkDirty(f)
 	for j := 0; j < mid-1; j++ {
 		setInternalEntry(f.Data, j, keys[j], kids[j])
 	}
@@ -528,6 +537,7 @@ func (t *Tree) fillLeafPair(leftPid, rightPid disk.PageID, keys, vals []uint64, 
 	if err != nil {
 		return err
 	}
+	t.pool.MarkDirty(lf)
 	initNode(lf.Data, true)
 	for j := 0; j < mid; j++ {
 		setLeafEntry(lf.Data, j, keys[j], vals[j])
@@ -540,6 +550,7 @@ func (t *Tree) fillLeafPair(leftPid, rightPid disk.PageID, keys, vals []uint64, 
 	if err != nil {
 		return err
 	}
+	t.pool.MarkDirty(rf)
 	initNode(rf.Data, true)
 	for j := mid; j < len(keys); j++ {
 		setLeafEntry(rf.Data, j-mid, keys[j], vals[j])
@@ -554,6 +565,7 @@ func (t *Tree) fillInternalPair(leftPid, rightPid disk.PageID, keys []uint64, ki
 	if err != nil {
 		return err
 	}
+	t.pool.MarkDirty(lf)
 	initNode(lf.Data, false)
 	for j := 0; j < mid-1; j++ {
 		setInternalEntry(lf.Data, j, keys[j], kids[j])
@@ -566,6 +578,7 @@ func (t *Tree) fillInternalPair(leftPid, rightPid disk.PageID, keys []uint64, ki
 	if err != nil {
 		return err
 	}
+	t.pool.MarkDirty(rf)
 	initNode(rf.Data, false)
 	remain := keys[mid:]
 	remainKids := kids[mid:]

@@ -135,9 +135,11 @@ func TestFlushZeroAllocs(t *testing.T) {
 			p := New(d, pages, LRU)
 			dirtyAll := func() {
 				for i := 0; i < pages; i++ {
-					if _, err := p.Fix(disk.PageID(i)); err != nil {
+					f, err := p.Fix(disk.PageID(i))
+					if err != nil {
 						t.Fatal(err)
 					}
+					p.MarkDirty(f)
 					if err := p.Unfix(disk.PageID(i), true); err != nil {
 						t.Fatal(err)
 					}
@@ -160,14 +162,22 @@ func TestFlushZeroAllocs(t *testing.T) {
 	}
 }
 
+// opaqueBackend hides the optional capabilities of the backend it wraps:
+// interface embedding promotes only Backend's method set, so the wrapper
+// is neither a flat backend nor a disk.StablePager even when the inner
+// backend is. Tests use it to force the pool onto the buffered copy path.
+type opaqueBackend struct{ disk.Backend }
+
 // TestBufferMemoryRecycled asserts eviction returns page buffers to the
 // free-list instead of abandoning them to the garbage collector: after
 // churning many pages through a small pool, the pool should not be holding
-// more distinct page buffers than its capacity plus the free-list.
+// more distinct page buffers than its capacity plus the free-list. The
+// backend is wrapped opaque so every load actually takes a pool buffer —
+// zero-copy backends hand out no buffers at all (TestBufferBorrowsSharedPages).
 func TestBufferMemoryRecycled(t *testing.T) {
 	const pages = 128
 	const capacity = 4
-	d := disk.New(disk.DefaultPageSize)
+	d := disk.NewWithBackend(disk.DefaultPageSize, opaqueBackend{disk.NewMemBackend()})
 	if _, err := d.Allocate(pages); err != nil {
 		t.Fatal(err)
 	}
@@ -178,6 +188,9 @@ func TestBufferMemoryRecycled(t *testing.T) {
 			f, err := p.Fix(disk.PageID(i))
 			if err != nil {
 				t.Fatal(err)
+			}
+			if f.Borrowed() {
+				t.Fatal("opaque backend produced a borrowed frame")
 			}
 			seen[&f.Data[0]] = true
 			if err := p.Unfix(disk.PageID(i), false); err != nil {
@@ -202,10 +215,14 @@ func TestDropDiscardsWithoutIO(t *testing.T) {
 	}
 	p := New(d, 4, LRU)
 	for i := 0; i < 3; i++ {
-		if _, err := p.Fix(disk.PageID(i)); err != nil {
+		f, err := p.Fix(disk.PageID(i))
+		if err != nil {
 			t.Fatal(err)
 		}
-		if err := p.Unfix(disk.PageID(i), i == 1); err != nil { // page 1 dirty
+		if i == 1 {
+			p.MarkDirty(f) // page 1 dirty
+		}
+		if err := p.Unfix(disk.PageID(i), i == 1); err != nil {
 			t.Fatal(err)
 		}
 	}

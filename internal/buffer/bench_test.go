@@ -105,7 +105,7 @@ func BenchmarkDirtyEvictChurn(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		_ = f
+		p.MarkDirty(f)
 		if err := p.Unfix(id, true); err != nil {
 			b.Fatal(err)
 		}
@@ -122,9 +122,11 @@ func BenchmarkFlushAll(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		for id := 0; id < pages; id += 4 {
-			if _, err := p.Fix(disk.PageID(id)); err != nil {
+			f, err := p.Fix(disk.PageID(id))
+			if err != nil {
 				b.Fatal(err)
 			}
+			p.MarkDirty(f)
 			if err := p.Unfix(disk.PageID(id), true); err != nil {
 				b.Fatal(err)
 			}

@@ -38,18 +38,31 @@ var (
 	ErrNoFrames = errors.New("buffer: all frames pinned")
 	// ErrNotFixed reports an Unfix of a page that is not pinned.
 	ErrNotFixed = errors.New("buffer: page not fixed")
+	// ErrBorrowedWrite reports a dirty Unfix of a frame still borrowed
+	// from backend memory — the caller modified a page without calling
+	// MarkDirty first.
+	ErrBorrowedWrite = errors.New("buffer: dirty unfix of borrowed frame (MarkDirty before writing)")
 )
 
 // Frame is a cached page. Data is the raw page image (including the 36-byte
 // system header area); callers slice out the payload themselves. A Frame
 // (and its Data) is only valid while the caller holds a pin on it: after
 // Unfix the frame may be evicted and its memory recycled for another page.
+//
+// A frame loaded from a backend that supports zero-copy reads
+// (disk.StablePager) starts out borrowed: Data aliases backend memory
+// instead of a private pool buffer. Borrowed data is read-only — callers
+// that intend to modify a page must call Pool.MarkDirty first, which
+// promotes the frame to an owned copy and replaces Data (so the page
+// must be re-sliced afterwards). Unfixing a still-borrowed frame as
+// dirty is an error: it means something wrote through the borrow.
 type Frame struct {
-	ID    disk.PageID
-	Data  []byte
-	pins  int
-	dirty bool
-	ref   bool // Clock reference bit
+	ID       disk.PageID
+	Data     []byte
+	pins     int
+	dirty    bool
+	borrowed bool // Data aliases backend memory; read-only until promoted
+	ref      bool // Clock reference bit
 
 	prev, next   *Frame // LRU list links (most recent at head)
 	dprev, dnext *Frame // intrusive dirty list links (insertion order)
@@ -57,6 +70,10 @@ type Frame struct {
 
 // Dirty reports whether the frame holds unwritten modifications.
 func (f *Frame) Dirty() bool { return f.dirty }
+
+// Borrowed reports whether Data still aliases backend memory (zero-copy
+// fix not yet promoted by MarkDirty).
+func (f *Frame) Borrowed() bool { return f.borrowed }
 
 // Pool is the buffer manager.
 type Pool struct {
@@ -79,13 +96,16 @@ type Pool struct {
 	freeData   [][]byte // recycled page buffers of evicted frames
 	freeFrames []*Frame // recycled Frame structs of evicted frames
 
-	scratch  []*Frame      // victim collection for flush/burst (reused)
-	readBufs [][]byte      // ReadRun argument scratch (reused)
-	ioBufs   [][]byte      // WriteRun argument scratch (reused)
-	ids      []disk.PageID // sorted-id scratch for FixRun/FlushPages (reused)
+	scratch      []*Frame      // victim collection for flush/burst (reused)
+	views        [][]byte      // ReadRunShared result scratch (reused)
+	viewBorrowed []bool        // ReadRunShared borrow flags scratch (reused)
+	ioBufs       [][]byte      // WriteRun argument scratch (reused)
+	ids          []disk.PageID // sorted-id scratch for FixRun/FlushPages (reused)
+	getBufFn     func() []byte // bound getBuf, built once (avoids per-read closures)
 
-	fixes int64
-	hits  int64
+	fixes   int64
+	hits    int64
+	borrows int64
 }
 
 // New creates a pool of capacity page frames backed by dev.
@@ -93,11 +113,13 @@ func New(dev *disk.Disk, capacity int, policy Policy) *Pool {
 	if capacity <= 0 {
 		panic("buffer: non-positive capacity")
 	}
-	return &Pool{
+	p := &Pool{
 		dev:      dev,
 		capacity: capacity,
 		policy:   policy,
 	}
+	p.getBufFn = p.getBuf
+	return p
 }
 
 // Capacity returns the pool size in pages.
@@ -131,6 +153,15 @@ func (p *Pool) Hits() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.hits
+}
+
+// Borrows returns how many page loads were satisfied zero-copy (frame
+// data borrowed from backend memory instead of copied into pool
+// buffers). Diagnostics only — no paper counter depends on it.
+func (p *Pool) Borrows() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.borrows
 }
 
 // ResetStats zeroes the fix/hit counters (disk counters are reset on the
@@ -298,8 +329,9 @@ func (p *Pool) getFrame() *Frame {
 
 // loadRun reads a contiguous run of n absent pages starting at start with
 // one disk call and installs them unpinned (the caller pins them right
-// after). Frame memory comes from the free-lists, so in steady state this
-// allocates nothing.
+// after). Pages the backend can share arrive borrowed (Frame.Data aliases
+// backend memory, no copy); the rest are filled into free-list buffers,
+// so in steady state this allocates nothing either way.
 func (p *Pool) loadRun(start disk.PageID, n int) error {
 	// Make room first so that eviction never kicks out a page of this run.
 	for p.resident+n > p.capacity {
@@ -307,27 +339,44 @@ func (p *Pool) loadRun(start disk.PageID, n int) error {
 			return err
 		}
 	}
-	bufs := p.readBufs[:0]
-	for i := 0; i < n; i++ {
-		bufs = append(bufs, p.getBuf())
+	views, borrowed := p.views, p.viewBorrowed
+	for len(views) < n {
+		views = append(views, nil)
+		borrowed = append(borrowed, false)
 	}
-	p.readBufs = bufs[:0]
-	if err := p.dev.ReadRun(start, bufs); err != nil {
-		// Return the buffers rather than leaking them.
-		p.freeData = append(p.freeData, bufs...)
+	views, borrowed = views[:n], borrowed[:n]
+	if err := p.dev.ReadRunShared(start, views, borrowed, p.getBufFn); err != nil {
+		// Reclaim the private buffers the device had already handed out;
+		// borrowed entries are the backend's memory and just get dropped.
+		for i := range views {
+			if views[i] != nil && !borrowed[i] {
+				p.freeData = append(p.freeData, views[i])
+			}
+			views[i] = nil
+		}
+		p.views, p.viewBorrowed = views[:0], borrowed[:0]
 		return err
 	}
 	for i := 0; i < n; i++ {
 		f := p.getFrame()
 		f.ID = start + disk.PageID(i)
-		f.Data = bufs[i]
+		f.Data = views[i]
+		f.borrowed = borrowed[i]
+		if borrowed[i] {
+			p.borrows++
+		}
+		views[i] = nil
 		p.install(f)
 	}
+	p.views, p.viewBorrowed = views[:0], borrowed[:0]
 	return nil
 }
 
 // Unfix releases one pin on the page; dirty marks the page modified so it
-// is written back before leaving the pool.
+// is written back before leaving the pool. A dirty Unfix of a frame that
+// is still borrowed is an error: the writer skipped MarkDirty, so its
+// modifications went through (or raced with) shared backend memory. The
+// frame is unpinned either way.
 func (p *Pool) Unfix(id disk.PageID, dirty bool) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -337,9 +386,37 @@ func (p *Pool) Unfix(id disk.PageID, dirty bool) error {
 	}
 	f.pins--
 	if dirty {
+		if f.borrowed {
+			return fmt.Errorf("%w: page %d", ErrBorrowedWrite, id)
+		}
 		p.markDirty(f)
 	}
 	return nil
+}
+
+// MarkDirty declares the intent to modify the pinned frame: it promotes a
+// borrowed frame to an owned private copy and puts the frame on the dirty
+// list. Callers must invoke it BEFORE writing and must re-derive any page
+// wrapper from f.Data afterwards — promotion replaces the slice. Calling
+// it on an already-owned frame just marks it dirty (idempotent), so write
+// paths need no borrowed/owned branching of their own.
+func (p *Pool) MarkDirty(f *Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.promote(f)
+	p.markDirty(f)
+}
+
+// promote turns a borrowed frame into an owned one by copying the page
+// into pool memory. No-op for owned frames.
+func (p *Pool) promote(f *Frame) {
+	if !f.borrowed {
+		return
+	}
+	buf := p.getBuf()
+	copy(buf, f.Data)
+	f.Data = buf
+	f.borrowed = false
 }
 
 // --- dirty list -------------------------------------------------------------
@@ -402,10 +479,18 @@ func (p *Pool) evictOne() error {
 	p.remove(f)
 	p.index[f.ID] = nil
 	p.resident--
-	p.freeData = append(p.freeData, f.Data)
+	p.recycle(f)
+	return nil
+}
+
+// recycle returns an evicted frame's memory to the free lists. Borrowed
+// Data is backend memory, not the pool's to reuse — it is simply let go.
+func (p *Pool) recycle(f *Frame) {
+	if !f.borrowed {
+		p.freeData = append(p.freeData, f.Data)
+	}
 	*f = Frame{}
 	p.freeFrames = append(p.freeFrames, f)
-	return nil
 }
 
 // writeVictims writes the frames in p.scratch back to disk, batching
@@ -526,9 +611,7 @@ func (p *Pool) Drop(ids []disk.PageID) error {
 		p.remove(f)
 		p.index[f.ID] = nil
 		p.resident--
-		p.freeData = append(p.freeData, f.Data)
-		*f = Frame{}
-		p.freeFrames = append(p.freeFrames, f)
+		p.recycle(f)
 	}
 	return nil
 }
@@ -574,9 +657,7 @@ func (p *Pool) empty(flush bool) error {
 	}
 	for _, f := range residents {
 		p.index[f.ID] = nil
-		p.freeData = append(p.freeData, f.Data)
-		*f = Frame{}
-		p.freeFrames = append(p.freeFrames, f)
+		p.recycle(f)
 	}
 	p.resident = 0
 	p.head, p.tail = nil, nil

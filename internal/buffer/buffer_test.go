@@ -46,6 +46,7 @@ func TestDirtyWriteBackOnFlush(t *testing.T) {
 	d, p := newEnv(t, 4, LRU)
 	d.Allocate(1)
 	f := mustFix(t, p, 0)
+	p.MarkDirty(f)
 	f.Data[disk.SysHeaderSize] = 0xAB
 	p.Unfix(0, true)
 	if d.Stats().PagesWritten != 0 {
@@ -73,7 +74,8 @@ func TestFlushGroupsContiguousRuns(t *testing.T) {
 	d, p := newEnv(t, 8, LRU)
 	d.Allocate(8)
 	for _, id := range []disk.PageID{0, 1, 2, 5, 6} {
-		mustFix(t, p, id)
+		f := mustFix(t, p, id)
+		p.MarkDirty(f)
 		p.Unfix(id, true)
 	}
 	if err := p.FlushAll(); err != nil {
@@ -110,6 +112,7 @@ func TestEvictionWritesDirtyVictim(t *testing.T) {
 	d, p := newEnv(t, 1, LRU)
 	d.Allocate(2)
 	f := mustFix(t, p, 0)
+	p.MarkDirty(f)
 	f.Data[disk.SysHeaderSize] = 7
 	p.Unfix(0, true)
 	mustFix(t, p, 1)
@@ -248,6 +251,7 @@ func TestReset(t *testing.T) {
 	d, p := newEnv(t, 4, LRU)
 	d.Allocate(2)
 	f := mustFix(t, p, 0)
+	p.MarkDirty(f)
 	f.Data[disk.SysHeaderSize] = 9
 	p.Unfix(0, true)
 	if err := p.Reset(); err != nil {
@@ -346,6 +350,7 @@ func TestRandomTrafficPreservesContent(t *testing.T) {
 				dirty := rng.Bool(0.3)
 				if dirty {
 					shadow[id]++
+					p.MarkDirty(f)
 					f.Data[disk.SysHeaderSize] = shadow[id]
 				}
 				if err := p.Unfix(id, dirty); err != nil {
@@ -384,6 +389,7 @@ func TestWriteBurstBatchesDirtyPages(t *testing.T) {
 	d.Allocate(8)
 	for _, id := range []disk.PageID{0, 1, 2, 3} {
 		f := mustFix(t, p, id)
+		p.MarkDirty(f)
 		f.Data[disk.SysHeaderSize] = byte(id)
 		p.Unfix(id, true)
 	}
@@ -414,8 +420,10 @@ func TestWriteBurstSkipsPinnedPages(t *testing.T) {
 	d, p := newEnv(t, 3, LRU)
 	d.Allocate(5)
 	fp := mustFix(t, p, 0) // pinned and dirty
+	p.MarkDirty(fp)
 	fp.Data[disk.SysHeaderSize] = 9
 	f1 := mustFix(t, p, 1)
+	p.MarkDirty(f1)
 	f1.Data[disk.SysHeaderSize] = 1
 	p.Unfix(1, true)
 	mustFix(t, p, 2)

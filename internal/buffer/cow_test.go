@@ -36,6 +36,7 @@ func TestPoolObservesCOWOverlay(t *testing.T) {
 	if !bytes.Equal(f.Data, pristine[3*ps:4*ps]) {
 		t.Fatal("fix does not read through to the base")
 	}
+	p.MarkDirty(f)
 	copy(f.Data, "overlay image")
 	if err := p.Unfix(3, true); err != nil {
 		t.Fatal(err)

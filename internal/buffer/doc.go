@@ -43,11 +43,36 @@
 // free lists either way, so a recycled engine's next request allocates
 // nothing on the buffer hot path.
 //
-// Frames hold private copies of page bytes (filled by the device's
-// ReadRun), never aliases of backend memory. That makes the pool
-// backend-agnostic: a frame dirtied and flushed over a copy-on-write
-// backend lands in the engine's private overlay, and a re-fix observes
-// that overlay through the ordinary read path. The pool itself is safe
-// for concurrent use via one mutex, but the harness gives every worker a
-// private engine, so the mutex is uncontended on the hot path.
+// # Borrowed frames and the write contract
+//
+// Over a backend with the disk.StablePager capability, a fix miss does
+// not copy the page at all: the frame's Data aliases backend memory
+// directly (a base-arena page or a materialized overlay image), and the
+// frame is marked borrowed. Over any other backend the frame holds a
+// private copy as before. Both cases are reached through the same
+// Fix/FixRun calls and count the same fixes, misses, I/O calls and page
+// transfers — zero-copy is invisible to the paper's accounting.
+//
+// Borrowing shifts one obligation onto writers: a borrowed Data slice is
+// shared, possibly with every sibling view of the same frozen base, so it
+// must never be written through. The pool enforces copy-on-first-write at
+// the frame level:
+//
+//   - MarkDirty(f) promotes a borrowed frame — Data is replaced by a
+//     private copy of the page — and marks it dirty. On an already-owned
+//     frame it is idempotent and merely marks dirty. Writers call it
+//     BEFORE the first mutation and re-derive any pointers into f.Data
+//     afterwards, since promotion replaces the slice.
+//   - Unfix(id, dirty=true) on a still-borrowed frame is refused with
+//     ErrBorrowedWrite (the pin is still released). This turns a writer
+//     that skipped MarkDirty into a loud test failure instead of silent
+//     corruption of the shared base.
+//
+// Eviction, Drop, Discard and view recycling simply forget a borrowed
+// slice (it belongs to the backend, not the pool's buffer free-list);
+// the store layer drops all borrows via Discard before resetting the
+// device underneath, so no frame outlives the memory it aliases. The
+// pool itself is safe for concurrent use via one mutex, but the harness
+// gives every worker a private engine, so the mutex is uncontended on
+// the hot path.
 package buffer

@@ -44,6 +44,26 @@ type flatBackend interface {
 	Bytes() []byte
 }
 
+// StablePager is the optional zero-copy read capability. A backend
+// implements it when it can hand out a read-only slice of arena bytes
+// whose memory stays valid — and keeps reflecting the backend's content
+// for that range as written through this backend — until the backend is
+// reset (COW views) or closed. Growth must not invalidate stable slices:
+// backends that move their arena on Grow either retain the old memory
+// (mmap'ed arenas retire superseded mappings until Close) or rely on the
+// garbage collector (heap arenas), in which case a stale slice still
+// holds the bytes it was handed, exactly as a private copy would.
+//
+// StablePage returns the n bytes at offset off, or ok=false when this
+// particular range cannot be shared (spans a COW page boundary, lies
+// beyond materialized storage, or — for fault-injecting wrappers — must
+// keep flowing through ReadAt so scheduled faults still fire). Callers
+// must treat the slice as read-only; writing through it would bypass
+// both write accounting and copy-on-write materialization.
+type StablePager interface {
+	StablePage(off, n int) ([]byte, bool)
+}
+
 // checkRange validates a [off, off+n) access against an arena of l bytes.
 func checkRange(off, n, l int) error {
 	if off < 0 || n < 0 || off+n > l {
@@ -101,6 +121,17 @@ func (b *memBackend) WriteAt(p []byte, off int) error {
 
 func (b *memBackend) Flush() error { return nil }
 func (b *memBackend) Close() error { b.arena = nil; return nil }
+
+// StablePage implements StablePager over the heap arena. A Grow past the
+// arena's capacity moves it, after which an outstanding slice keeps the
+// old memory alive (GC-held) with the bytes it had when handed out —
+// copy-equivalent staleness, which is all the contract promises.
+func (b *memBackend) StablePage(off, n int) ([]byte, bool) {
+	if off < 0 || n <= 0 || off+n > len(b.arena) {
+		return nil, false
+	}
+	return b.arena[off : off+n : off+n], true
+}
 
 // BackendKind enumerates the built-in backend implementations.
 type BackendKind int

@@ -221,6 +221,31 @@ func (b *cowBackend) WriteAt(p []byte, off int) error {
 // private view), and the base is immutable.
 func (b *cowBackend) Flush() error { return nil }
 
+// StablePage implements StablePager: a materialized page shares its
+// overlay image, an unmaterialized one inside the base shares the base
+// bytes directly — the zero-copy read path the whole COW design exists
+// for. Grown-but-unwritten tail pages (which read as zero) and ranges
+// spanning a page boundary stay on ReadAt. Overlay images are recycled by
+// reset(), so the stability contract's reset clause is load-bearing here:
+// every borrower must be gone before the view resets (the pool's
+// Discard-before-ResetView ordering).
+func (b *cowBackend) StablePage(off, n int) ([]byte, bool) {
+	if off < 0 || n <= 0 || off+n > b.size {
+		return nil, false
+	}
+	pg, po := off/b.gran, off%b.gran
+	if po+n > b.gran {
+		return nil, false
+	}
+	if img := b.overlayPage(pg); img != nil {
+		return img[po : po+n : po+n], true
+	}
+	if base := b.base.Bytes(); off+n <= len(base) {
+		return base[off : off+n : off+n], true
+	}
+	return nil, false
+}
+
 // reset drops every overlay page and truncates growth past the base, so
 // the backend reads as the pristine shared base again. The overlay index
 // keeps its capacity and the page images move to a free list (view

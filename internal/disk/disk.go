@@ -47,7 +47,8 @@ type Disk struct {
 	pageSize int
 	numPages int
 	backend  Backend
-	flat     []byte // contiguous arena fast path (nil for layered backends)
+	flat     []byte      // contiguous arena fast path (nil for layered backends)
+	stable   StablePager // zero-copy read capability (nil when unsupported)
 	stats    iostat.Stats
 	retry    RetryPolicy
 	retries  int64 // backend read retries performed (diagnostics)
@@ -94,6 +95,7 @@ func (d *Disk) refreshFlat() {
 	} else {
 		d.flat = nil
 	}
+	d.stable, _ = d.backend.(StablePager)
 }
 
 // Backend exposes the storage substrate (diagnostics and memory
@@ -168,6 +170,59 @@ func (d *Disk) ReadRun(start PageID, dst [][]byte) error {
 	}
 	d.stats.ReadCalls++
 	d.stats.PagesRead += int64(len(dst))
+	return nil
+}
+
+// ReadRunShared reads len(views) contiguous pages starting at start with
+// a single counted I/O call, like ReadRun, but without copying pages the
+// backend can share: views[i] either aliases backend-stable page memory
+// (borrowed[i] = true) or is a page-sized buffer obtained from getBuf and
+// filled with a private copy (borrowed[i] = false). Borrowed slices are
+// read-only and stay valid until the backend is reset or closed — the
+// buffer pool must drop every borrow before either happens (the
+// Discard-before-ResetView ordering of view recycling).
+//
+// Accounting is identical to ReadRun — one read call, len(views) pages —
+// so zero-copy is invisible to every paper counter. On error, entries
+// already holding getBuf buffers keep them (borrowed[i] = false) and all
+// remaining entries are nil, so the caller can reclaim its buffers.
+func (d *Disk) ReadRunShared(start PageID, views [][]byte, borrowed []bool, getBuf func() []byte) error {
+	if len(views) == 0 {
+		return ErrBadRun
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(start)+len(views) > d.numPages {
+		return fmt.Errorf("%w: read [%d,%d) of %d", ErrOutOfRange, start, int(start)+len(views), d.numPages)
+	}
+	fail := func(from int) {
+		for i := from; i < len(views); i++ {
+			views[i], borrowed[i] = nil, false
+		}
+	}
+	for i := range views {
+		off := (int(start) + i) * d.pageSize
+		if d.stable != nil {
+			if s, ok := d.stable.StablePage(off, d.pageSize); ok {
+				views[i], borrowed[i] = s, true
+				continue
+			}
+		}
+		buf := getBuf()
+		views[i], borrowed[i] = buf, false
+		if len(buf) != d.pageSize {
+			fail(i + 1)
+			return fmt.Errorf("%w: page %d buffer has size %d, want %d", ErrBadBuffer, int(start)+i, len(buf), d.pageSize)
+		}
+		if d.flat != nil {
+			copy(buf, d.page(int(start)+i))
+		} else if err := d.readBackend(buf, off); err != nil {
+			fail(i + 1)
+			return err
+		}
+	}
+	d.stats.ReadCalls++
+	d.stats.PagesRead += int64(len(views))
 	return nil
 }
 

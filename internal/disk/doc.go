@@ -74,6 +74,28 @@
 // Backends change only the storage substrate — allocation, run transfers
 // and the I/O counters are identical across backends by construction.
 //
+// # Stable pages (zero-copy reads)
+//
+// Backends whose page images live at stable addresses additionally
+// implement StablePager: StablePage(off, n) returns a read-only slice
+// aliasing the backend's own memory for a range inside one page. The
+// slice is a live view, not a snapshot — it stays valid (and observes
+// later writes through the device) until the backend is reset or closed;
+// growth never moves existing pages. The mem and file backends serve
+// stable pages from their arenas; the cow backend serves a materialized
+// page from its private overlay image and a clean page from the shared
+// base arena itself, which is what lets every view of one frozen base
+// read the same physical bytes. Fault-injecting wrappers deliberately
+// withhold the capability on pages their schedule targets, so faults
+// cannot be bypassed through an alias.
+//
+// Disk.ReadRunShared is the counted entry point: for each page of a run
+// it hands out a stable alias where the backend offers one and falls
+// back to a caller-provided copy buffer where it does not, while
+// incrementing ReadCalls and PagesRead exactly like ReadRun — callers
+// above (the buffer pool's borrowed frames) inherit zero-copy reads
+// without any change to the paper-visible counters.
+//
 // Disk.ResetView is the COW-only recycling hook: it drops every overlay
 // page and truncates growth past the base, restoring the device to the
 // pristine shared state so a request-scoped view can serve its next

@@ -16,11 +16,12 @@ import (
 // MAP_SHARED: stores land in the page cache immediately and Flush/Close
 // force them to the device with msync.
 type fileBackend struct {
-	f      *os.File
-	path   string
-	opts   FileBackendOptions
-	mapped []byte // the whole mapped extent capacity
-	size   int    // logical arena length (<= len(mapped))
+	f       *os.File
+	path    string
+	opts    FileBackendOptions
+	mapped  []byte   // the whole mapped extent capacity
+	size    int      // logical arena length (<= len(mapped))
+	retired [][]byte // superseded mappings kept alive for stable slices
 }
 
 // OpenFileBackend opens (creating if absent) a file-backed arena. An
@@ -49,11 +50,18 @@ func OpenFileBackend(path string, opts FileBackendOptions) (Backend, error) {
 // remap grows the file to cap bytes and maps it, replacing any previous
 // mapping. ftruncate zero-fills the extension, so fresh pages read as
 // zeroes just like heap allocation.
+//
+// The superseded mapping is retired, not unmapped: stable slices handed
+// out through StablePage may still point into it, and munmap would turn
+// them into SIGSEGVs. Retired mappings are MAP_SHARED views of the same
+// file, so they keep observing every write through the live mapping (the
+// kernel backs all of them with the same page-cache pages); they cost
+// address space, not memory, and are released on Close. Grow doubles the
+// capacity, so the retained address space is bounded by the final arena
+// size.
 func (b *fileBackend) remap(capBytes int) error {
 	if b.mapped != nil {
-		if err := syscall.Munmap(b.mapped); err != nil {
-			return fmt.Errorf("disk: munmap arena: %w", err)
-		}
+		b.retired = append(b.retired, b.mapped)
 		b.mapped = nil
 	}
 	if err := b.f.Truncate(int64(capBytes)); err != nil {
@@ -73,7 +81,14 @@ func (b *fileBackend) Len() int      { return b.size }
 
 func (b *fileBackend) Grow(n int) error {
 	if n > len(b.mapped) {
-		if err := b.remap(roundUp(n, b.opts.extent())); err != nil {
+		// Double the capacity (still extent-aligned) so the number of
+		// retired mappings stays O(log n) and their summed address space
+		// stays under the final capacity.
+		capBytes := roundUp(n, b.opts.extent())
+		if min := 2 * len(b.mapped); capBytes < min {
+			capBytes = roundUp(min, b.opts.extent())
+		}
+		if err := b.remap(capBytes); err != nil {
 			return err
 		}
 	}
@@ -97,6 +112,17 @@ func (b *fileBackend) WriteAt(p []byte, off int) error {
 	}
 	copy(b.mapped[off:], p)
 	return nil
+}
+
+// StablePage implements StablePager over the live mapping. Slices stay
+// valid across Grow because superseded mappings are retired (see remap),
+// and — being MAP_SHARED views of the same file — keep reflecting writes
+// made through the current mapping.
+func (b *fileBackend) StablePage(off, n int) ([]byte, bool) {
+	if off < 0 || n <= 0 || off+n > b.size {
+		return nil, false
+	}
+	return b.mapped[off : off+n : off+n], true
 }
 
 func (b *fileBackend) Flush() error {
@@ -131,6 +157,10 @@ func (b *fileBackend) Close() error {
 		keep(syscall.Munmap(b.mapped))
 		b.mapped = nil
 	}
+	for _, m := range b.retired {
+		keep(syscall.Munmap(m))
+	}
+	b.retired = nil
 	keep(b.f.Truncate(int64(b.size)))
 	keep(b.f.Close())
 	keep(removeIfRequested(b.path, b.opts))

@@ -77,6 +77,15 @@ func (b *fileBackend) WriteAt(p []byte, off int) error {
 	return nil
 }
 
+// StablePage implements StablePager over the heap arena, with the same
+// copy-equivalent staleness across capacity growth as the memory backend.
+func (b *fileBackend) StablePage(off, n int) ([]byte, bool) {
+	if off < 0 || n <= 0 || off+n > len(b.arena) {
+		return nil, false
+	}
+	return b.arena[off : off+n : off+n], true
+}
+
 func (b *fileBackend) Flush() error {
 	if _, err := b.f.WriteAt(b.arena, 0); err != nil {
 		return fmt.Errorf("disk: write arena file: %w", err)

@@ -381,6 +381,26 @@ func (b *backend) Len() int     { return b.inner.Len() }
 func (b *backend) Flush() error { return b.inner.Flush() }
 func (b *backend) Close() error { return b.inner.Close() }
 
+// StablePage implements disk.StablePager by delegation, but never for a
+// page the fault schedule applies to: zero-copy borrows bypass ReadAt,
+// which is where read faults, short reads, poisoning and latency live, so
+// targeted pages must stay on the copying path to keep injecting. Pages
+// outside the spec's range never consulted the schedule (no random draws)
+// in ReadAt either, so sharing them leaves the fault stream and the op
+// counters exactly as they were.
+func (b *backend) StablePage(off, n int) ([]byte, bool) {
+	if b.in.spec.Enabled() {
+		if _, hit := b.target(off, n); hit {
+			return nil, false
+		}
+	}
+	sp, ok := b.inner.(disk.StablePager)
+	if !ok {
+		return nil, false
+	}
+	return sp.StablePage(off, n)
+}
+
 // target returns the first page of [off, off+n) the schedule applies to,
 // or ok=false when the access is outside the spec's page range (then the
 // operation passes through without consulting the schedule, keeping the

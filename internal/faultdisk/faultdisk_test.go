@@ -330,3 +330,45 @@ func TestFaultErrorText(t *testing.T) {
 		}
 	}
 }
+
+// TestStablePageSkipsFaultedRange pins the zero-copy/fault-injection
+// contract: pages the schedule applies to are never handed out as stable
+// slices (borrows would bypass ReadAt, where faults fire), pages outside
+// the range delegate to the inner backend without consulting the
+// schedule, and a wrapped backend without the capability shares nothing.
+func TestStablePageSkipsFaultedRange(t *testing.T) {
+	in := New(Spec{Read: 1, PageLo: 3, PageHi: 3})
+	inner := disk.NewMemBackend()
+	if err := inner.Grow(8 * testPage); err != nil {
+		t.Fatal(err)
+	}
+	b := in.Wrap(inner, testPage).(disk.StablePager)
+
+	if _, ok := b.StablePage(3*testPage, testPage); ok {
+		t.Error("faulted page handed out as a stable slice")
+	}
+	s, ok := b.StablePage(2*testPage, testPage)
+	if !ok {
+		t.Fatal("out-of-range page not delegated to the stable inner backend")
+	}
+	ws, _ := inner.(disk.StablePager).StablePage(2*testPage, testPage)
+	if &s[0] != &ws[0] {
+		t.Error("delegated stable slice does not alias the inner arena")
+	}
+	// Neither call consulted the schedule: no ops, no draws — the fault
+	// stream for later ReadAt calls is byte-for-byte what it would have
+	// been without the stable probes.
+	if c := in.Counters(); c.Ops != 0 {
+		t.Errorf("StablePage moved the op counter: %+v", c)
+	}
+	// The faulted page still injects through the copying path.
+	if err := b.(disk.Backend).ReadAt(make([]byte, testPage), 3*testPage); err == nil {
+		t.Error("faulted page did not inject after stable probes")
+	}
+
+	// A non-stable inner backend shares nothing, faulted or not.
+	plain := in.Wrap(&memBackend{data: make([]byte, 8*testPage)}, testPage).(disk.StablePager)
+	if _, ok := plain.StablePage(0, testPage); ok {
+		t.Error("wrapper invented a stable page over a non-stable inner backend")
+	}
+}

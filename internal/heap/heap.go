@@ -129,6 +129,7 @@ func (h *Heap) Insert(rec []byte) (RID, error) {
 	if err != nil {
 		return RID{}, err
 	}
+	h.pool.MarkDirty(f)
 	page.Wrap(f.Data).Init()
 	h.pool.Unfix(pid, true)
 	h.pages = append(h.pages, pid)
@@ -147,12 +148,12 @@ func (h *Heap) tryInsert(pid disk.PageID, rec []byte) (RID, bool, error) {
 	if err != nil {
 		return RID{}, false, err
 	}
-	p := page.Wrap(f.Data)
-	if !p.CanFit(len(rec)) {
+	if !page.Wrap(f.Data).CanFit(len(rec)) {
 		h.pool.Unfix(pid, false)
 		return RID{}, false, nil
 	}
-	slot, err := p.Insert(rec)
+	h.pool.MarkDirty(f) // promotes a borrowed frame; re-wrap below
+	slot, err := page.Wrap(f.Data).Insert(rec)
 	if err != nil {
 		h.pool.Unfix(pid, false)
 		return RID{}, false, err
@@ -203,14 +204,14 @@ func (h *Heap) Update(rid RID, rec []byte) error {
 	if err != nil {
 		return err
 	}
-	p := page.Wrap(f.Data)
-	old, err := p.Get(int(rid.Slot))
+	old, err := page.Wrap(f.Data).Get(int(rid.Slot))
 	if err != nil {
 		h.pool.Unfix(rid.Page, false)
 		return fmt.Errorf("heap %s: %w", h.name, err)
 	}
 	oldLen := len(old)
-	if err := p.Update(int(rid.Slot), rec); err != nil {
+	h.pool.MarkDirty(f) // promotes a borrowed frame; re-wrap below
+	if err := page.Wrap(f.Data).Update(int(rid.Slot), rec); err != nil {
 		h.pool.Unfix(rid.Page, false)
 		return fmt.Errorf("heap %s: %w", h.name, err)
 	}
@@ -228,14 +229,14 @@ func (h *Heap) Delete(rid RID) error {
 	if err != nil {
 		return err
 	}
-	p := page.Wrap(f.Data)
-	old, err := p.Get(int(rid.Slot))
+	old, err := page.Wrap(f.Data).Get(int(rid.Slot))
 	if err != nil {
 		h.pool.Unfix(rid.Page, false)
 		return fmt.Errorf("heap %s: %w", h.name, err)
 	}
 	oldLen := len(old)
-	if err := p.Delete(int(rid.Slot)); err != nil {
+	h.pool.MarkDirty(f) // promotes a borrowed frame; re-wrap below
+	if err := page.Wrap(f.Data).Delete(int(rid.Slot)); err != nil {
 		h.pool.Unfix(rid.Page, false)
 		return fmt.Errorf("heap %s: %w", h.name, err)
 	}

@@ -289,6 +289,9 @@ func (s *Store) visitPages(ids []disk.PageID, dirty bool, visit func(i int, payl
 			return err
 		}
 		for i, f := range frames {
+			if dirty {
+				s.pool.MarkDirty(f) // promotes a borrowed frame before visit mutates
+			}
 			visit(start+i, f.Data[disk.SysHeaderSize:])
 		}
 		for _, id := range ids[start:end] {

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"complexobj"
+	"complexobj/cobench"
+)
+
+// TestServeDriveAllocMeasure is the BENCH measurement harness, not a
+// gate: with COMPLEXOBJ_ALLOCS=1 it serves a paper-scale snapshot
+// (N=1500) to 8 concurrent clients driving every (model, query) cell
+// three times — the cobench -clients 8 drive, in process — and logs the
+// total bytes allocated across the drive (runtime.MemStats.TotalAlloc
+// delta). Client-side request/JSON allocation is included identically in
+// every run of this harness, so deltas between binaries compare the
+// serving path fairly.
+func TestServeDriveAllocMeasure(t *testing.T) {
+	if os.Getenv("COMPLEXOBJ_ALLOCS") == "" {
+		t.Skip("set COMPLEXOBJ_ALLOCS=1 to run the allocation measurement drive")
+	}
+	path, _ := buildSnapshot(t, 1500)
+	srv, err := New(Config{Snapshot: path, BufferPages: 1200, MaxViews: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	type cell struct{ model, query string }
+	var cells []cell
+	for rep := 0; rep < 3; rep++ {
+		for _, k := range complexobj.AllModels() {
+			for _, q := range cobench.AllQueries() {
+				cells = append(cells, cell{k.String(), q.String()})
+			}
+		}
+	}
+	work := make(chan cell, len(cells))
+	for _, c := range cells {
+		work <- c
+	}
+	close(work)
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hc := hs.Client()
+			for c := range work {
+				params := url.Values{"model": {c.model}, "query": {c.query}}
+				resp, err := hc.Get(hs.URL + "/run?" + params.Encode())
+				if err != nil {
+					errs <- err
+					return
+				}
+				var rr RunResponse
+				err = json.NewDecoder(resp.Body).Decode(&rr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("%s/%s: status %d", c.model, c.query, resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	alloc := after.TotalAlloc - before.TotalAlloc
+	t.Logf("serve-drive-alloc requests=%d bytes=%d (%.2f GB)",
+		len(cells), alloc, float64(alloc)/1e9)
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"complexobj"
+	"complexobj/cobench"
+)
+
+// benchServer builds a small served installation: snapshot every model,
+// open a Server over it and return its handler. The scale is deliberately
+// tiny — the benchmark measures the per-request serving overhead (view
+// acquire, run, recycle, JSON), not the query work itself.
+func benchServer(b *testing.B, n int) http.Handler {
+	b.Helper()
+	gen := cobench.DefaultConfig().WithN(n)
+	stations, err := cobench.Generate(gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dbs []*complexobj.DB
+	for _, k := range complexobj.AllModels() {
+		db, err := complexobj.Open(k, complexobj.Options{BufferPages: 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.Load(stations); err != nil {
+			b.Fatal(err)
+		}
+		dbs = append(dbs, db)
+	}
+	path := filepath.Join(b.TempDir(), "serve.codb")
+	if err := complexobj.WriteSnapshot(path, gen, dbs...); err != nil {
+		b.Fatal(err)
+	}
+	for _, db := range dbs {
+		db.Close()
+	}
+	srv, err := New(Config{Snapshot: path, BufferPages: 256, MaxViews: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return srv.Handler()
+}
+
+// BenchmarkServeDrive measures one /run request end to end through the
+// handler — admission, view acquire from the pool, query execution over
+// the recycled copy-on-write view, JSON response — the unit of work the
+// serving path repeats for every client request. Allocations here
+// multiply by every request of a drive, so the allocs/op figure is
+// regression-gated in CI (ci/bench-baseline.txt).
+func BenchmarkServeDrive(b *testing.B) {
+	h := benchServer(b, 40)
+	w := cobench.Workload{Loops: 2, Samples: 3, Seed: 7}
+	target := RunSpecFor(complexobj.DASDBSNSM, cobench.Q2b, w).Values().Encode()
+	req := httptest.NewRequest(http.MethodGet, "/run?"+target, nil)
+	// One warm-up request so pools, views and scratch reach steady state.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warm-up request: %d %s", rec.Code, rec.Body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("request %d: %d", i, rec.Code)
+		}
+	}
+}

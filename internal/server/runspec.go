@@ -1,0 +1,101 @@
+package server
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"complexobj"
+	"complexobj/cobench"
+)
+
+// RunSpec is the wire form of one /run request: the query-string
+// parameters the server validates and cobench's served client sends.
+// Fields hold the literal parameter strings; an empty field means "use
+// the server default" on the optional workload knobs. Keeping one type on
+// both sides of the wire guarantees the client can only ask for what the
+// server parses, and vice versa.
+type RunSpec struct {
+	Model   string
+	Query   string
+	Loops   string
+	Samples string
+	Seed    string
+}
+
+// RunSpecFor builds the fully-specified wire form of one measurement
+// cell, the request shape cobench's -serve-url client issues.
+func RunSpecFor(k complexobj.ModelKind, q cobench.Query, w cobench.Workload) RunSpec {
+	return RunSpec{
+		Model:   k.String(),
+		Query:   q.String(),
+		Loops:   strconv.Itoa(w.Loops),
+		Samples: strconv.Itoa(w.Samples),
+		Seed:    strconv.FormatUint(w.Seed, 10),
+	}
+}
+
+// RunSpecFromValues reads the spec off a request's query parameters.
+func RunSpecFromValues(v url.Values) RunSpec {
+	return RunSpec{
+		Model:   v.Get("model"),
+		Query:   v.Get("query"),
+		Loops:   v.Get("loops"),
+		Samples: v.Get("samples"),
+		Seed:    v.Get("seed"),
+	}
+}
+
+// Values renders the spec as URL query parameters; empty fields are
+// omitted so defaults stay the server's business.
+func (s RunSpec) Values() url.Values {
+	v := url.Values{}
+	set := func(key, val string) {
+		if val != "" {
+			v.Set(key, val)
+		}
+	}
+	set("model", s.Model)
+	set("query", s.Query)
+	set("loops", s.Loops)
+	set("samples", s.Samples)
+	set("seed", s.Seed)
+	return v
+}
+
+// Resolve validates the spec over the given workload defaults: the model
+// and query must name existing ones, the workload fields must parse as
+// non-negative numbers when present.
+func (s RunSpec) Resolve(defaults cobench.Workload) (complexobj.ModelKind, cobench.Query, cobench.Workload, error) {
+	w := defaults
+	kind, err := complexobj.ModelByName(s.Model)
+	if err != nil {
+		return kind, 0, w, err
+	}
+	q, ok := cobench.QueryByName(s.Query)
+	if !ok {
+		return kind, q, w, fmt.Errorf("unknown query %q", s.Query)
+	}
+	if s.Loops != "" {
+		n, err := strconv.Atoi(s.Loops)
+		if err != nil || n < 0 {
+			return kind, q, w, fmt.Errorf("bad loops %q", s.Loops)
+		}
+		w.Loops = n
+	}
+	if s.Samples != "" {
+		n, err := strconv.Atoi(s.Samples)
+		if err != nil || n < 0 {
+			return kind, q, w, fmt.Errorf("bad samples %q", s.Samples)
+		}
+		w.Samples = n
+	}
+	if s.Seed != "" {
+		n, err := strconv.ParseUint(s.Seed, 10, 64)
+		if err != nil {
+			return kind, q, w, fmt.Errorf("bad seed %q", s.Seed)
+		}
+		w.Seed = n
+	}
+	return kind, q, w, nil
+}

@@ -8,7 +8,6 @@ import (
 	"log"
 	"net/http"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -449,37 +448,8 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// workloadOf resolves the request's workload parameters over the server
-// defaults.
-func (s *Server) workloadOf(r *http.Request) (cobench.Workload, error) {
-	w := s.cfg.Workload
-	q := r.URL.Query()
-	if v := q.Get("loops"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			return w, fmt.Errorf("bad loops %q", v)
-		}
-		w.Loops = n
-	}
-	if v := q.Get("samples"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			return w, fmt.Errorf("bad samples %q", v)
-		}
-		w.Samples = n
-	}
-	if v := q.Get("seed"); v != "" {
-		n, err := strconv.ParseUint(v, 10, 64)
-		if err != nil {
-			return w, fmt.Errorf("bad seed %q", v)
-		}
-		w.Seed = n
-	}
-	return w, nil
-}
-
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	kind, err := complexobj.ModelByName(r.URL.Query().Get("model"))
+	kind, q, wl, err := RunSpecFromValues(r.URL.Query()).Resolve(s.cfg.Workload)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -487,16 +457,6 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	pool, ok := s.pools[kind]
 	if !ok {
 		httpError(w, http.StatusBadRequest, "model %s is not served", kind)
-		return
-	}
-	q, ok := cobench.QueryByName(r.URL.Query().Get("query"))
-	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown query %q", r.URL.Query().Get("query"))
-		return
-	}
-	wl, err := s.workloadOf(r)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 

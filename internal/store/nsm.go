@@ -86,6 +86,12 @@ type nsm struct {
 	platTree    *btree.Tree
 	connTree    *btree.Tree
 	seeingTree  *btree.Tree
+
+	// ridScratch backs groupRIDs results between probes. Callers fully
+	// consume the slice before the next probe, and countIndexIO models are
+	// rejected by the shared (concurrent) open path, so one scratch per
+	// model is safe.
+	ridScratch []heap.RID
 }
 
 // packRID encodes a heap RID as a B+-tree value.
@@ -267,12 +273,13 @@ func (m *nsm) groupRIDs(tree *btree.Tree, inMemory []heap.RID, i int) ([]heap.RI
 	if !m.countIndexIO {
 		return inMemory, nil
 	}
-	var rids []heap.RID
+	rids := m.ridScratch[:0]
 	from, to := btree.PackRange(uint32(i))
 	err := tree.Scan(from, to, func(_, v uint64) bool {
 		rids = append(rids, unpackRID(v))
 		return true
 	})
+	m.ridScratch = rids
 	return rids, err
 }
 
