@@ -9,7 +9,8 @@
 //	        [-workers 0] [-backend mem|file|file:DIR|cow] [-db snapshot.codb]
 //	        [-repeat 1] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	        [-serve-url http://host:8077] [-clients 8] [-rate 0]
-//	        [-faults SPEC]
+//	        [-faults SPEC] [-report out.json]
+//	        [-soak 2m] [-soak-steps 4] [-soak-rss-mb 64]
 //
 // Each storage model owns an independent simulated engine, so the model
 // rows are measured concurrently by a bounded worker pool (-workers, 0 =
@@ -33,10 +34,19 @@
 // R requests per second regardless of completions. The printed table is
 // built from the served per-request counters and is byte-identical to the
 // local run with the same flags — that equivalence is the server's
-// acceptance test — while a latency/throughput report (including retry
-// and shed counts: the client retries transient connection errors and
-// 503 sheds with bounded backoff) goes to stderr so stdout stays
-// diffable.
+// acceptance test — while a latency/throughput report (p50/p90/p99/p99.9
+// percentiles from the same histogram code the server's /metrics runs
+// on, plus retry and shed counts: the client retries transient
+// connection errors and 503 sheds with bounded backoff) goes to stderr
+// so stdout stays diffable. -report additionally writes the summary as
+// JSON.
+//
+// -soak D replaces the table run with a sustained open-loop load: a
+// stepped rate ramp (-soak-steps rungs climbing to -rate req/s, default
+// 50) over the total duration D, gated on zero hard errors, zero
+// divergent counter cells (server- and client-side) and server RSS
+// growth within -soak-rss-mb MiB. A failing gate exits non-zero after
+// writing the -report file, so CI keeps the evidence.
 //
 // -faults arms a seeded fault-injection schedule under every local
 // engine (see complexobj.ParseFaultPlan for the grammar); in -serve-url
@@ -51,6 +61,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"complexobj"
 	"complexobj/cobench"
@@ -81,6 +92,10 @@ func main() {
 		clients   = flag.Int("clients", 8, "concurrent closed-loop clients in -serve-url mode")
 		rate      = flag.Float64("rate", 0, "open-loop request rate per second in -serve-url mode (0 = closed loop)")
 		faults    = flag.String("faults", "", "fault-injection schedule for every local engine, e.g. seed=7,read=0.02,latency=0.05:2ms")
+		reportOut = flag.String("report", "", "write a machine-readable JSON run report to this file (-serve-url mode)")
+		soak      = flag.Duration("soak", 0, "sustained-load soak of this total duration instead of a table run (-serve-url mode)")
+		soakSteps = flag.Int("soak-steps", 4, "rate-ramp steps of the soak (climbing to -rate, default 50 req/s)")
+		soakRSS   = flag.Int("soak-rss-mb", 64, "soak gate: server RSS may grow at most this many MiB")
 	)
 	flag.Parse()
 
@@ -89,7 +104,8 @@ func main() {
 		fatal(err)
 	}
 	err = run(*model, *query, *n, *buffer, *loops, *samples, *seed, *skew, *maxSeeing,
-		*metric, *workers, *backend, *dbPath, *repeat, *serveURL, *clients, *rate, *faults)
+		*metric, *workers, *backend, *dbPath, *repeat, *serveURL, *clients, *rate, *faults,
+		*reportOut, *soak, *soakSteps, *soakRSS)
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -102,7 +118,8 @@ func main() {
 // (os.Exit lives only in main).
 func run(model, query string, n, buffer, loops, samples int, seed uint64, skew bool,
 	maxSeeing int, metric string, workers int, backend, dbPath string, repeat int,
-	serveURL string, clients int, rate float64, faults string) error {
+	serveURL string, clients int, rate float64, faults string,
+	reportPath string, soak time.Duration, soakSteps, soakRSSMB int) error {
 
 	gen := cobench.DefaultConfig().WithN(n).WithMaxSeeing(maxSeeing)
 	gen.Seed = seed
@@ -160,8 +177,19 @@ func run(model, query string, n, buffer, loops, samples int, seed uint64, skew b
 		if faults != "" {
 			return fmt.Errorf("-faults injects under local engines; with -serve-url, arm the server instead (coserve -faults %q)", faults)
 		}
-		rows, err = measureServed(serveURL, models, queries, gen, w, buffer, clients, rate, repeat, get)
+		if soak > 0 {
+			// Soak mode replaces the table: the deliverable is the gate
+			// verdict (and the -report JSON), not measurements.
+			return runSoak(serveURL, models, queries, gen, w, buffer, soak, soakSteps, rate, soakRSSMB, reportPath)
+		}
+		rows, err = measureServed(serveURL, models, queries, gen, w, buffer, clients, rate, repeat, reportPath, get)
 	} else {
+		if soak > 0 {
+			return fmt.Errorf("-soak drives a running coserve; pass -serve-url")
+		}
+		if reportPath != "" {
+			return fmt.Errorf("-report summarizes served load; pass -serve-url")
+		}
 		plan, perr := complexobj.ParseFaultPlan(faults)
 		if perr != nil {
 			return perr

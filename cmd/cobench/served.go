@@ -6,7 +6,6 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +13,7 @@ import (
 	"complexobj"
 	"complexobj/cobench"
 	"complexobj/internal/fanout"
+	"complexobj/internal/metrics"
 	"complexobj/internal/server"
 	"complexobj/report"
 )
@@ -30,8 +30,19 @@ type servedClient struct {
 	retries atomic.Int64
 	shed    atomic.Int64
 
-	mu        sync.Mutex
-	latencies []time.Duration
+	// hist accumulates per-request end-to-end latency (issue → decoded
+	// response) — the same histogram code the server's /metrics runs on,
+	// so client- and server-side percentiles are comparable bucket for
+	// bucket.
+	hist *metrics.Histogram
+}
+
+func newServedClient(baseURL string) *servedClient {
+	return &servedClient{
+		base: trimSlash(baseURL),
+		hc:   &http.Client{Timeout: 10 * time.Minute},
+		hist: metrics.NewHistogram(),
+	}
 }
 
 // checkServer verifies the server serves the installation the flags
@@ -65,17 +76,19 @@ func (c *servedClient) checkServer(gen cobench.Config, bufferPages int) error {
 // retry-with-backoff — transport errors and 503 sheds are transient by
 // contract (the server's counters are deterministic, so a retried cell
 // measures identically) — and reconstructs the QueryResult the local
-// path would have produced.
-func (c *servedClient) runOne(k complexobj.ModelKind, q cobench.Query, w cobench.Workload) (complexobj.QueryResult, error) {
+// path would have produced. On failure, exhausted reports whether every
+// attempt failed retryably (the server shedding load the whole time, a
+// capacity signal the soak gate counts separately from hard errors).
+func (c *servedClient) runOne(k complexobj.ModelKind, q cobench.Query, w cobench.Workload) (_ complexobj.QueryResult, exhausted bool, _ error) {
 	const maxAttempts = 5
 	backoff := 50 * time.Millisecond
 	for attempt := 1; ; attempt++ {
 		res, retryable, err := c.tryOne(k, q, w)
 		if err == nil {
-			return res, nil
+			return res, false, nil
 		}
 		if !retryable || attempt == maxAttempts {
-			return complexobj.QueryResult{}, err
+			return complexobj.QueryResult{}, retryable, err
 		}
 		c.retries.Add(1)
 		time.Sleep(backoff)
@@ -106,9 +119,7 @@ func (c *servedClient) tryOne(k complexobj.ModelKind, q cobench.Query, w cobench
 	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
 		return complexobj.QueryResult{}, false, fmt.Errorf("%s %s: %w", k, q, err)
 	}
-	c.mu.Lock()
-	c.latencies = append(c.latencies, time.Since(start))
-	c.mu.Unlock()
+	c.hist.Observe(time.Since(start))
 	res := complexobj.QueryResult{
 		Query:     q,
 		Model:     k,
@@ -127,12 +138,13 @@ func (c *servedClient) tryOne(k complexobj.ModelKind, q cobench.Query, w cobench
 // switches to an open loop firing requests at the given rate regardless
 // of completions. Rows are deterministic and identical across repeats, so
 // the table is filled from whichever repeat answered; the latency report
-// goes to stderr.
+// goes to stderr (and, with -report, as JSON to a file) so stdout stays
+// byte-comparable to the local table.
 func measureServed(baseURL string, models []complexobj.ModelKind, queries []cobench.Query,
 	gen cobench.Config, w cobench.Workload, bufferPages, clients int, rate float64, repeat int,
-	get func(complexobj.QueryResult) float64) ([][]string, error) {
+	reportPath string, get func(complexobj.QueryResult) float64) ([][]string, error) {
 
-	c := &servedClient{base: trimSlash(baseURL), hc: &http.Client{Timeout: 10 * time.Minute}}
+	c := newServedClient(baseURL)
 	if err := c.checkServer(gen, bufferPages); err != nil {
 		return nil, err
 	}
@@ -143,7 +155,7 @@ func measureServed(baseURL string, models []complexobj.ModelKind, queries []cobe
 	rows := make([][]string, len(models))
 	var rowsMu sync.Mutex
 	cell := func(mi int, k complexobj.ModelKind, q cobench.Query, qi int) error {
-		res, err := c.runOne(k, q, w)
+		res, _, err := c.runOne(k, q, w)
 		if err != nil {
 			return err
 		}
@@ -183,7 +195,9 @@ func measureServed(baseURL string, models []complexobj.ModelKind, queries []cobe
 	if err != nil {
 		return nil, err
 	}
-	c.report(os.Stderr, time.Since(start), clients, rate)
+	if err := c.report(os.Stderr, time.Since(start), clients, rate, reportPath); err != nil {
+		return nil, err
+	}
 	return rows, nil
 }
 
@@ -227,32 +241,51 @@ func openLoop(models []complexobj.ModelKind, queries []cobench.Query, repeat int
 }
 
 // report prints the latency/throughput summary to w (stderr, so stdout
-// stays byte-comparable to the local table).
-func (c *servedClient) report(w io.Writer, wall time.Duration, clients int, rate float64) {
-	c.mu.Lock()
-	lat := append([]time.Duration(nil), c.latencies...)
-	c.mu.Unlock()
-	if len(lat) == 0 {
-		return
+// stays byte-comparable to the local table) and, when reportPath is
+// non-empty, writes the machine-readable RunReport there. Both render
+// the same histogram summary — one reporting path.
+func (c *servedClient) report(w io.Writer, wall time.Duration, clients int, rate float64, reportPath string) error {
+	snap := c.hist.Snapshot()
+	if snap.Count == 0 {
+		return nil
 	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	var sum time.Duration
-	for _, d := range lat {
-		sum += d
-	}
+	s := metrics.Summarize(snap)
 	mode := fmt.Sprintf("closed loop, %d clients", clients)
 	if rate > 0 {
 		mode = fmt.Sprintf("open loop, %.1f req/s", rate)
 	}
-	fmt.Fprintf(w, "served %d requests in %v (%s): %.1f req/s, latency min %v / p50 %v / p95 %v / max %v / mean %v, retries %d, shed %d\n",
-		len(lat), wall.Round(time.Millisecond), mode,
-		float64(len(lat))/wall.Seconds(),
-		lat[0].Round(time.Microsecond),
-		lat[len(lat)/2].Round(time.Microsecond),
-		lat[len(lat)*95/100].Round(time.Microsecond),
-		lat[len(lat)-1].Round(time.Microsecond),
-		(sum / time.Duration(len(lat))).Round(time.Microsecond),
+	fmt.Fprintf(w, "served %d requests in %v (%s): %.1f req/s, latency min %s / mean %s / p50 %s / p90 %s / p99 %s / p99.9 %s / max %s, retries %d, shed %d\n",
+		snap.Count, wall.Round(time.Millisecond), mode,
+		float64(snap.Count)/wall.Seconds(),
+		micros(float64(s.MinMicros)), micros(s.MeanMicros),
+		micros(float64(s.P50Micros)), micros(float64(s.P90Micros)),
+		micros(float64(s.P99Micros)), micros(float64(s.P999Micros)),
+		micros(float64(s.MaxMicros)),
 		c.retries.Load(), c.shed.Load())
+	if reportPath == "" {
+		return nil
+	}
+	rep := RunReport{
+		Mode:        "closed",
+		WallSeconds: wall.Seconds(),
+		Clients:     clients,
+		RateTarget:  rate,
+		Requests:    snap.Count,
+		Throughput:  float64(snap.Count) / wall.Seconds(),
+		Retries:     c.retries.Load(),
+		Shed:        c.shed.Load(),
+		Latency:     s,
+	}
+	if rate > 0 {
+		rep.Mode = "open"
+	}
+	return writeReport(reportPath, &rep)
+}
+
+// micros renders a microsecond figure as a duration string (the stderr
+// line's human units).
+func micros(us float64) string {
+	return time.Duration(us * float64(time.Microsecond)).Round(time.Microsecond).String()
 }
 
 func trimSlash(s string) string {

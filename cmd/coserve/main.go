@@ -10,9 +10,12 @@
 //	        [-model all] [-loops 300] [-samples 40] [-seed 1993]
 //	        [-max-inflight 0] [-request-timeout 0] [-faults SPEC]
 //
-// Endpoints: /run, /stats, /info, /healthz (see internal/server). Drive
-// it with cobench -serve-url; the served counters are bit-identical to
-// the local batch run with the same flags.
+// Endpoints: /run, /stats, /info, /healthz, /metrics (see
+// internal/server; /metrics is Prometheus text exposition — serving
+// counters, view-pool occupancy, process memory and per-cell latency
+// split into queue wait and service time; scraping it never moves a
+// /stats counter). Drive it with cobench -serve-url; the served counters
+// are bit-identical to the local batch run with the same flags.
 //
 // -max-inflight bounds admitted requests across every model (0: twice
 // the summed view bound, negative: unbounded) and -request-timeout

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"complexobj/cobench"
 	"complexobj/internal/buffer"
@@ -502,6 +503,12 @@ type QueryResult struct {
 	WriteCalls   float64
 	Fixes        float64
 	Hits         float64
+
+	// Elapsed is the wall-clock service time of the query execution,
+	// measured inside the workload runner. Observability only: it feeds
+	// the server's latency histograms and never any paper counter (a
+	// served drive reconstructing results from the wire leaves it zero).
+	Elapsed time.Duration
 }
 
 // Run executes one of the paper's benchmark queries against the database
@@ -531,6 +538,7 @@ func runQuery(ctx context.Context, kind ModelKind, v workload.View, q cobench.Qu
 		Model:     kind,
 		Supported: res.Supported,
 		Units:     res.Units,
+		Elapsed:   res.Elapsed,
 		Raw: Stats{
 			PagesRead:    res.Stats.PagesRead,
 			PagesWritten: res.Stats.PagesWritten,

@@ -3,7 +3,6 @@ package complexobj
 import (
 	"context"
 	"errors"
-	"reflect"
 	"testing"
 
 	"complexobj/cobench"
@@ -69,7 +68,7 @@ func TestTransientFaultsKeepResultsIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s under transient reads: %v", q, err)
 		}
-		if !reflect.DeepEqual(got, want) {
+		if !sameMeasurement(got, want) {
 			t.Errorf("%s diverged under transient faults:\n got %+v\nwant %+v", q, got, want)
 		}
 	}
@@ -133,7 +132,7 @@ func TestViewQuarantine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(res, want[cobench.Q1b]) {
+	if !sameMeasurement(res, want[cobench.Q1b]) {
 		t.Error("post-quarantine view measured differently")
 	}
 	if err := v2.Close(); err != nil {
@@ -171,7 +170,7 @@ func TestRunContextCancel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(res, want[cobench.Q1c]) {
+	if !sameMeasurement(res, want[cobench.Q1c]) {
 		t.Error("post-cancel run measured differently")
 	}
 }

@@ -266,7 +266,10 @@ func (s Spec) String() string {
 	add("short", s.Short)
 	add("torn", s.Torn)
 	add("panic", s.Panic)
-	if s.LatencyProb > 0 && s.Latency > 0 {
+	// Degenerate-but-parseable latency clauses (probability or delay
+	// zero) render too: the clause injects nothing, but dropping it would
+	// break the round-trip for specs ParseSpec accepted.
+	if s.LatencyProb > 0 || s.Latency > 0 {
 		parts = append(parts, fmt.Sprintf("latency=%s:%s",
 			strconv.FormatFloat(s.LatencyProb, 'g', -1, 64), s.Latency))
 	}

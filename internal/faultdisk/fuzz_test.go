@@ -1,0 +1,60 @@
+package faultdisk
+
+import (
+	"testing"
+)
+
+// FuzzParseSpec fuzzes the fault-schedule grammar: ParseSpec must never
+// panic, and any spec it accepts must survive the documented round-trip
+// — ParseSpec(spec.String()) reproduces spec exactly. The committed
+// corpus seeds every clause of the grammar (including the degenerate
+// latency forms that once broke the round-trip); go test runs the seeds
+// as regular unit cases, go test -fuzz explores from them.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"seed=7,read=0.02,short=0.005,latency=0.05:2ms",
+		"seed=2026,read=0.03,short=0.01,latency=0.05:100us",
+		"write=1,torn=0.5,pages=3-9",
+		"grow=0.1,perm=0.001,panic=0.0001",
+		"pages=5",
+		"pages=5-",
+		"latency=0:5ms",
+		"latency=0.5:0s",
+		"latency=1h",
+		"seed=18446744073709551615,read=1e-300",
+		"read=nope",
+		"read=1.5",
+		"read=-0.1",
+		"pages=9-3",
+		"latency=2:1ms",
+		"bogus=1",
+		"=,=",
+		"seed=7,,read=0.5",
+		" seed = 7 , read = 0.5 ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return // rejected input: the only contract is "no panic"
+		}
+		rendered := spec.String()
+		if rendered == "" {
+			// The spec parsed to the zero value (e.g. "seed=0"); the zero
+			// spec renders empty and empty does not re-parse by design.
+			if spec != (Spec{}) {
+				t.Fatalf("ParseSpec(%q) = %+v renders empty but is not the zero spec", s, spec)
+			}
+			return
+		}
+		again, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q) ok, but its rendering %q does not re-parse: %v", s, rendered, err)
+		}
+		if again != spec {
+			t.Fatalf("round-trip of %q changed the spec:\nfirst  %+v\nsecond %+v (via %q)", s, spec, again, rendered)
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"testing"
+)
+
+// BenchmarkHistogramRecord is the serving hot path: one latency recorded
+// inline per request. ci/bench-baseline.txt pins it at 0 allocs/op.
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i) * 977)
+	}
+}
+
+// BenchmarkHistogramRecordParallel exercises the lock-free claim: many
+// goroutines recording into one histogram (also pinned at 0 allocs/op).
+func BenchmarkHistogramRecordParallel(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Record(v)
+			v = v*2862933555777941757 + 3037000493 // cheap LCG spread
+			if v < 0 {
+				v = -v
+			}
+		}
+	})
+}
+
+// BenchmarkHistogramSnapshotQuantile prices the scrape path (one
+// snapshot copy plus four quantile walks), the cost /metrics pays per
+// cell.
+func BenchmarkHistogramSnapshotQuantile(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < 100000; i++ {
+		h.Record(int64(i) * 1543)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := h.Snapshot()
+		_ = s.Quantile(0.5)
+		_ = s.Quantile(0.9)
+		_ = s.Quantile(0.99)
+		_ = s.Quantile(0.999)
+	}
+}

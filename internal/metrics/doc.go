@@ -1,0 +1,23 @@
+// Package metrics is the observability substrate of the serving path: a
+// fixed-bucket log-linear latency histogram built for lock-free
+// concurrent recording, mergeable snapshots with bounded-error quantile
+// extraction, and a process memory sampler.
+//
+// # Contract
+//
+// Record is wait-free and allocation-free (pinned at 0 allocs/op by
+// ci/bench-baseline.txt): a request path may record latencies inline
+// without perturbing what it measures. The bucket layout is log-linear —
+// a linear unit-width region for small values, then sub-divided
+// power-of-two ranges — so any bucket's width is at most 1/32 of its
+// value, and Snapshot.Quantile is exact to within one bucket width
+// (TestHistogramQuantileWithinOneBucket pins this on random workloads).
+// Snapshots Merge associatively and commutatively, so per-worker or
+// per-step histograms combine in any completion order.
+//
+// Nothing in this package touches the paper's I/O accounting: recording
+// a latency is arithmetic on private atomics, never a device or buffer
+// operation, which is how the server's /metrics endpoint can promise
+// that scraping leaves /stats counter cells byte-identical (pinned by
+// TestMetricsStatsParity in internal/server).
+package metrics

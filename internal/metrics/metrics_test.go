@@ -1,0 +1,248 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBucketMathRoundTrip pins the bucket layout: every value lands in
+// exactly the bucket whose [lower, lower+width) range contains it, and
+// bucket indices are monotone in the value.
+func TestBucketMathRoundTrip(t *testing.T) {
+	fixed := []int64{0, 1, subCount - 1, subCount, subCount + 1,
+		2*subCount - 1, 2 * subCount, 1 << 20, math.MaxInt64 - 1, math.MaxInt64}
+	rng := rand.New(rand.NewSource(7))
+	vals := append([]int64{}, fixed...)
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, rng.Int63n(1<<uint(1+rng.Intn(62))))
+	}
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= NumBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of [0, %d)", v, idx, NumBuckets)
+		}
+		lo, w := bucketLower(idx), bucketWidth(idx)
+		if v < lo || (w < math.MaxInt64-lo && v >= lo+w) {
+			t.Fatalf("value %d mapped to bucket %d = [%d, %d+%d)", v, idx, lo, lo, w)
+		}
+	}
+	sorted := append([]int64{}, vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 1; i < len(sorted); i++ {
+		if bucketIndex(sorted[i-1]) > bucketIndex(sorted[i]) {
+			t.Fatalf("bucketIndex not monotone: %d -> %d but %d -> %d",
+				sorted[i-1], bucketIndex(sorted[i-1]), sorted[i], bucketIndex(sorted[i]))
+		}
+	}
+}
+
+// exactQuantile returns the rank-⌈q·n⌉ element of sorted values, the
+// definition Quantile estimates.
+func exactQuantile(sorted []int64, q float64) int64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestHistogramQuantileWithinOneBucket is the accuracy property: on
+// random workloads from several shapes of distribution, every quantile
+// estimate is within one bucket width of the exact order statistic.
+func TestHistogramQuantileWithinOneBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(1993))
+	distributions := map[string]func() int64{
+		"uniform-small": func() int64 { return rng.Int63n(50) },
+		"uniform-wide":  func() int64 { return rng.Int63n(10_000_000) },
+		"exponential":   func() int64 { return int64(rng.ExpFloat64() * 2e6) },
+		"bimodal": func() int64 {
+			if rng.Intn(10) == 0 {
+				return 5_000_000 + rng.Int63n(1_000_000)
+			}
+			return 1000 + rng.Int63n(5000)
+		},
+		"constant": func() int64 { return 123_456 },
+	}
+	quantiles := []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	for name, draw := range distributions {
+		for _, n := range []int{1, 10, 1000, 20000} {
+			h := NewHistogram()
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = draw()
+				h.Record(vals[i])
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			s := h.Snapshot()
+			if s.Count != int64(n) {
+				t.Fatalf("%s n=%d: snapshot count %d", name, n, s.Count)
+			}
+			for _, q := range quantiles {
+				got := s.Quantile(q)
+				want := exactQuantile(vals, q)
+				width := bucketWidth(bucketIndex(want))
+				if diff := got - want; diff < -width || diff > width {
+					t.Errorf("%s n=%d q=%g: estimate %d, exact %d, |diff| %d > bucket width %d",
+						name, n, q, got, want, diff, width)
+				}
+			}
+			if s.Min != vals[0] || s.Max != vals[n-1] {
+				t.Errorf("%s n=%d: min/max %d/%d, want %d/%d", name, n, s.Min, s.Max, vals[0], vals[n-1])
+			}
+			var sum int64
+			for _, v := range vals {
+				sum += v
+			}
+			if s.Sum != sum {
+				t.Errorf("%s n=%d: sum %d, want %d (mean must be exact)", name, n, s.Sum, sum)
+			}
+		}
+	}
+}
+
+// randomSnapshot builds a snapshot of n random observations.
+func randomSnapshot(rng *rand.Rand, n int) *Snapshot {
+	h := NewHistogram()
+	for i := 0; i < n; i++ {
+		h.Record(rng.Int63n(1 << uint(1+rng.Intn(40))))
+	}
+	return h.Snapshot()
+}
+
+// clone copies a snapshot by value.
+func clone(s *Snapshot) *Snapshot { c := *s; return &c }
+
+// TestSnapshotMergeAssociativeCommutative: any merge order over a set of
+// snapshots produces identical counters — the property that lets
+// per-step and per-worker histograms combine in completion order.
+func TestSnapshotMergeAssociativeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		a := randomSnapshot(rng, rng.Intn(500))
+		b := randomSnapshot(rng, rng.Intn(500))
+		c := randomSnapshot(rng, rng.Intn(500))
+
+		ab := clone(a)
+		ab.Merge(b) // (a+b)
+		ba := clone(b)
+		ba.Merge(a) // (b+a)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("trial %d: merge not commutative", trial)
+		}
+
+		abc := clone(ab)
+		abc.Merge(c) // (a+b)+c
+		bc := clone(b)
+		bc.Merge(c)
+		a_bc := clone(a)
+		a_bc.Merge(bc) // a+(b+c)
+		if !reflect.DeepEqual(abc, a_bc) {
+			t.Fatalf("trial %d: merge not associative", trial)
+		}
+
+		// Identity: merging an empty snapshot changes nothing.
+		id := clone(abc)
+		id.Merge(&Snapshot{})
+		if !reflect.DeepEqual(id, abc) {
+			t.Fatalf("trial %d: empty merge not identity", trial)
+		}
+	}
+}
+
+// TestHistogramConcurrentRecordLosesNothing is the race/loss pin: many
+// goroutines record concurrently, an independent atomic tally counts what
+// they pushed, and the snapshot must account for every sample — total
+// count, per-bucket sum and value sum. Run under -race in CI.
+func TestHistogramConcurrentRecordLosesNothing(t *testing.T) {
+	const goroutines, perG = 16, 5000
+	h := NewHistogram()
+	var pushed, pushedSum atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				v := rng.Int63n(1 << 30)
+				h.Record(v)
+				pushed.Add(1)
+				pushedSum.Add(v)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if want := pushed.Load(); s.Count != want {
+		t.Fatalf("snapshot count %d, atomic cross-check %d: samples lost", s.Count, want)
+	}
+	var bucketSum int64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != int64(goroutines*perG) {
+		t.Fatalf("bucket counts sum to %d, want %d", bucketSum, goroutines*perG)
+	}
+	if s.Sum != pushedSum.Load() {
+		t.Fatalf("snapshot sum %d, atomic cross-check %d", s.Sum, pushedSum.Load())
+	}
+}
+
+// TestHistogramRecordNoAlloc pins the hot path at zero allocations (the
+// CI benchregress job pins the same through ci/bench-baseline.txt).
+func TestHistogramRecordNoAlloc(t *testing.T) {
+	h := NewHistogram()
+	if n := testing.AllocsPerRun(1000, func() { h.Record(48_213) }); n != 0 {
+		t.Fatalf("Record allocates %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(37 * time.Microsecond) }); n != 0 {
+		t.Fatalf("Observe allocates %v allocs/op, want 0", n)
+	}
+}
+
+// TestSummarize pins the JSON summary shape both the server's /info and
+// cobench's -report render from.
+func TestSummarize(t *testing.T) {
+	if got := Summarize(nil); got != (Summary{}) {
+		t.Fatalf("Summarize(nil) = %+v, want zero", got)
+	}
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond) // 1..1000 µs
+	}
+	sum := Summarize(h.Snapshot())
+	if sum.Count != 1000 || sum.MinMicros != 1 || sum.MaxMicros != 1000 {
+		t.Fatalf("count/min/max = %d/%d/%d", sum.Count, sum.MinMicros, sum.MaxMicros)
+	}
+	if sum.MeanMicros < 500 || sum.MeanMicros > 501 {
+		t.Fatalf("mean %.2f µs, want 500.5", sum.MeanMicros)
+	}
+	// Each estimate is within one bucket width (~3.1%) above the exact
+	// order statistic.
+	checks := []struct {
+		got, exact int64
+	}{{sum.P50Micros, 500}, {sum.P90Micros, 900}, {sum.P99Micros, 990}, {sum.P999Micros, 999}}
+	for _, c := range checks {
+		if c.got < c.exact || float64(c.got) > float64(c.exact)*1.04+1 {
+			t.Errorf("quantile estimate %d µs for exact %d µs outside one bucket width", c.got, c.exact)
+		}
+	}
+}
+
+// TestReadProcStats smoke-checks the process sampler: heap figures are
+// always live; the RSS figures are present on Linux.
+func TestReadProcStats(t *testing.T) {
+	ps := ReadProcStats()
+	if ps.HeapSysBytes == 0 || ps.HeapAllocBytes == 0 {
+		t.Fatalf("heap stats empty: %+v", ps)
+	}
+	if ps.RSSBytes > 0 && ps.PeakRSSBytes < ps.RSSBytes {
+		t.Errorf("peak RSS %d below current RSS %d", ps.PeakRSSBytes, ps.RSSBytes)
+	}
+}

@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// ProcStats is the process memory block of the observability surface:
+// resident-set figures from the OS (zero where /proc is unavailable) next
+// to the Go heap view, so an RSS-growth gate can tell mapped-arena
+// residency from heap retention.
+type ProcStats struct {
+	// RSSBytes and PeakRSSBytes are VmRSS and VmHWM from
+	// /proc/self/status (0 when unreadable, e.g. off Linux).
+	RSSBytes     int64 `json:"rssBytes"`
+	PeakRSSBytes int64 `json:"peakRssBytes"`
+	// HeapAllocBytes/HeapSysBytes/HeapInuseBytes are runtime.MemStats
+	// figures; GCTotal is the completed GC cycle count.
+	HeapAllocBytes int64 `json:"heapAllocBytes"`
+	HeapSysBytes   int64 `json:"heapSysBytes"`
+	HeapInuseBytes int64 `json:"heapInuseBytes"`
+	GCTotal        int64 `json:"gcTotal"`
+}
+
+// ReadProcStats samples the process memory figures. The OS part degrades
+// to zeros on platforms without /proc/self/status; the Go heap part is
+// always present. Calling it stops the world briefly (ReadMemStats), so
+// scrape it, don't put it on a request path.
+func ReadProcStats() ProcStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	ps := ProcStats{
+		HeapAllocBytes: int64(ms.HeapAlloc),
+		HeapSysBytes:   int64(ms.HeapSys),
+		HeapInuseBytes: int64(ms.HeapInuse),
+		GCTotal:        int64(ms.NumGC),
+	}
+	ps.RSSBytes, ps.PeakRSSBytes = readRSS()
+	return ps
+}
+
+// readRSS parses VmRSS and VmHWM (KiB lines) from /proc/self/status.
+func readRSS() (rss, peak int64) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmRSS:"); ok {
+			rss = parseKB(rest)
+		} else if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			peak = parseKB(rest)
+		}
+	}
+	return rss, peak
+}
+
+func parseKB(s string) int64 {
+	n, err := strconv.ParseInt(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "kB")), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n * 1024
+}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"net/url"
+	"testing"
+
+	"complexobj/cobench"
+)
+
+// FuzzRunSpecResolve fuzzes the /run wire surface: arbitrary parameter
+// strings must never panic Resolve, the Values round-trip must be exact
+// (what the client encodes is what the server reads), and any spec
+// Resolve accepts must re-encode through RunSpecFor into a spec that
+// resolves to the identical (model, query, workload) — the property that
+// keeps cobench's served client and the server's validator in lock-step.
+func FuzzRunSpecResolve(f *testing.F) {
+	f.Add("DSM", "2b", "15", "5", "1993")
+	f.Add("NSM", "1a", "", "", "")
+	f.Add("dsm", "3b", "0", "0", "0")
+	f.Add("D-DSM", "1c", "300", "40", "18446744073709551615")
+	f.Add("nope", "2b", "15", "5", "7")
+	f.Add("DSM", "9z", "15", "5", "7")
+	f.Add("DSM", "2b", "-1", "5", "7")
+	f.Add("DSM", "2b", "1e3", "5", "7")
+	f.Add("DSM", "2b", "15", "five", "7")
+	f.Add("DSM", "2b", "15", "5", "-7")
+	f.Add("", "", "", "", "")
+	f.Add("DSM\x00", "2b\n", " 15", "5 ", "\t7")
+	f.Fuzz(func(t *testing.T, model, query, loops, samples, seed string) {
+		spec := RunSpec{Model: model, Query: query, Loops: loops, Samples: samples, Seed: seed}
+
+		// Wire round-trip: encoding to query parameters and reading them
+		// back is lossless for every field url.Values can carry (empty
+		// fields are omitted and read back empty).
+		if back := RunSpecFromValues(spec.Values()); back != spec {
+			t.Fatalf("Values round-trip changed the spec:\nsent %+v\ngot  %+v", spec, back)
+		}
+		// And robust against a hostile encoder: parsing the encoded form
+		// as a real query string reads the same spec.
+		if vals, err := url.ParseQuery(spec.Values().Encode()); err == nil {
+			if back := RunSpecFromValues(vals); back != spec {
+				t.Fatalf("encoded round-trip changed the spec:\nsent %+v\ngot  %+v", spec, back)
+			}
+		}
+
+		defaults := cobench.Workload{Loops: 300, Samples: 40, Seed: 1993}
+		k, q, w, err := spec.Resolve(defaults)
+		if err != nil {
+			return // rejected input: the only contract is "no panic"
+		}
+		// Re-encoding the resolved cell must resolve identically — the
+		// exact path cobench's served client drives.
+		k2, q2, w2, err := RunSpecFor(k, q, w).Resolve(defaults)
+		if err != nil {
+			t.Fatalf("Resolve ok for %+v, but the re-encoded spec fails: %v", spec, err)
+		}
+		if k2 != k || q2 != q || w2 != w {
+			t.Fatalf("re-encoded spec resolves differently:\nfirst  %v %v %+v\nsecond %v %v %+v", k, q, w, k2, q2, w2)
+		}
+	})
+}

@@ -1,0 +1,263 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"complexobj/internal/metrics"
+)
+
+// The observability layer sits strictly beside the paper's accounting:
+// latency histograms and scrape handlers read private atomics, pool
+// counters and the aggregate map — never an engine, a buffer pool or a
+// device — so scraping /metrics cannot move a single /stats counter
+// (TestMetricsStatsParity pins the cells byte-identical under a
+// concurrent scraping load).
+
+// cellKey identifies one (model, query) latency cell. Latency aggregates
+// deliberately key coarser than /stats cells (which add the workload):
+// the histogram answers "how fast is DSM 2b", whatever workload variants
+// traffic mixes in.
+type cellKey struct{ model, query string }
+
+// cellMetrics holds the per-cell latency split: queue is the wait for
+// admission plus the view-pool acquire, service the query execution
+// inside the workload runner. Requests counts exactly the runs /stats
+// aggregates (successful responses), which is what makes the /metrics ↔
+// /stats parity checkable.
+type cellMetrics struct {
+	requests atomic.Int64
+	queue    *metrics.Histogram
+	service  *metrics.Histogram
+}
+
+// latencyCells is the lazily-populated (model, query) → histogram table.
+type latencyCells struct {
+	mu    sync.RWMutex
+	cells map[cellKey]*cellMetrics
+}
+
+func newLatencyCells() *latencyCells {
+	return &latencyCells{cells: make(map[cellKey]*cellMetrics)}
+}
+
+// get returns the cell, creating it on first use (double-checked so the
+// steady state is one RLock).
+func (l *latencyCells) get(model, query string) *cellMetrics {
+	key := cellKey{model, query}
+	l.mu.RLock()
+	c := l.cells[key]
+	l.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if c = l.cells[key]; c == nil {
+		c = &cellMetrics{queue: metrics.NewHistogram(), service: metrics.NewHistogram()}
+		l.cells[key] = c
+	}
+	return c
+}
+
+// observe folds one successful request into its cell.
+func (l *latencyCells) observe(model, query string, queueWait, service time.Duration) {
+	c := l.get(model, query)
+	c.requests.Add(1)
+	c.queue.Observe(queueWait)
+	c.service.Observe(service)
+}
+
+// sortedKeys returns the populated cell keys in (model, query) order, so
+// both /metrics and /info render deterministically.
+func (l *latencyCells) sortedKeys() []cellKey {
+	l.mu.RLock()
+	keys := make([]cellKey, 0, len(l.cells))
+	for k := range l.cells {
+		keys = append(keys, k)
+	}
+	l.mu.RUnlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].model != keys[j].model {
+			return keys[i].model < keys[j].model
+		}
+		return keys[i].query < keys[j].query
+	})
+	return keys
+}
+
+// CellLatency is the /info latency block of one (model, query) cell.
+type CellLatency struct {
+	Model    string          `json:"model"`
+	Query    string          `json:"query"`
+	Requests int64           `json:"requests"`
+	Queue    metrics.Summary `json:"queueWait"`
+	Service  metrics.Summary `json:"service"`
+}
+
+// MetricsInfo is the structured twin of the /metrics endpoint inside
+// /info: process memory plus the per-cell latency summaries. The
+// Prometheus text rendering and this block read the same histograms.
+type MetricsInfo struct {
+	Process metrics.ProcStats `json:"process"`
+	Cells   []CellLatency     `json:"cells"`
+}
+
+// metricsInfo builds the /info latency block.
+func (s *Server) metricsInfo() MetricsInfo {
+	info := MetricsInfo{Process: metrics.ReadProcStats()}
+	for _, key := range s.lat.sortedKeys() {
+		c := s.lat.get(key.model, key.query)
+		info.Cells = append(info.Cells, CellLatency{
+			Model:    key.model,
+			Query:    key.query,
+			Requests: c.requests.Load(),
+			Queue:    metrics.Summarize(c.queue.Snapshot()),
+			Service:  metrics.Summarize(c.service.Snapshot()),
+		})
+	}
+	return info
+}
+
+// promWriter accumulates Prometheus text exposition, emitting each
+// family's TYPE header once.
+type promWriter struct {
+	w     http.ResponseWriter
+	typed map[string]bool
+}
+
+func (p *promWriter) family(name, kind string) {
+	if !p.typed[name] {
+		p.typed[name] = true
+		fmt.Fprintf(p.w, "# TYPE %s %s\n", name, kind)
+	}
+}
+
+func (p *promWriter) num(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// counter/gauge emit one sample; labels come pre-rendered (`model="DSM"`)
+// or empty.
+func (p *promWriter) sample(name, kind, labels string, v float64) {
+	p.family(name, kind)
+	if labels == "" {
+		fmt.Fprintf(p.w, "%s %s\n", name, p.num(v))
+	} else {
+		fmt.Fprintf(p.w, "%s{%s} %s\n", name, labels, p.num(v))
+	}
+}
+
+// summary renders one histogram snapshot as a Prometheus summary in
+// seconds: the four serving quantiles plus _sum and _count.
+func (p *promWriter) summary(name, labels string, s *metrics.Snapshot) {
+	p.family(name, "summary")
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for _, q := range []struct {
+		label string
+		q     float64
+	}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"0.999", 0.999}} {
+		fmt.Fprintf(p.w, "%s{%s%squantile=\"%s\"} %s\n",
+			name, labels, sep, q.label, p.num(float64(s.Quantile(q.q))/1e9))
+	}
+	if labels == "" {
+		fmt.Fprintf(p.w, "%s_sum %s\n", name, p.num(float64(s.Sum)/1e9))
+		fmt.Fprintf(p.w, "%s_count %d\n", name, s.Count)
+	} else {
+		fmt.Fprintf(p.w, "%s_sum{%s} %s\n", name, labels, p.num(float64(s.Sum)/1e9))
+		fmt.Fprintf(p.w, "%s_count{%s} %d\n", name, labels, s.Count)
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition. Everything it
+// reads is observability state (atomics, pool mutexes, the aggregate
+// mutex) — no engine, device or buffer state — so a scrape at any point
+// of a load leaves every paper counter untouched.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := &promWriter{w: w, typed: make(map[string]bool)}
+
+	p.sample("complexobj_uptime_seconds", "gauge", "", time.Since(s.start).Seconds())
+	p.sample("complexobj_requests_total", "counter", "", float64(s.requests.Load()))
+	p.sample("complexobj_requests_shed_total", "counter", `reason="admission"`, float64(s.shedAdmit.Load()))
+	p.sample("complexobj_requests_shed_total", "counter", `reason="deadline"`, float64(s.shedDeadline.Load()))
+	p.sample("complexobj_panics_total", "counter", "", float64(s.panics.Load()))
+
+	inFlight := 0
+	if s.admit != nil {
+		inFlight = len(s.admit)
+	}
+	p.sample("complexobj_inflight_requests", "gauge", "", float64(inFlight))
+	p.sample("complexobj_max_inflight_requests", "gauge", "", float64(s.maxInflight))
+
+	s.mu.Lock()
+	aggCells, aggDropped := len(s.agg), s.aggDropped
+	s.mu.Unlock()
+	p.sample("complexobj_stats_cells", "gauge", "", float64(aggCells))
+	p.sample("complexobj_stats_dropped_cells_total", "counter", "", float64(aggDropped))
+
+	// Per-model view pools: occupancy gauges plus the lifetime counters
+	// (borrows = acquisitions served = created + reused).
+	for _, k := range s.models {
+		ps := s.pools[k].Stats()
+		labels := fmt.Sprintf("model=%q", k.String())
+		p.sample("complexobj_viewpool_max_views", "gauge", labels, float64(ps.MaxViews))
+		p.sample("complexobj_viewpool_inuse_views", "gauge", labels, float64(ps.InUse))
+		p.sample("complexobj_viewpool_idle_views", "gauge", labels, float64(ps.Idle))
+		p.sample("complexobj_viewpool_borrows_total", "counter", labels, float64(ps.Created+ps.Reused))
+		p.sample("complexobj_viewpool_created_total", "counter", labels, float64(ps.Created))
+		p.sample("complexobj_viewpool_reused_total", "counter", labels, float64(ps.Reused))
+		p.sample("complexobj_viewpool_recycled_total", "counter", labels, float64(ps.Recycled))
+		p.sample("complexobj_viewpool_rebuilt_total", "counter", labels, float64(ps.Rebuilt))
+		p.sample("complexobj_viewpool_destroyed_total", "counter", labels, float64(ps.Destroyed))
+		p.sample("complexobj_viewpool_quarantined_total", "counter", labels, float64(ps.Quarantined))
+	}
+
+	// Injected-fault counters (only when a schedule is armed). Injection
+	// sits below device accounting: these count misbehavior, never paper
+	// I/O.
+	if s.cfg.Faults != nil {
+		fs := s.cfg.Faults.Stats()
+		p.sample("complexobj_fault_ops_total", "counter", "", float64(fs.Ops))
+		for _, f := range []struct {
+			kind string
+			n    int64
+		}{
+			{"read", fs.ReadFaults}, {"write", fs.WriteFaults}, {"grow", fs.GrowFaults},
+			{"permanent", fs.PermFaults}, {"short_read", fs.ShortReads},
+			{"torn_write", fs.TornWrites}, {"panic", fs.Panics},
+		} {
+			p.sample("complexobj_faults_injected_total", "counter", fmt.Sprintf("kind=%q", f.kind), float64(f.n))
+		}
+		p.sample("complexobj_fault_delays_total", "counter", "", float64(fs.Delays))
+		p.sample("complexobj_fault_poisoned_pages", "gauge", "", float64(fs.PoisonedPages))
+	}
+
+	// Process memory: OS resident set next to the Go heap, the figures
+	// cobench's -soak RSS gate samples.
+	ps := metrics.ReadProcStats()
+	p.sample("complexobj_process_resident_memory_bytes", "gauge", "", float64(ps.RSSBytes))
+	p.sample("complexobj_process_peak_resident_memory_bytes", "gauge", "", float64(ps.PeakRSSBytes))
+	p.sample("complexobj_process_heap_alloc_bytes", "gauge", "", float64(ps.HeapAllocBytes))
+	p.sample("complexobj_process_heap_sys_bytes", "gauge", "", float64(ps.HeapSysBytes))
+	p.sample("complexobj_process_heap_inuse_bytes", "gauge", "", float64(ps.HeapInuseBytes))
+	p.sample("complexobj_process_gc_total", "counter", "", float64(ps.GCTotal))
+
+	// Per-(model, query) cells: request counts and the queue/service
+	// latency split, in deterministic cell order.
+	for _, key := range s.lat.sortedKeys() {
+		c := s.lat.get(key.model, key.query)
+		labels := fmt.Sprintf("model=%q,query=%q", key.model, key.query)
+		p.sample("complexobj_cell_requests_total", "counter", labels, float64(c.requests.Load()))
+		p.summary("complexobj_queue_wait_seconds", labels, c.queue.Snapshot())
+		p.summary("complexobj_service_time_seconds", labels, c.service.Snapshot())
+	}
+}

@@ -71,6 +71,11 @@ type Server struct {
 	mu         sync.Mutex
 	agg        map[AggKey]*aggregate
 	aggDropped int64
+
+	// lat holds the per-(model, query) latency histograms behind /metrics
+	// and the /info metrics block. Purely observational: recording is
+	// atomic arithmetic beside the request, never an engine operation.
+	lat *latencyCells
 }
 
 // New opens one shared base per served model from the snapshot and builds
@@ -123,6 +128,7 @@ func New(cfg Config) (*Server, error) {
 		pools:  make(map[complexobj.ModelKind]*complexobj.ViewPool, len(models)),
 		start:  time.Now(),
 		agg:    make(map[AggKey]*aggregate),
+		lat:    newLatencyCells(),
 	}
 	// Admission envelope: by default twice the summed per-model view
 	// bound, so the global gate queues (and sheds) before every pool is
@@ -382,6 +388,10 @@ type InfoResponse struct {
 	Workload    WorkloadParams `json:"defaultWorkload"`
 	Models      []PoolInfo     `json:"models"`
 	Resilience  ResilienceInfo `json:"resilience"`
+	// Metrics is the structured twin of the /metrics endpoint: process
+	// memory plus the per-cell latency split (queue wait vs service
+	// time). Latency sits outside the paper's counter accounting.
+	Metrics MetricsInfo `json:"metrics"`
 }
 
 // Handler returns the HTTP handler serving the package's endpoints.
@@ -391,6 +401,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/info", s.handleInfo)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -471,6 +482,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// view semaphores. A full gate queues the request until a slot frees
 	// or its deadline expires — then sheds it with 503 + Retry-After, the
 	// signal a well-behaved client (cobench's retry loop) backs off on.
+	// arrived anchors the queue-wait half of the latency split: admission
+	// wait plus view-pool wait, everything spent before the query owns an
+	// engine.
+	arrived := time.Now()
 	if s.admit != nil {
 		select {
 		case s.admit <- struct{}{}:
@@ -484,6 +499,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	view, err := pool.AcquireContext(ctx)
+	queueWait := time.Since(arrived)
 	if err != nil {
 		if ctx.Err() != nil {
 			s.shedDeadline.Add(1)
@@ -549,6 +565,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		ElapsedUS: elapsed,
 	}
 	s.record(resp)
+	// Latency split, recorded on exactly the runs /stats aggregates:
+	// queue wait measured here (admission + pool), service time stamped
+	// by the workload runner around the query itself.
+	s.lat.observe(resp.Model, resp.Query, queueWait, res.Elapsed)
 	writeJSON(w, resp)
 }
 
@@ -677,5 +697,6 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		resp.Resilience.FaultSpec = s.cfg.Faults.String()
 		resp.Resilience.Faults = &fs
 	}
+	resp.Metrics = s.metricsInfo()
 	writeJSON(w, resp)
 }

@@ -3,6 +3,7 @@ package workload
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"complexobj/cobench"
 	"complexobj/internal/iostat"
@@ -24,6 +25,12 @@ type Result struct {
 	// Touched counts object visits during navigation (roots + children +
 	// grand-children, including repeats), for diagnostics.
 	Touched int64
+	// Elapsed is the wall-clock service time of the query execution
+	// itself, measured inside the runner (cache reset through final
+	// flush) — the timing hook the serving path's latency metrics read.
+	// Pure observability: it reflects no I/O accounting and never feeds a
+	// paper counter (those compare Stats only).
+	Elapsed time.Duration
 }
 
 // PerUnit returns the normalized counters (the numbers printed in the
@@ -105,11 +112,23 @@ func (r *Runner) interrupted() error {
 	return nil
 }
 
-// Run executes one benchmark query and returns its measurement.
+// Run executes one benchmark query and returns its measurement, with
+// Result.Elapsed stamped around the execution (the timing hook of the
+// observability layer — timing never alters the I/O counters).
 func (r *Runner) Run(q cobench.Query) (Result, error) {
 	if r.model.NumObjects() == 0 {
 		return Result{}, store.ErrNotLoaded
 	}
+	start := time.Now()
+	res, err := r.run(q)
+	if err != nil {
+		return res, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func (r *Runner) run(q cobench.Query) (Result, error) {
 	switch q {
 	case cobench.Q1a:
 		return r.runQ1a()
