@@ -9,7 +9,7 @@
 //	        [-workers 0] [-backend mem|file|file:DIR|cow] [-db snapshot.codb]
 //	        [-repeat 1] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	        [-serve-url http://host:8077] [-clients 8] [-rate 0]
-//	        [-faults SPEC] [-report out.json]
+//	        [-faults SPEC] [-report out.json] [-write-frac 0]
 //	        [-soak 2m] [-soak-steps 4] [-soak-rss-mb 64]
 //
 // Each storage model owns an independent simulated engine, so the model
@@ -41,12 +41,22 @@
 // so stdout stays diffable. -report additionally writes the summary as
 // JSON.
 //
+// -write-frac F mixes durable writes into the served load: that
+// fraction of the update-query (3a/3b) requests carries commit=1, so
+// the server folds the mutation into its base through the write-ahead
+// log before answering. It needs a durable server (coserve -wal); the
+// run then reports commit counts and commit-latency percentiles and
+// fails if any acknowledged commit is missing from the server's own
+// counter (a lost update). Read counters stay bit-identical — commits
+// happen after the measured run, on fixed-size update stamps.
+//
 // -soak D replaces the table run with a sustained open-loop load: a
 // stepped rate ramp (-soak-steps rungs climbing to -rate req/s, default
 // 50) over the total duration D, gated on zero hard errors, zero
-// divergent counter cells (server- and client-side) and server RSS
-// growth within -soak-rss-mb MiB. A failing gate exits non-zero after
-// writing the -report file, so CI keeps the evidence.
+// divergent counter cells (server- and client-side), server RSS
+// growth within -soak-rss-mb MiB and — with -write-frac — zero lost
+// updates. A failing gate exits non-zero after writing the -report
+// file, so CI keeps the evidence.
 //
 // -faults arms a seeded fault-injection schedule under every local
 // engine (see complexobj.ParseFaultPlan for the grammar); in -serve-url
@@ -96,6 +106,7 @@ func main() {
 		soak      = flag.Duration("soak", 0, "sustained-load soak of this total duration instead of a table run (-serve-url mode)")
 		soakSteps = flag.Int("soak-steps", 4, "rate-ramp steps of the soak (climbing to -rate, default 50 req/s)")
 		soakRSS   = flag.Int("soak-rss-mb", 64, "soak gate: server RSS may grow at most this many MiB")
+		writeFrac = flag.Float64("write-frac", 0, "fraction of update-query (3a/3b) requests committed durably in -serve-url mode (needs coserve -wal)")
 	)
 	flag.Parse()
 
@@ -105,7 +116,7 @@ func main() {
 	}
 	err = run(*model, *query, *n, *buffer, *loops, *samples, *seed, *skew, *maxSeeing,
 		*metric, *workers, *backend, *dbPath, *repeat, *serveURL, *clients, *rate, *faults,
-		*reportOut, *soak, *soakSteps, *soakRSS)
+		*reportOut, *soak, *soakSteps, *soakRSS, *writeFrac)
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -119,7 +130,7 @@ func main() {
 func run(model, query string, n, buffer, loops, samples int, seed uint64, skew bool,
 	maxSeeing int, metric string, workers int, backend, dbPath string, repeat int,
 	serveURL string, clients int, rate float64, faults string,
-	reportPath string, soak time.Duration, soakSteps, soakRSSMB int) error {
+	reportPath string, soak time.Duration, soakSteps, soakRSSMB int, writeFrac float64) error {
 
 	gen := cobench.DefaultConfig().WithN(n).WithMaxSeeing(maxSeeing)
 	gen.Seed = seed
@@ -177,18 +188,24 @@ func run(model, query string, n, buffer, loops, samples int, seed uint64, skew b
 		if faults != "" {
 			return fmt.Errorf("-faults injects under local engines; with -serve-url, arm the server instead (coserve -faults %q)", faults)
 		}
+		if writeFrac < 0 || writeFrac > 1 {
+			return fmt.Errorf("-write-frac %g out of range [0, 1]", writeFrac)
+		}
 		if soak > 0 {
 			// Soak mode replaces the table: the deliverable is the gate
 			// verdict (and the -report JSON), not measurements.
-			return runSoak(serveURL, models, queries, gen, w, buffer, soak, soakSteps, rate, soakRSSMB, reportPath)
+			return runSoak(serveURL, models, queries, gen, w, buffer, soak, soakSteps, rate, soakRSSMB, writeFrac, reportPath)
 		}
-		rows, err = measureServed(serveURL, models, queries, gen, w, buffer, clients, rate, repeat, reportPath, get)
+		rows, err = measureServed(serveURL, models, queries, gen, w, buffer, clients, rate, repeat, writeFrac, reportPath, get)
 	} else {
 		if soak > 0 {
 			return fmt.Errorf("-soak drives a running coserve; pass -serve-url")
 		}
 		if reportPath != "" {
 			return fmt.Errorf("-report summarizes served load; pass -serve-url")
+		}
+		if writeFrac > 0 {
+			return fmt.Errorf("-write-frac drives a durable coserve; pass -serve-url")
 		}
 		plan, perr := complexobj.ParseFaultPlan(faults)
 		if perr != nil {

@@ -35,14 +35,51 @@ type servedClient struct {
 	// so client- and server-side percentiles are comparable bucket for
 	// bucket.
 	hist *metrics.Histogram
+
+	// Write mode (-write-frac against a coserve -wal): commitEvery
+	// selects every k-th update-query request for durable commit
+	// (deterministic, so repeats issue the same write mix); acked counts
+	// the commits the server acknowledged, commitHist their server-side
+	// latency (the commitMicros field of the response). The lost-update
+	// gate compares acked against the server's own commit counter.
+	commitEvery int64
+	wcount      atomic.Int64
+	acked       atomic.Int64
+	commitHist  *metrics.Histogram
 }
 
 func newServedClient(baseURL string) *servedClient {
 	return &servedClient{
-		base: trimSlash(baseURL),
-		hc:   &http.Client{Timeout: 10 * time.Minute},
-		hist: metrics.NewHistogram(),
+		base:       trimSlash(baseURL),
+		hc:         &http.Client{Timeout: 10 * time.Minute},
+		hist:       metrics.NewHistogram(),
+		commitHist: metrics.NewHistogram(),
 	}
+}
+
+// setWriteFrac arms write mode: frac of the update-query (3a/3b)
+// requests are sent with commit=1. frac >= 1 commits every one; 0
+// disables.
+func (c *servedClient) setWriteFrac(frac float64) {
+	switch {
+	case frac <= 0:
+		c.commitEvery = 0
+	case frac >= 1:
+		c.commitEvery = 1
+	default:
+		c.commitEvery = int64(1/frac + 0.5)
+	}
+}
+
+// decideCommit picks whether this request commits: only update queries,
+// every commitEvery-th of them. The decision is made once per logical
+// request (not per retry attempt), so a retried request keeps its write
+// intent.
+func (c *servedClient) decideCommit(q cobench.Query) bool {
+	if c.commitEvery == 0 || !q.Updates() {
+		return false
+	}
+	return (c.wcount.Add(1)-1)%c.commitEvery == 0
 }
 
 // checkServer verifies the server serves the installation the flags
@@ -82,8 +119,9 @@ func (c *servedClient) checkServer(gen cobench.Config, bufferPages int) error {
 func (c *servedClient) runOne(k complexobj.ModelKind, q cobench.Query, w cobench.Workload) (_ complexobj.QueryResult, exhausted bool, _ error) {
 	const maxAttempts = 5
 	backoff := 50 * time.Millisecond
+	commit := c.decideCommit(q)
 	for attempt := 1; ; attempt++ {
-		res, retryable, err := c.tryOne(k, q, w)
+		res, retryable, err := c.tryOne(k, q, w, commit)
 		if err == nil {
 			return res, false, nil
 		}
@@ -99,8 +137,12 @@ func (c *servedClient) runOne(k complexobj.ModelKind, q cobench.Query, w cobench
 // tryOne is one attempt of runOne. retryable marks failures worth another
 // attempt: connection errors and 503 (the server shedding load, which
 // also counts toward the shed column).
-func (c *servedClient) tryOne(k complexobj.ModelKind, q cobench.Query, w cobench.Workload) (_ complexobj.QueryResult, retryable bool, _ error) {
-	params := server.RunSpecFor(k, q, w).Values()
+func (c *servedClient) tryOne(k complexobj.ModelKind, q cobench.Query, w cobench.Workload, commit bool) (_ complexobj.QueryResult, retryable bool, _ error) {
+	spec := server.RunSpecFor(k, q, w)
+	if commit {
+		spec.Commit = "1"
+	}
+	params := spec.Values()
 	start := time.Now()
 	resp, err := c.hc.Get(c.base + "/run?" + params.Encode())
 	if err != nil {
@@ -120,6 +162,10 @@ func (c *servedClient) tryOne(k complexobj.ModelKind, q cobench.Query, w cobench
 		return complexobj.QueryResult{}, false, fmt.Errorf("%s %s: %w", k, q, err)
 	}
 	c.hist.Observe(time.Since(start))
+	if rr.Committed {
+		c.acked.Add(1)
+		c.commitHist.Observe(time.Duration(rr.CommitUS) * time.Microsecond)
+	}
 	res := complexobj.QueryResult{
 		Query:     q,
 		Model:     k,
@@ -142,7 +188,7 @@ func (c *servedClient) tryOne(k complexobj.ModelKind, q cobench.Query, w cobench
 // byte-comparable to the local table.
 func measureServed(baseURL string, models []complexobj.ModelKind, queries []cobench.Query,
 	gen cobench.Config, w cobench.Workload, bufferPages, clients int, rate float64, repeat int,
-	reportPath string, get func(complexobj.QueryResult) float64) ([][]string, error) {
+	writeFrac float64, reportPath string, get func(complexobj.QueryResult) float64) ([][]string, error) {
 
 	c := newServedClient(baseURL)
 	if err := c.checkServer(gen, bufferPages); err != nil {
@@ -150,6 +196,18 @@ func measureServed(baseURL string, models []complexobj.ModelKind, queries []cobe
 	}
 	if clients < 1 {
 		clients = 1
+	}
+	c.setWriteFrac(writeFrac)
+	var commitsBefore int64
+	if writeFrac > 0 {
+		n, durable, err := c.serverCommits()
+		if err != nil {
+			return nil, err
+		}
+		if !durable {
+			return nil, fmt.Errorf("-write-frac needs a durable server (start coserve -wal)")
+		}
+		commitsBefore = n
 	}
 
 	rows := make([][]string, len(models))
@@ -198,7 +256,52 @@ func measureServed(baseURL string, models []complexobj.ModelKind, queries []cobe
 	if err := c.report(os.Stderr, time.Since(start), clients, rate, reportPath); err != nil {
 		return nil, err
 	}
+	if writeFrac > 0 {
+		if err := c.commitVerdict(os.Stderr, commitsBefore); err != nil {
+			return nil, err
+		}
+	}
 	return rows, nil
+}
+
+// serverCommits reads the server's acknowledged-commit counter from
+// /info (durable=false when the server runs without a write-ahead log).
+func (c *servedClient) serverCommits() (commits int64, durable bool, _ error) {
+	var info server.InfoResponse
+	if err := c.getJSON("/info", &info); err != nil {
+		return 0, false, err
+	}
+	if info.Durability == nil {
+		return 0, false, nil
+	}
+	return info.Durability.Commits, true, nil
+}
+
+// commitVerdict prints the write-mode summary and enforces the
+// lost-update gate: every commit the server acknowledged to this client
+// must be reflected in the server's own commit counter. The server delta
+// may exceed the acked count (a retried request can commit twice after a
+// lost acknowledgment) — only the other direction is an error.
+func (c *servedClient) commitVerdict(w io.Writer, commitsBefore int64) error {
+	after, durable, err := c.serverCommits()
+	if err != nil {
+		return err
+	}
+	acked := c.acked.Load()
+	delta := after - commitsBefore
+	lost := acked - delta
+	if !durable || lost < 0 {
+		lost = 0
+	}
+	s := metrics.Summarize(c.commitHist.Snapshot())
+	fmt.Fprintf(w, "commits: %d acknowledged, server delta %d, lost %d, commit latency p50 %s / p99 %s / max %s\n",
+		acked, delta, lost,
+		micros(float64(s.P50Micros)), micros(float64(s.P99Micros)), micros(float64(s.MaxMicros)))
+	if lost > 0 {
+		return fmt.Errorf("lost updates: %d acknowledged commits are missing from the server's counter (%d acked, server delta %d)",
+			lost, acked, delta)
+	}
+	return nil
 }
 
 // openLoop fires every (model, query, repeat) request at a fixed rate,
@@ -278,6 +381,11 @@ func (c *servedClient) report(w io.Writer, wall time.Duration, clients int, rate
 	}
 	if rate > 0 {
 		rep.Mode = "open"
+	}
+	if acked := c.acked.Load(); acked > 0 {
+		rep.Commits = acked
+		cl := metrics.Summarize(c.commitHist.Snapshot())
+		rep.CommitLatency = &cl
 	}
 	return writeReport(reportPath, &rep)
 }

@@ -28,7 +28,12 @@ type RunReport struct {
 	Retries     int64           `json:"retries"`
 	Shed        int64           `json:"shed"`
 	Latency     metrics.Summary `json:"latency"`
-	Soak        *SoakReport     `json:"soak,omitempty"`
+	// Commits and CommitLatency appear in write mode (-write-frac against
+	// a coserve -wal): the acknowledged durable commits and their
+	// server-side latency distribution.
+	Commits       int64            `json:"commits,omitempty"`
+	CommitLatency *metrics.Summary `json:"commitLatency,omitempty"`
+	Soak          *SoakReport      `json:"soak,omitempty"`
 }
 
 // SoakStep is one rung of the soak ramp.
@@ -55,7 +60,15 @@ type SoakReport struct {
 	ClientDivergentCells int64      `json:"clientDivergentCells"`
 	HardErrors           int64      `json:"hardErrors"`
 	ShedExhausted        int64      `json:"shedExhausted"`
-	Passed               bool       `json:"passed"`
+	// Write-mode gate (only meaningful with -write-frac): commits the
+	// server acknowledged to this client, the growth of the server's own
+	// commit counter over the soak, and the difference — acknowledged
+	// commits the server's counter does not account for. LostUpdates must
+	// be zero for the soak to pass.
+	AckedCommits  int64 `json:"ackedCommits,omitempty"`
+	ServerCommits int64 `json:"serverCommits,omitempty"`
+	LostUpdates   int64 `json:"lostUpdates,omitempty"`
+	Passed        bool  `json:"passed"`
 }
 
 // writeReport writes rep as indented JSON (atomic enough for CI: a
@@ -101,11 +114,24 @@ func (c *soakCell) observe(raw complexobj.Stats) {
 // so a failing soak still leaves its evidence behind.
 func runSoak(baseURL string, models []complexobj.ModelKind, queries []cobench.Query,
 	gen cobench.Config, w cobench.Workload, bufferPages int,
-	total time.Duration, steps int, peakRate float64, rssBoundMB int, reportPath string) error {
+	total time.Duration, steps int, peakRate float64, rssBoundMB int,
+	writeFrac float64, reportPath string) error {
 
 	c := newServedClient(baseURL)
 	if err := c.checkServer(gen, bufferPages); err != nil {
 		return err
+	}
+	c.setWriteFrac(writeFrac)
+	var commitsBefore int64
+	if writeFrac > 0 {
+		n, durable, err := c.serverCommits()
+		if err != nil {
+			return err
+		}
+		if !durable {
+			return fmt.Errorf("-write-frac needs a durable server (start coserve -wal)")
+		}
+		commitsBefore = n
 	}
 	if steps < 1 {
 		steps = 1
@@ -277,6 +303,28 @@ func runSoak(baseURL string, models []complexobj.ModelKind, queries []cobench.Qu
 	rssSkipped := start == 0
 	rssOK := rssSkipped || growth <= bound
 
+	// Write-mode gate: every commit acknowledged to this client must show
+	// up in the server's own counter (the reverse — a retried request
+	// committing twice after a lost acknowledgment — is fine).
+	var acked, serverDelta, lost int64
+	if writeFrac > 0 {
+		acked = c.acked.Load()
+		after, durable, err := c.serverCommits()
+		if err != nil {
+			firstErrMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			firstErrMu.Unlock()
+			hardErrs.Add(1)
+		} else if durable {
+			serverDelta = after - commitsBefore
+			if lost = acked - serverDelta; lost < 0 {
+				lost = 0
+			}
+		}
+	}
+
 	soak := &SoakReport{
 		Steps:                stepReports,
 		StartRSSBytes:        start,
@@ -288,7 +336,10 @@ func runSoak(baseURL string, models []complexobj.ModelKind, queries []cobench.Qu
 		ClientDivergentCells: clientDivergent,
 		HardErrors:           hardErrs.Load(),
 		ShedExhausted:        exhausted.Load(),
-		Passed:               hardErrs.Load() == 0 && divergent == 0 && clientDivergent == 0 && rssOK,
+		AckedCommits:         acked,
+		ServerCommits:        serverDelta,
+		LostUpdates:          lost,
+		Passed:               hardErrs.Load() == 0 && divergent == 0 && clientDivergent == 0 && rssOK && lost == 0,
 	}
 	snap := c.hist.Snapshot()
 	rep := &RunReport{
@@ -318,6 +369,12 @@ func runSoak(baseURL string, models []complexobj.ModelKind, queries []cobench.Qu
 	} else {
 		fmt.Fprintf(os.Stderr, "soak: server RSS %d -> %d bytes (growth %d, bound %d)\n", start, peak, growth, bound)
 	}
+	if writeFrac > 0 {
+		cl := metrics.Summarize(c.commitHist.Snapshot())
+		fmt.Fprintf(os.Stderr, "soak: %d durable commits acknowledged (server delta %d, lost %d), commit latency p50 %s / p99 %s / max %s\n",
+			acked, serverDelta, lost,
+			micros(float64(cl.P50Micros)), micros(float64(cl.P99Micros)), micros(float64(cl.MaxMicros)))
+	}
 
 	switch {
 	case hardErrs.Load() > 0:
@@ -328,6 +385,8 @@ func runSoak(baseURL string, models []complexobj.ModelKind, queries []cobench.Qu
 		return fmt.Errorf("soak: %d cells returned non-identical counters across requests", clientDivergent)
 	case !rssOK:
 		return fmt.Errorf("soak: server RSS grew %d bytes, bound %d (start %d, peak %d)", growth, bound, start, peak)
+	case lost > 0:
+		return fmt.Errorf("soak: %d lost updates (%d commits acknowledged, server counter grew %d)", lost, acked, serverDelta)
 	}
 	fmt.Fprintln(os.Stderr, "soak: all gates passed")
 	return nil

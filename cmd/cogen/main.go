@@ -5,12 +5,14 @@
 // Usage:
 //
 //	cogen [-n 1500] [-seed 1993] [-prob 0.8] [-fanout 2] [-maxseeing 15] [-skew]
-//	      [-dump 42] [-db bench.codb] [-buffer 1200] [-faults SPEC]
+//	      [-dump 42] [-db bench.codb] [-wal DIR] [-buffer 1200] [-faults SPEC]
 //
 // With -db, the extension is loaded into every storage model and the
 // result is serialized as a .codb snapshot (device arenas + directory
 // metadata), which cotables -db / cobench -db replay without regenerating
-// or reloading anything. The models load concurrently, each over its own
+// or reloading anything. With -wal, the loaded models additionally seed
+// a commit-log directory as checkpoint sidecars, so `coserve -wal DIR`
+// can start durable serving there without a snapshot fallback. The models load concurrently, each over its own
 // engine. -faults arms a seeded fault-injection schedule under those
 // loading engines (see complexobj.ParseFaultPlan for the grammar) —
 // mainly a resilience exercise: the load either survives transient
@@ -42,6 +44,7 @@ func main() {
 		dump      = flag.Int("dump", -1, "print this station in full")
 		hist      = flag.Bool("hist", false, "print the object-size histogram (pages per object)")
 		dbPath    = flag.String("db", "", "load every storage model and write a reusable .codb snapshot here")
+		walDir    = flag.String("wal", "", "seed this commit-log directory with checkpoint sidecars of the loaded models (for coserve -wal)")
 		buffer    = flag.Int("buffer", 1200, "buffer pool pages used while loading the snapshot models")
 		faults    = flag.String("faults", "", "fault-injection schedule under the snapshot-loading engines, e.g. seed=7,read=0.02")
 	)
@@ -99,8 +102,8 @@ func main() {
 		printStation(stations[*dump])
 	}
 
-	if *dbPath != "" {
-		if err := buildSnapshot(*dbPath, cfg, stations, *buffer, *faults); err != nil {
+	if *dbPath != "" || *walDir != "" {
+		if err := buildSnapshot(*dbPath, *walDir, cfg, stations, *buffer, *faults); err != nil {
 			fmt.Fprintln(os.Stderr, "cogen:", err)
 			os.Exit(1)
 		}
@@ -108,8 +111,9 @@ func main() {
 }
 
 // buildSnapshot loads the generated extension into every storage model
-// (concurrently, each over its own engine) and writes the .codb snapshot.
-func buildSnapshot(path string, cfg cobench.Config, stations []*cobench.Station, bufferPages int, faults string) error {
+// (concurrently, each over its own engine) and writes the .codb snapshot
+// (path non-empty) and/or seeds a commit-log directory (walDir non-empty).
+func buildSnapshot(path, walDir string, cfg cobench.Config, stations []*cobench.Station, bufferPages int, faults string) error {
 	plan, err := complexobj.ParseFaultPlan(faults)
 	if err != nil {
 		return err
@@ -138,15 +142,23 @@ func buildSnapshot(path string, cfg cobench.Config, stations []*cobench.Station,
 	if err != nil {
 		return err
 	}
-	if err := complexobj.WriteSnapshot(path, cfg, dbs...); err != nil {
-		return err
+	if path != "" {
+		if err := complexobj.WriteSnapshot(path, cfg, dbs...); err != nil {
+			return err
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote snapshot %s: %d models, N=%d, %.1f MiB\n",
+			path, len(kinds), cfg.N, float64(st.Size())/(1<<20))
 	}
-	st, err := os.Stat(path)
-	if err != nil {
-		return err
+	if walDir != "" {
+		if err := complexobj.SeedCommitDir(walDir, dbs...); err != nil {
+			return err
+		}
+		fmt.Printf("seeded commit dir %s: %d model checkpoints, N=%d\n", walDir, len(kinds), cfg.N)
 	}
-	fmt.Printf("wrote snapshot %s: %d models, N=%d, %.1f MiB\n",
-		path, len(kinds), cfg.N, float64(st.Size())/(1<<20))
 	if plan != nil {
 		fs := plan.Stats()
 		fmt.Fprintf(os.Stderr, "cogen: survived %d injected faults over %d device ops (%s)\n",

@@ -9,6 +9,7 @@
 //	coserve -db bench.codb [-addr :8077] [-buffer 1200] [-views 8]
 //	        [-model all] [-loops 300] [-samples 40] [-seed 1993]
 //	        [-max-inflight 0] [-request-timeout 0] [-faults SPEC]
+//	        [-wal DIR] [-checkpoint-mb 64]
 //
 // Endpoints: /run, /stats, /info, /healthz, /metrics (see
 // internal/server; /metrics is Prometheus text exposition — serving
@@ -25,6 +26,16 @@
 // engine (see complexobj.ParseFaultPlan for the grammar) — injected
 // faults surface as structured errors and never alter the counters of
 // successful responses.
+//
+// -wal DIR arms the durable commit path: served bases open from the
+// directory's checkpoint sidecars (the snapshot seeds the first start),
+// the write-ahead log replays on startup, and /run requests carrying
+// commit=1 fold their update-query mutations into the served base — the
+// response is written only after the fsync acknowledged the batch. A
+// kill -9 at any point recovers to exactly the last acknowledged commit.
+// -checkpoint-mb compacts the log whenever it outgrows that size (0:
+// never). Read-path counters are unaffected: a -wal server measures
+// bit-identically to a read-only one.
 package main
 
 import (
@@ -56,16 +67,18 @@ func main() {
 		maxInFl    = flag.Int("max-inflight", 0, "server-wide admitted-request bound (0: 2x the summed view bound, <0: unbounded)")
 		reqTimeout = flag.Duration("request-timeout", 0, "per-request deadline across admission, view acquire and execution (0: none)")
 		faults     = flag.String("faults", "", "fault-injection schedule for every view engine, e.g. seed=7,read=0.02,latency=0.05:2ms")
+		walDir     = flag.String("wal", "", "write-ahead-log directory arming durable commits (empty: read-only serving)")
+		ckptMB     = flag.Int64("checkpoint-mb", 64, "checkpoint the write-ahead log when it exceeds this many MiB (0: never; needs -wal)")
 	)
 	flag.Parse()
-	if err := run(*dbPath, *addr, *buffer, *views, *model, *loops, *samples, *seed, *maxInFl, *reqTimeout, *faults); err != nil {
+	if err := run(*dbPath, *addr, *buffer, *views, *model, *loops, *samples, *seed, *maxInFl, *reqTimeout, *faults, *walDir, *ckptMB); err != nil {
 		fmt.Fprintln(os.Stderr, "coserve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dbPath, addr string, buffer, views int, model string, loops, samples int, seed uint64,
-	maxInflight int, reqTimeout time.Duration, faults string) error {
+	maxInflight int, reqTimeout time.Duration, faults, walDir string, ckptMB int64) error {
 	if dbPath == "" {
 		return fmt.Errorf("-db is required (build one with: cogen -db bench.codb)")
 	}
@@ -73,13 +86,18 @@ func run(dbPath, addr string, buffer, views int, model string, loops, samples in
 	if err != nil {
 		return err
 	}
+	if ckptMB < 0 {
+		return fmt.Errorf("-checkpoint-mb %d is negative", ckptMB)
+	}
 	cfg := server.Config{
-		Snapshot:       dbPath,
-		BufferPages:    buffer,
-		MaxViews:       views,
-		MaxInflight:    maxInflight,
-		RequestTimeout: reqTimeout,
-		Faults:         plan,
+		Snapshot:        dbPath,
+		BufferPages:     buffer,
+		MaxViews:        views,
+		MaxInflight:     maxInflight,
+		RequestTimeout:  reqTimeout,
+		Faults:          plan,
+		WALDir:          walDir,
+		CheckpointBytes: ckptMB << 20,
 	}
 	cfg.Workload.Loops = loops
 	cfg.Workload.Samples = samples
@@ -109,6 +127,9 @@ func run(dbPath, addr string, buffer, views int, model string, loops, samples in
 	}
 	if plan != nil {
 		fmt.Printf("coserve: fault injection armed: %s\n", plan)
+	}
+	if walDir != "" {
+		fmt.Printf("coserve: durable commits armed: wal %s, checkpoint at %d MiB\n", walDir, ckptMB)
 	}
 
 	hs := &http.Server{Addr: addr, Handler: srv.Handler()}

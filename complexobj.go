@@ -166,6 +166,10 @@ func (s Stats) Calls() int64 { return s.ReadCalls + s.WriteCalls }
 type DB struct {
 	kind  ModelKind
 	model store.Model
+	// persistDir, when set, is the directory an OpenPersistent database
+	// lives in; Close writes the meta sidecar there before releasing the
+	// backend.
+	persistDir string
 }
 
 // Open creates an empty database under the given storage model and
@@ -204,10 +208,20 @@ func OpenLoaded(kind ModelKind, opts Options, gen cobench.Config) (*DB, error) {
 func (db *DB) Kind() ModelKind { return db.kind }
 
 // Close flushes dirty pages and releases the storage backend (unmapping
-// and, for anonymous file arenas, deleting the arena file). The database
-// must not be used afterwards. Close is a no-op for repeated calls only
-// in the sense that errors repeat; call it once.
-func (db *DB) Close() error { return db.model.Engine().Close() }
+// and, for anonymous file arenas, deleting the arena file). A persistent
+// database (OpenPersistent) additionally records its directory metadata
+// in the meta sidecar so the next open restores it. The database must
+// not be used afterwards. Close is a no-op for repeated calls only in
+// the sense that errors repeat; call it once.
+func (db *DB) Close() error {
+	if db.persistDir != "" {
+		if err := db.writePersistentMeta(); err != nil {
+			db.model.Engine().Close()
+			return err
+		}
+	}
+	return db.model.Engine().Close()
+}
 
 // WriteSnapshot serializes the loaded databases into a .codb snapshot
 // file. The generator configuration is stored alongside so consumers can

@@ -1,0 +1,408 @@
+package complexobj
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"complexobj/cobench"
+)
+
+// The crash battery below complements the torn/short fault injection in
+// internal/wal (which exercises the record codec under a faulty device)
+// at the facade level: every way a serving process can die — the log cut
+// at an arbitrary byte, a record corrupted in place, the process killed
+// right after an fsync — must recover onto exactly one of the committed
+// generations, never a torn hybrid, and the log must accept the next
+// commit afterwards.
+
+// crashHistory builds a commit-log directory with a known committed
+// history: commits 1..n each rename root rootIdx to "crash gen i". It
+// returns the seed snapshot path, the wal bytes, the log size after each
+// commit (boundaries[i] = bytes holding exactly i commits) and the
+// expected root name per generation (expected[0] is the seeded name).
+func crashHistory(t *testing.T, kind ModelKind, n int) (snap string, walBytes []byte, boundaries []int64, expected []string) {
+	t.Helper()
+	const rootIdx = 6
+	snap, stations := seedSnapshot(t, kind, 24)
+	walDir := t.TempDir()
+
+	clog, err := OpenCommitLog(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := clog.OpenBase(kind, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clog.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	boundaries = []int64{0}
+	expected = []string{stations[rootIdx].Name}
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("crash gen %d", i)
+		v, err := base.NewView(Options{BufferPages: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.sv.UpdateRoots([]int32{rootIdx}, func(_ int32, r *cobench.RootRecord) {
+			r.Name = name
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.Commit(clog); err != nil {
+			t.Fatal(err)
+		}
+		v.Close()
+		boundaries = append(boundaries, clog.Stats().SizeBytes)
+		expected = append(expected, name)
+	}
+	clog.Close()
+	base.Close()
+
+	walBytes, err = os.ReadFile(filepath.Join(walDir, WALFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(walBytes)) != boundaries[n] {
+		t.Fatalf("wal file is %d bytes, stats recorded %d", len(walBytes), boundaries[n])
+	}
+	return snap, walBytes, boundaries, expected
+}
+
+// recoverFrom replays a synthesized wal image in a fresh directory and
+// returns the number of replayed commits after verifying the base landed
+// on that committed generation (root name matches, generation counter
+// agrees) and that the log accepts a follow-up commit continuing the
+// sequence.
+func recoverFrom(t *testing.T, kind ModelKind, snap string, walImage []byte, expected []string) int {
+	t.Helper()
+	const rootIdx = 6
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, WALFileName), walImage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	clog, err := OpenCommitLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clog.Close()
+	base, err := clog.OpenBase(kind, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	n, err := clog.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if n < 0 || n >= len(expected) {
+		t.Fatalf("recovered %d commits, history holds %d", n, len(expected)-1)
+	}
+	if got := base.Gen(); got != uint64(n) {
+		t.Fatalf("recovered %d commits but base is at generation %d", n, got)
+	}
+	v, err := base.NewView(Options{BufferPages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	got, err := v.sv.FetchByAddress(rootIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != expected[n] {
+		t.Fatalf("recovered state reads %q, generation %d committed %q", got.Name, n, expected[n])
+	}
+	if err := v.sv.UpdateRoots([]int32{rootIdx}, func(_ int32, r *cobench.RootRecord) {
+		r.Name = "after recovery"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := v.Commit(clog)
+	if err != nil {
+		t.Fatalf("commit after recovery: %v", err)
+	}
+	if info.Seq != uint64(n)+1 {
+		t.Fatalf("post-recovery commit got seq %d, want %d", info.Seq, n+1)
+	}
+	return n
+}
+
+// TestCommitLogTruncationSweep cuts the log at a sweep of byte offsets —
+// every commit boundary, its neighbours and a stride across the whole
+// file — and proves each cut recovers the longest committed prefix below
+// it: exactly the generations whose commit marker survived, never a
+// torn in-between state.
+func TestCommitLogTruncationSweep(t *testing.T) {
+	const kind = DASDBSNSM
+	snap, walBytes, boundaries, expected := crashHistory(t, kind, 3)
+	size := int64(len(walBytes))
+
+	cuts := make(map[int64]bool)
+	for _, b := range boundaries {
+		for _, c := range []int64{b - 1, b, b + 1} {
+			if c >= 0 && c <= size {
+				cuts[c] = true
+			}
+		}
+	}
+	stride := size / 40
+	if stride < 1 {
+		stride = 1
+	}
+	for c := int64(0); c <= size; c += stride {
+		cuts[c] = true
+	}
+
+	// wantCommits: the highest boundary at or below the cut.
+	wantCommits := func(cut int64) int {
+		n := 0
+		for i, b := range boundaries {
+			if b <= cut {
+				n = i
+			}
+		}
+		return n
+	}
+	for cut := range cuts {
+		n := recoverFrom(t, kind, snap, walBytes[:cut], expected)
+		if want := wantCommits(cut); n != want {
+			t.Fatalf("cut at %d: recovered %d commits, want %d (boundaries %v)", cut, n, want, boundaries)
+		}
+	}
+}
+
+// TestCommitLogCorruptionBattery flips a byte inside each commit's
+// record region (and in each commit marker's trailing bytes): the
+// checksum must reject the damaged batch and recovery must land on the
+// last intact committed generation before it.
+func TestCommitLogCorruptionBattery(t *testing.T) {
+	const kind = NSMIndex
+	snap, walBytes, boundaries, expected := crashHistory(t, kind, 3)
+
+	for i := 1; i < len(boundaries); i++ {
+		for _, off := range []int64{
+			(boundaries[i-1] + boundaries[i]) / 2, // mid-batch, usually a page image
+			boundaries[i] - 5,                     // inside the commit marker
+		} {
+			corrupt := append([]byte(nil), walBytes...)
+			corrupt[off] ^= 0x40
+			n := recoverFrom(t, kind, snap, corrupt, expected)
+			if n != i-1 {
+				t.Fatalf("flip at %d (batch %d): recovered %d commits, want %d", off, i, n, i-1)
+			}
+		}
+	}
+}
+
+// TestCommitLogKillAfterSync crashes the committing process (a panic
+// standing in for kill -9) right after the Nth WAL fsync, for several N:
+// the synced-but-unacknowledged commit is allowed to survive, every
+// acknowledged one must, and recovery lands on a committed generation
+// either way.
+func TestCommitLogKillAfterSync(t *testing.T) {
+	const (
+		kind    = DASDBSDSM
+		rootIdx = 6
+		total   = 4
+	)
+	snap, stations := seedSnapshot(t, kind, 24)
+
+	for kill := 1; kill <= 3; kill++ {
+		t.Run(fmt.Sprintf("kill=%d", kill), func(t *testing.T) {
+			walDir := t.TempDir()
+			clog, err := OpenCommitLog(walDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := clog.OpenBase(kind, snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := clog.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			syncs := 0
+			clog.handle().SetSyncHook(func(int64) {
+				syncs++
+				if syncs == kill {
+					panic("simulated crash after fsync")
+				}
+			})
+
+			acked := 0
+			crashed := false
+			commitOne := func(name string) {
+				defer func() {
+					if recover() != nil {
+						crashed = true
+					}
+				}()
+				v, err := base.NewView(Options{BufferPages: 128})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer v.Close()
+				if err := v.sv.UpdateRoots([]int32{rootIdx}, func(_ int32, r *cobench.RootRecord) {
+					r.Name = name
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := v.Commit(clog); err != nil {
+					t.Fatal(err)
+				}
+				acked++
+			}
+			for i := 1; i <= total && !crashed; i++ {
+				commitOne(fmt.Sprintf("kill gen %d", i))
+			}
+			if !crashed {
+				t.Fatalf("sync hook never fired (%d syncs seen)", syncs)
+			}
+			clog.Close()
+			base.Close()
+
+			// Restart: everything acknowledged must be there; the commit
+			// that died between its fsync and its acknowledgment may be.
+			re, err := OpenCommitLog(walDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			base2, err := re.OpenBase(kind, snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer base2.Close()
+			n, err := re.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n < acked || n > acked+1 {
+				t.Fatalf("recovered %d commits with %d acknowledged", n, acked)
+			}
+			v, err := base2.NewView(Options{BufferPages: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer v.Close()
+			got, err := v.sv.FetchByAddress(rootIdx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := stations[rootIdx].Name
+			if n > 0 {
+				want = fmt.Sprintf("kill gen %d", n)
+			}
+			if got.Name != want {
+				t.Fatalf("recovered state reads %q, want %q (replayed %d)", got.Name, want, n)
+			}
+		})
+	}
+}
+
+// TestDurableReadPathCountersBitIdentical pins the acceptance bar of the
+// durable write path: arming the commit log must not move a single
+// read-path paper counter. The full query set measures identically on a
+// plain snapshot restore (mem and file backends), a copy-on-write view
+// of the shared base, a view over a commit-log base — and again after a
+// durable commit has promoted a new generation.
+func TestDurableReadPathCountersBitIdentical(t *testing.T) {
+	w := cobench.Workload{Loops: 10, Samples: 8, Seed: 1993}
+	queries := cobench.AllQueries()
+	opts := Options{BufferPages: 128}
+
+	// runAll executes the query set in order and strips the wall-clock
+	// field, which is observability, not a counter.
+	runAll := func(t *testing.T, run func(cobench.Query, cobench.Workload) (QueryResult, error)) []QueryResult {
+		t.Helper()
+		out := make([]QueryResult, 0, len(queries))
+		for _, q := range queries {
+			res, err := run(q, w)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			res.Elapsed = 0
+			out = append(out, res)
+		}
+		return out
+	}
+
+	for _, kind := range AllModels() {
+		t.Run(kind.String(), func(t *testing.T) {
+			snap, _ := seedSnapshot(t, kind, 30)
+
+			db, err := OpenSnapshot(snap, kind, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseline := runAll(t, db.Run)
+			db.Close()
+
+			fdb, err := OpenSnapshot(snap, kind, Options{BufferPages: 128, Backend: "file"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := runAll(t, fdb.Run); !reflect.DeepEqual(got, baseline) {
+				t.Fatalf("file backend diverged:\n got %+v\nwant %+v", got, baseline)
+			}
+			fdb.Close()
+
+			cowBase, err := OpenBase(snap, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cdb, err := cowBase.Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := runAll(t, cdb.Run); !reflect.DeepEqual(got, baseline) {
+				t.Fatalf("cow backend diverged:\n got %+v\nwant %+v", got, baseline)
+			}
+			cdb.Close()
+			cowBase.Close()
+
+			clog, err := OpenCommitLog(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer clog.Close()
+			wbase, err := clog.OpenBase(kind, snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer wbase.Close()
+			if _, err := clog.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			v, err := wbase.NewView(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := runAll(t, v.Run); !reflect.DeepEqual(got, baseline) {
+				t.Fatalf("wal-armed view diverged:\n got %+v\nwant %+v", got, baseline)
+			}
+			// Commit the mutations the update queries made: size-preserving
+			// stamps, so the promoted generation must measure identically.
+			if _, err := v.Commit(clog); err != nil {
+				t.Fatal(err)
+			}
+			v.Close()
+			v2, err := wbase.NewView(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer v2.Close()
+			if wbase.Gen() == 0 {
+				t.Fatal("commit did not promote a generation")
+			}
+			if got := runAll(t, v2.Run); !reflect.DeepEqual(got, baseline) {
+				t.Fatalf("post-commit generation diverged:\n got %+v\nwant %+v", got, baseline)
+			}
+		})
+	}
+}

@@ -1,0 +1,372 @@
+package complexobj
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"complexobj/cobench"
+)
+
+// TestOpenPersistentRoundTrip pins the persistent-database lifecycle: a
+// database created in a directory, loaded and closed reopens with its
+// full contents, a cold cache and zeroed counters — and without any
+// .codb export in between.
+func TestOpenPersistentRoundTrip(t *testing.T) {
+	stations, err := cobench.Generate(cobench.DefaultConfig().WithN(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range AllModels() {
+		t.Run(kind.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			db, err := OpenPersistent(dir, kind, Options{BufferPages: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Load(stations); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.UpdateObject(7, func(s *cobench.Station) error {
+				s.Name = "persisted"
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			re, err := OpenPersistent(dir, kind, Options{BufferPages: 128})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer re.Close()
+			if re.NumObjects() != len(stations) {
+				t.Fatalf("reopened with %d objects, want %d", re.NumObjects(), len(stations))
+			}
+			if s := re.Stats(); s.Calls() != 0 || s.BufferFixes != 0 {
+				t.Fatalf("reopened counters not zero: %+v", s)
+			}
+			got, err := re.FetchByKey(stations[7].Key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Name != "persisted" {
+				t.Fatalf("update lost across reopen: %q", got.Name)
+			}
+
+			// A conflicting page size is a configuration error, not silent
+			// re-creation.
+			if _, err := OpenPersistent(dir, kind, Options{PageSize: 4096}); err == nil {
+				t.Fatal("conflicting page size accepted")
+			}
+			// Persistence implies the file backend; everything else is
+			// rejected up front.
+			if _, err := OpenPersistent(dir, kind, Options{Backend: "mem"}); err == nil {
+				t.Fatal("mem backend accepted for a persistent database")
+			}
+		})
+	}
+}
+
+// TestOpenPersistentFresh: an empty directory yields an empty database,
+// usable immediately.
+func TestOpenPersistentFresh(t *testing.T) {
+	db, err := OpenPersistent(t.TempDir(), NSM, Options{BufferPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.NumObjects() != 0 {
+		t.Fatalf("fresh persistent database holds %d objects", db.NumObjects())
+	}
+}
+
+// seedSnapshot writes a .codb seed for one model and returns its path
+// plus the generated extension.
+func seedSnapshot(t *testing.T, kind ModelKind, n int) (string, []*cobench.Station) {
+	t.Helper()
+	cfg := cobench.DefaultConfig().WithN(n)
+	stations, err := cobench.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(kind, Options{BufferPages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Load(stations); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "seed.codb")
+	if err := WriteSnapshot(path, cfg, db); err != nil {
+		t.Fatal(err)
+	}
+	return path, stations
+}
+
+// TestCommitLogLifecycle drives the durable serving lifecycle end to end:
+// seed snapshot → commit log → durable commits → restart replays them →
+// checkpoint compacts the log → restart from the sidecar alone.
+func TestCommitLogLifecycle(t *testing.T) {
+	const kind = DASDBSNSM
+	snap, stations := seedSnapshot(t, kind, 40)
+	walDir := t.TempDir()
+
+	clog, err := OpenCommitLog(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := clog.OpenBase(kind, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clog.OpenBase(kind, snap); err == nil {
+		t.Fatal("duplicate model registration accepted")
+	}
+
+	// Commits before Recover must fail: the log is not armed yet.
+	early, err := base.NewView(Options{BufferPages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := early.sv.UpdateRoots([]int32{3}, func(i int32, r *cobench.RootRecord) {
+		r.Name = "too early"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := early.Commit(clog); !errors.Is(err, ErrNotRecovered) {
+		t.Fatalf("commit before Recover: %v, want ErrNotRecovered", err)
+	}
+	early.Close()
+
+	if n, err := clog.Recover(); err != nil || n != 0 {
+		t.Fatalf("fresh recover: %d, %v", n, err)
+	}
+	if _, err := clog.Recover(); err == nil {
+		t.Fatal("double Recover accepted")
+	}
+
+	commit := func(name string) CommitInfo {
+		t.Helper()
+		v, err := base.NewView(Options{BufferPages: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer v.Close()
+		if err := v.sv.UpdateRoots([]int32{5, 9}, func(i int32, r *cobench.RootRecord) {
+			r.Name = name
+		}); err != nil {
+			t.Fatal(err)
+		}
+		info, err := v.Commit(clog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return info
+	}
+	if info := commit("first"); info.Seq != 1 || info.Gen != 1 || info.Pages == 0 {
+		t.Fatalf("first commit: %+v", info)
+	}
+	if info := commit("second"); info.Seq != 2 || info.Gen != 2 {
+		t.Fatalf("second commit: %+v", info)
+	}
+	s := clog.Stats()
+	if s.Commits != 2 || s.LastSeq != 2 || s.SizeBytes == 0 || s.Syncs == 0 {
+		t.Fatalf("stats after two commits: %+v", s)
+	}
+	if err := clog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash" restart: no checkpoint ran, so the base re-seeds from the
+	// snapshot and both commits replay from the log.
+	clog2, err := OpenCommitLog(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base2, err := clog2.OpenBase(kind, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := clog2.Recover(); err != nil || n != 2 {
+		t.Fatalf("recover replayed %d, %v; want 2", n, err)
+	}
+	if got := clog2.Stats(); got.Recovered != 2 || got.LastSeq != 2 {
+		t.Fatalf("post-recovery stats: %+v", got)
+	}
+	if base2.Gen() != 2 {
+		t.Fatalf("recovered base at generation %d", base2.Gen())
+	}
+	v, err := base2.NewView(Options{BufferPages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.sv.FetchByKey(stations[9].Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "second" {
+		t.Fatalf("recovered view reads %q, want the last committed name", got.Name)
+	}
+	v.Close()
+
+	// Checkpoint: sidecars written, log truncated, sequence preserved.
+	if err := clog2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if s := clog2.Stats(); s.SizeBytes != 0 || s.Checkpoints != 1 {
+		t.Fatalf("post-checkpoint stats: %+v", s)
+	}
+	clog2.Close()
+	base2.Close()
+
+	// Restart from the checkpoint alone: no seed snapshot needed, nothing
+	// to replay, and the next commit continues the sequence.
+	clog3, err := OpenCommitLog(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clog3.Close()
+	base3, err := clog3.OpenBase(kind, "")
+	if err != nil {
+		t.Fatalf("open from checkpoint: %v", err)
+	}
+	defer base3.Close()
+	if n, err := clog3.Recover(); err != nil || n != 0 {
+		t.Fatalf("recover after checkpoint: %d, %v", n, err)
+	}
+	v3, err := base3.NewView(Options{BufferPages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := v3.sv.FetchByKey(stations[5].Key); err != nil || got.Name != "second" {
+		t.Fatalf("checkpointed state reads %q, %v", got.Name, err)
+	}
+	if err := v3.sv.UpdateRoots([]int32{1}, func(i int32, r *cobench.RootRecord) {
+		r.Name = "after checkpoint"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := v3.Commit(clog3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 3 {
+		t.Fatalf("sequence after checkpoint restart: %d, want 3", info.Seq)
+	}
+	v3.Close()
+}
+
+// TestCommitLogMaybeCheckpoint pins the size-triggered compaction valve.
+func TestCommitLogMaybeCheckpoint(t *testing.T) {
+	snap, _ := seedSnapshot(t, NSM, 30)
+	clog, err := OpenCommitLog(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clog.Close()
+	base, err := clog.OpenBase(NSM, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	if _, err := clog.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := base.NewView(Options{BufferPages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	if err := v.sv.UpdateRoots([]int32{2}, func(i int32, r *cobench.RootRecord) {
+		r.Name = "grow the log"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Commit(clog); err != nil {
+		t.Fatal(err)
+	}
+	if ran, err := clog.MaybeCheckpoint(1 << 30); err != nil || ran {
+		t.Fatalf("huge threshold checkpointed: %v, %v", ran, err)
+	}
+	if ran, err := clog.MaybeCheckpoint(0); err != nil || ran {
+		t.Fatalf("disabled threshold checkpointed: %v, %v", ran, err)
+	}
+	if ran, err := clog.MaybeCheckpoint(1); err != nil || !ran {
+		t.Fatalf("tiny threshold did not checkpoint: %v, %v", ran, err)
+	}
+	if s := clog.Stats(); s.SizeBytes != 0 || s.Checkpoints != 1 {
+		t.Fatalf("stats after MaybeCheckpoint: %+v", s)
+	}
+}
+
+// TestViewPoolRetiresStaleViews: once a commit promotes the base, views
+// of the superseded generation — idle or in flight — are destroyed
+// instead of recycled, and fresh acquisitions read the new generation.
+func TestViewPoolRetiresStaleViews(t *testing.T) {
+	db := smallDB(t, DASDBSNSM)
+	defer db.Close()
+	base, err := db.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	pool, err := NewViewPool(base, Options{BufferPages: 128}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Hold two views of generation 0, then park one idle.
+	a, err := pool.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pool.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Commit through the second view, promoting the base to generation 1.
+	if err := b.sv.UpdateRoots([]int32{4}, func(i int32, r *cobench.RootRecord) {
+		r.Name = "promoted"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both the committed view and the parked idle one are stale now; a
+	// fresh acquisition must read the promoted generation.
+	c, err := pool.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Gen() != 1 {
+		t.Fatalf("acquired view at generation %d, want 1", c.Gen())
+	}
+	if got, err := c.sv.FetchByAddress(4); err != nil || got.Name != "promoted" {
+		t.Fatalf("stale pool served old state: %q, %v", got.Name, err)
+	}
+	s := pool.Stats()
+	if s.Stale != 2 {
+		t.Fatalf("stale retirements: %+v, want Stale=2", s)
+	}
+	if s.Idle != 0 {
+		t.Fatalf("stale view left idle: %+v", s)
+	}
+}

@@ -1,0 +1,44 @@
+package disk
+
+// OverlayPages visits every materialized overlay page of a copy-on-write
+// backend in ascending page order, seeing through any stack of wrapping
+// backends (fault injection). The images passed to fn are the live
+// overlay pages — read-only for the caller, and invalid once the view
+// resets or closes. Returns false, calling fn never, when b is not
+// copy-on-write. This is the commit path's page collector: the overlay
+// of a view is exactly its dirty page set relative to the shared base.
+func OverlayPages(b Backend, fn func(pg int, img []byte)) bool {
+	c, ok := asCOW(b)
+	if !ok {
+		return false
+	}
+	for pg, img := range c.over {
+		if img != nil {
+			fn(pg, img)
+		}
+	}
+	return true
+}
+
+// NewPromotedArena folds one committed overlay into a base arena,
+// producing the next generation: numPages*pageSize bytes of the old
+// arena's content (extended with zeros or truncated to the committed
+// device size) with the overlay images applied on top. The result is a
+// fresh heap arena holding one reference owned by the caller; old is
+// only read, its references untouched. Pages at or past numPages are
+// ignored — the committed size is authoritative.
+func NewPromotedArena(old *BaseArena, pageSize, numPages int, pages map[int][]byte) *BaseArena {
+	data := make([]byte, numPages*pageSize)
+	copy(data, old.Bytes())
+	for pg, img := range pages {
+		if pg < 0 || pg >= numPages {
+			continue
+		}
+		n := pageSize
+		if n > len(img) {
+			n = len(img)
+		}
+		copy(data[pg*pageSize:], img[:n])
+	}
+	return NewBaseArena(data)
+}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"complexobj/cobench"
+)
+
+// durableRunURL is runURL plus the commit flag.
+func durableRunURL(base, model, query string, w cobench.Workload) string {
+	return runURL(base, model, query, w) + "&commit=1"
+}
+
+// TestServerDurableCommits drives the served commit path end to end:
+// commit=1 runs acknowledge with monotonically increasing sequence and
+// generation, their counters stay bit-identical to uncommitted runs of
+// the same cell, a restart replays the log, and the sequence continues
+// where the crashed process stopped.
+func TestServerDurableCommits(t *testing.T) {
+	path, _ := buildSnapshot(t, 40)
+	walDir := t.TempDir()
+	w := cobench.Workload{Loops: 8, Samples: 4, Seed: 1993}
+	const model, query = "dsm", "3a"
+
+	srv, err := New(Config{Snapshot: path, BufferPages: 128, MaxViews: 2, WALDir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+
+	// Uncommitted baseline for the same cell: the counters a read-only
+	// server would measure.
+	var plain RunResponse
+	getJSON(t, hs.Client(), runURL(hs.URL, model, query, w), &plain)
+	if !plain.Supported {
+		t.Fatalf("%s %s unsupported; pick another update cell", model, query)
+	}
+	if plain.Committed {
+		t.Fatal("uncommitted run reports committed")
+	}
+
+	const commits = 3
+	var lastGen uint64
+	for i := 1; i <= commits; i++ {
+		var got RunResponse
+		getJSON(t, hs.Client(), durableRunURL(hs.URL, model, query, w), &got)
+		if !got.Committed {
+			t.Fatalf("commit run %d not acknowledged", i)
+		}
+		if got.CommitSeq != uint64(i) {
+			t.Fatalf("commit run %d acknowledged seq %d", i, got.CommitSeq)
+		}
+		if got.CommitGen <= lastGen {
+			t.Fatalf("commit run %d: generation %d did not advance past %d", i, got.CommitGen, lastGen)
+		}
+		lastGen = got.CommitGen
+		// The paper counters must not know the difference.
+		if got.Raw != plain.Raw || got.PerUnit != plain.PerUnit {
+			t.Fatalf("committed counters diverge from uncommitted: %+v vs %+v", got.Raw, plain.Raw)
+		}
+	}
+
+	var stats StatsResponse
+	getJSON(t, hs.Client(), hs.URL+"/stats", &stats)
+	for _, cell := range stats.Cells {
+		if cell.Divergent {
+			t.Fatalf("%s %s flagged divergent across committed and uncommitted runs", cell.Model, cell.Query)
+		}
+	}
+
+	var info InfoResponse
+	getJSON(t, hs.Client(), hs.URL+"/info", &info)
+	if info.Durability == nil {
+		t.Fatal("/info has no durability block on a -wal server")
+	}
+	if info.Durability.Commits != commits || info.Durability.LastSeq != commits {
+		t.Fatalf("durability info %+v, want %d commits", info.Durability, commits)
+	}
+	if info.Durability.Syncs == 0 || info.Durability.AppendedBytes == 0 {
+		t.Fatalf("durability info shows no WAL traffic: %+v", info.Durability)
+	}
+	for _, pi := range info.Models {
+		if pi.Model == model && pi.Gen != lastGen {
+			t.Fatalf("pool reports generation %d, last commit made %d", pi.Gen, lastGen)
+		}
+	}
+
+	mresp, err := hs.Client().Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, family := range []string{
+		"complexobj_commits_total 3",
+		"complexobj_wal_syncs_total",
+		"complexobj_wal_appended_bytes_total",
+		"complexobj_wal_last_seq 3",
+		"complexobj_commit_seconds_count",
+		"complexobj_base_generation",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("/metrics lacks %q", family)
+		}
+	}
+
+	hs.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same directory: Close never checkpoints, so this
+	// exercises the real recovery path — the log replays all commits and
+	// the next one continues the sequence.
+	srv2, err := New(Config{Snapshot: path, BufferPages: 128, MaxViews: 2, WALDir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	hs2 := httptest.NewServer(srv2.Handler())
+	defer hs2.Close()
+
+	var info2 InfoResponse
+	getJSON(t, hs2.Client(), hs2.URL+"/info", &info2)
+	if info2.Durability == nil || info2.Durability.Recovered != commits {
+		t.Fatalf("restart recovered %+v, want %d replayed commits", info2.Durability, commits)
+	}
+	if info2.Durability.LastSeq != commits {
+		t.Fatalf("restart lost the sequence: %+v", info2.Durability)
+	}
+	for _, pi := range info2.Models {
+		if pi.Model == model && pi.Gen != uint64(commits) {
+			t.Fatalf("restart serves generation %d, want %d", pi.Gen, commits)
+		}
+	}
+
+	// Counters measured on the recovered generation still match.
+	var after RunResponse
+	getJSON(t, hs2.Client(), durableRunURL(hs2.URL, model, query, w), &after)
+	if after.CommitSeq != commits+1 {
+		t.Fatalf("post-restart commit got seq %d, want %d", after.CommitSeq, commits+1)
+	}
+	if after.Raw != plain.Raw {
+		t.Fatalf("recovered counters diverge: %+v vs %+v", after.Raw, plain.Raw)
+	}
+}
+
+// TestServerCommitValidation: commit=1 against a read-only server is a
+// 400 (the client asked for durability the server cannot give), and a
+// malformed commit value is rejected.
+func TestServerCommitValidation(t *testing.T) {
+	path, _ := buildSnapshot(t, 30)
+	srv, err := New(Config{Snapshot: path, BufferPages: 128, MaxViews: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	w := cobench.Workload{Loops: 5, Samples: 3, Seed: 1}
+
+	for _, bad := range []string{
+		durableRunURL(hs.URL, "dsm", "3a", w),
+		runURL(hs.URL, "dsm", "3a", w) + "&commit=yes",
+	} {
+		resp, err := hs.Client().Get(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: %s, want 400", bad, resp.Status)
+		}
+	}
+
+	// commit=0 is explicitly fine everywhere.
+	var got RunResponse
+	getJSON(t, hs.Client(), runURL(hs.URL, "dsm", "3a", w)+"&commit=0", &got)
+	if got.Committed {
+		t.Error("commit=0 run reports committed")
+	}
+}

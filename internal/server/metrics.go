@@ -219,6 +219,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.sample("complexobj_viewpool_rebuilt_total", "counter", labels, float64(ps.Rebuilt))
 		p.sample("complexobj_viewpool_destroyed_total", "counter", labels, float64(ps.Destroyed))
 		p.sample("complexobj_viewpool_quarantined_total", "counter", labels, float64(ps.Quarantined))
+		p.sample("complexobj_viewpool_stale_total", "counter", labels, float64(ps.Stale))
+		p.sample("complexobj_base_generation", "gauge", labels, float64(s.bases[k].Gen()))
+	}
+
+	// Durable commit path (only with -wal): write-ahead-log counters plus
+	// the per-model commit-latency summaries. All of it sits outside the
+	// paper's I/O accounting, like the latency histograms above.
+	if s.clog != nil {
+		cs := s.clog.Stats()
+		p.sample("complexobj_commits_total", "counter", "", float64(cs.Commits))
+		p.sample("complexobj_wal_syncs_total", "counter", "", float64(cs.Syncs))
+		p.sample("complexobj_wal_appended_bytes_total", "counter", "", float64(cs.AppendedBytes))
+		p.sample("complexobj_wal_size_bytes", "gauge", "", float64(cs.SizeBytes))
+		p.sample("complexobj_wal_last_seq", "gauge", "", float64(cs.LastSeq))
+		p.sample("complexobj_checkpoints_total", "counter", "", float64(cs.Checkpoints))
+		p.sample("complexobj_wal_recovered_commits", "gauge", "", float64(cs.Recovered))
+		for _, key := range s.commitLat.sortedKeys() {
+			c := s.commitLat.get(key.model, key.query)
+			p.summary("complexobj_commit_seconds", fmt.Sprintf("model=%q", key.model), c.service.Snapshot())
+		}
 	}
 
 	// Injected-fault counters (only when a schedule is armed). Injection

@@ -21,6 +21,13 @@ type RunSpec struct {
 	Loops   string
 	Samples string
 	Seed    string
+	// Commit requests that the run's mutations be committed into the
+	// served base ("1"/"true"; empty or "0"/"false" discards them, the
+	// classic measurement behavior). Commit is not part of the
+	// aggregation key: a committed run measures bit-identically to a
+	// discarded one (the update stamps are fixed-size, the commit happens
+	// after measurement), so both land in the same /stats cell.
+	Commit string
 }
 
 // RunSpecFor builds the fully-specified wire form of one measurement
@@ -43,6 +50,7 @@ func RunSpecFromValues(v url.Values) RunSpec {
 		Loops:   v.Get("loops"),
 		Samples: v.Get("samples"),
 		Seed:    v.Get("seed"),
+		Commit:  v.Get("commit"),
 	}
 }
 
@@ -60,7 +68,20 @@ func (s RunSpec) Values() url.Values {
 	set("loops", s.Loops)
 	set("samples", s.Samples)
 	set("seed", s.Seed)
+	set("commit", s.Commit)
 	return v
+}
+
+// CommitRequested parses the commit flag (empty means false).
+func (s RunSpec) CommitRequested() (bool, error) {
+	switch s.Commit {
+	case "", "0", "false":
+		return false, nil
+	case "1", "true":
+		return true, nil
+	default:
+		return false, fmt.Errorf("bad commit %q", s.Commit)
+	}
 }
 
 // Resolve validates the spec over the given workload defaults: the model

@@ -48,6 +48,17 @@ type Config struct {
 	// (nil: none). Injected faults never alter the counters of
 	// successful responses; see complexobj.ParseFaultPlan.
 	Faults *complexobj.FaultPlan
+	// WALDir arms the durable commit path: the served bases open from
+	// the directory's checkpoint sidecars (falling back to Snapshot on
+	// first start), the write-ahead log replays on startup, and /run
+	// requests carrying commit=1 fold their mutations into the served
+	// base durably. Empty serves read-only classic behavior: mutations
+	// are measured, then discarded with the view.
+	WALDir string
+	// CheckpointBytes compacts the write-ahead log whenever it exceeds
+	// this size after a commit (0: never checkpoint automatically).
+	// Only meaningful with WALDir.
+	CheckpointBytes int64
 }
 
 // Server serves benchmark queries from snapshot-backed shared bases. See
@@ -76,6 +87,15 @@ type Server struct {
 	// and the /info metrics block. Purely observational: recording is
 	// atomic arithmetic beside the request, never an engine operation.
 	lat *latencyCells
+
+	// clog is the durable commit path (nil without -wal). commitMu
+	// serializes commits per model across acquire→run→commit, the
+	// serialization View.Commit requires; commitLat holds the per-model
+	// commit-latency histograms (log append + fsync + promotion).
+	clog      *complexobj.CommitLog
+	commitMu  map[complexobj.ModelKind]*sync.Mutex
+	commitLat *latencyCells
+	commits   atomic.Int64
 }
 
 // New opens one shared base per served model from the snapshot and builds
@@ -146,9 +166,24 @@ func New(cfg Config) (*Server, error) {
 	if s.maxInflight > 0 {
 		s.admit = make(chan struct{}, s.maxInflight)
 	}
+	if cfg.WALDir != "" {
+		clog, err := complexobj.OpenCommitLog(cfg.WALDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.clog = clog
+		s.commitMu = make(map[complexobj.ModelKind]*sync.Mutex, len(models))
+		s.commitLat = newLatencyCells()
+	}
 	opts := complexobj.Options{BufferPages: cfg.BufferPages, Backend: "cow", Faults: cfg.Faults}
 	for _, k := range models {
-		base, err := complexobj.OpenBase(cfg.Snapshot, k)
+		var base *complexobj.Base
+		var err error
+		if s.clog != nil {
+			base, err = s.clog.OpenBase(k, cfg.Snapshot)
+		} else {
+			base, err = complexobj.OpenBase(cfg.Snapshot, k)
+		}
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("server: open base %s: %w", k, err)
@@ -160,6 +195,17 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: pool %s: %w", k, err)
 		}
 		s.pools[k] = pool
+		if s.clog != nil {
+			s.commitMu[k] = new(sync.Mutex)
+		}
+	}
+	if s.clog != nil {
+		// Replay whatever a previous process left in the log — after a
+		// kill the served state is exactly the last acknowledged commit.
+		if _, err := s.clog.Recover(); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("server: %w", err)
+		}
 	}
 	return s, nil
 }
@@ -179,6 +225,12 @@ func (s *Server) Close() error {
 			first = err
 		}
 		delete(s.bases, k)
+	}
+	if s.clog != nil {
+		if err := s.clog.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.clog = nil
 	}
 	return first
 }
@@ -299,6 +351,15 @@ type RunResponse struct {
 	Raw       Counters       `json:"raw"`
 	PerUnit   PerUnit        `json:"perUnit"`
 	ElapsedUS int64          `json:"elapsedMicros"`
+	// Committed reports that the run's mutations were durably committed
+	// (commit=1 against a -wal server); CommitSeq/CommitGen identify the
+	// acknowledged commit, CommitUS its latency (log append + fsync +
+	// promotion, outside the measured counters). Absent on read-only
+	// runs.
+	Committed bool   `json:"committed,omitempty"`
+	CommitSeq uint64 `json:"commitSeq,omitempty"`
+	CommitGen uint64 `json:"commitGen,omitempty"`
+	CommitUS  int64  `json:"commitMicros,omitempty"`
 }
 
 // AggKey identifies one aggregation cell: everything that determines a
@@ -360,6 +421,10 @@ type PoolInfo struct {
 	Rebuilt     int64  `json:"rebuilt"`
 	Destroyed   int64  `json:"destroyed"`
 	Quarantined int64  `json:"quarantined"`
+	Stale       int64  `json:"stale"`
+	// Gen is the base generation being served (0 until the first commit;
+	// advances on every commit, including ones replayed at startup).
+	Gen uint64 `json:"gen"`
 }
 
 // ResilienceInfo is the /info resilience block: the admission/deadline
@@ -379,6 +444,22 @@ type ResilienceInfo struct {
 	Faults *complexobj.FaultStats `json:"faults,omitempty"`
 }
 
+// DurabilityInfo is the /info durability block (present only with -wal):
+// the write-ahead-log counters behind the durable commit path. Commits
+// counts acknowledged commit batches — cobench's write-mode lost-update
+// gate compares it against the client-side acknowledgment count.
+type DurabilityInfo struct {
+	WALDir          string `json:"walDir"`
+	Commits         int64  `json:"commits"`
+	Syncs           int64  `json:"syncs"`
+	AppendedBytes   int64  `json:"appendedBytes"`
+	WALSizeBytes    int64  `json:"walSizeBytes"`
+	LastSeq         uint64 `json:"lastSeq"`
+	Checkpoints     int64  `json:"checkpoints"`
+	Recovered       int64  `json:"recovered"`
+	CheckpointBytes int64  `json:"checkpointBytes"`
+}
+
 // InfoResponse is the /info payload.
 type InfoResponse struct {
 	Snapshot    string         `json:"snapshot"`
@@ -388,6 +469,8 @@ type InfoResponse struct {
 	Workload    WorkloadParams `json:"defaultWorkload"`
 	Models      []PoolInfo     `json:"models"`
 	Resilience  ResilienceInfo `json:"resilience"`
+	// Durability reports the write-ahead-log state (absent without -wal).
+	Durability *DurabilityInfo `json:"durability,omitempty"`
 	// Metrics is the structured twin of the /metrics endpoint: process
 	// memory plus the per-cell latency split (queue wait vs service
 	// time). Latency sits outside the paper's counter accounting.
@@ -460,9 +543,19 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	kind, q, wl, err := RunSpecFromValues(r.URL.Query()).Resolve(s.cfg.Workload)
+	spec := RunSpecFromValues(r.URL.Query())
+	kind, q, wl, err := spec.Resolve(s.cfg.Workload)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	commitReq, err := spec.CommitRequested()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if commitReq && s.clog == nil {
+		httpError(w, http.StatusBadRequest, "commit requested but the server has no write-ahead log (-wal)")
 		return
 	}
 	pool, ok := s.pools[kind]
@@ -497,6 +590,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// A committing request holds the model's commit lock across
+	// acquire→run→commit: View.Commit requires commits per base to be
+	// serialized (two views of the same generation racing Promote would
+	// fail one of them after its durable log append). Read-only requests
+	// never touch the lock.
+	if commitReq {
+		mu := s.commitMu[kind]
+		mu.Lock()
+		defer mu.Unlock()
+	}
+
 	start := time.Now()
 	view, err := pool.AcquireContext(ctx)
 	queueWait := time.Since(arrived)
@@ -528,6 +632,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// The engine has a poisoned page; recycling would hand the next
 		// request a view that can never read it. Retire it instead.
 		view.Quarantine()
+	}
+	// Commit while the view is still alive, after a successful run. The
+	// response is written only once the WAL fsync acknowledged the batch
+	// — a client that saw committed:true finds the update after any
+	// crash. A failed commit quarantines the view (its overlay may be
+	// half-promoted state) and fails the request.
+	var commit complexobj.CommitInfo
+	var commitUS int64
+	if err == nil && commitReq {
+		cs := time.Now()
+		commit, err = view.Commit(s.clog)
+		commitUS = time.Since(cs).Microseconds()
+		if err != nil {
+			view.Quarantine()
+			err = fmt.Errorf("commit: %w", err)
+		} else {
+			s.commits.Add(1)
+			s.commitLat.observe(kind.String(), "commit", 0, time.Duration(commitUS)*time.Microsecond)
+		}
 	}
 	if cerr := view.Close(); cerr != nil {
 		// The request measured fine; a failed recycle only cost the pool
@@ -563,6 +686,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Raw:       toCounters(res.Raw),
 		PerUnit:   toPerUnit(res),
 		ElapsedUS: elapsed,
+	}
+	if commitReq {
+		resp.Committed = true
+		resp.CommitSeq = commit.Seq
+		resp.CommitGen = commit.Gen
+		resp.CommitUS = commitUS
+		// Size-triggered compaction: bound the log — and the replay work
+		// a crash inherits — without a background goroutine. Failure is
+		// logged, not returned: the commit itself is already durable.
+		if ran, cperr := s.clog.MaybeCheckpoint(s.cfg.CheckpointBytes); cperr != nil {
+			log.Printf("server: checkpoint after %s commit: %v", kind, cperr)
+		} else if ran {
+			log.Printf("server: checkpointed write-ahead log (%s)", s.cfg.WALDir)
+		}
 	}
 	s.record(resp)
 	// Latency split, recorded on exactly the runs /stats aggregates:
@@ -679,7 +816,23 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 			Rebuilt:     ps.Rebuilt,
 			Destroyed:   ps.Destroyed,
 			Quarantined: ps.Quarantined,
+			Stale:       ps.Stale,
+			Gen:         base.Gen(),
 		})
+	}
+	if s.clog != nil {
+		cs := s.clog.Stats()
+		resp.Durability = &DurabilityInfo{
+			WALDir:          cs.Dir,
+			Commits:         cs.Commits,
+			Syncs:           cs.Syncs,
+			AppendedBytes:   cs.AppendedBytes,
+			WALSizeBytes:    cs.SizeBytes,
+			LastSeq:         cs.LastSeq,
+			Checkpoints:     cs.Checkpoints,
+			Recovered:       cs.Recovered,
+			CheckpointBytes: s.cfg.CheckpointBytes,
+		}
 	}
 	resp.Resilience = ResilienceInfo{
 		MaxInflight:      s.maxInflight,

@@ -1,0 +1,102 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"complexobj/internal/disk"
+	"complexobj/internal/wal"
+)
+
+// CommitResult describes one promoted commit.
+type CommitResult struct {
+	// Gen is the base generation the commit produced (unchanged when the
+	// view had nothing to commit).
+	Gen uint64
+	// Seq is the WAL sequence that made the commit durable; 0 when the
+	// commit ran without a log (volatile promotion) or was empty.
+	Seq uint64
+	// Pages is the number of dirty pages folded into the new generation.
+	Pages int
+	// Bytes is the page-image payload size (Pages × page size).
+	Bytes int64
+}
+
+// Commit makes the view's mutations the next base generation: the buffer
+// pool is flushed into the copy-on-write overlay, the dirty page set is
+// appended to the write-ahead log together with a commit marker carrying
+// the model's directory metadata (log nil skips durability — a volatile
+// promotion), and once the log sync acknowledged the batch the overlay is
+// folded into the shared base via Promote. The write-ahead ordering is
+// the crash guarantee: the promotion is pure memory, so a crash after the
+// log sync replays the batch onto the last checkpoint and lands on this
+// same generation, and a crash before it recovers the previous one —
+// nothing in between is observable.
+//
+// A view with no mutations commits to nothing: no log traffic, no
+// promotion, Gen reports the view's own generation. After a non-empty
+// commit the view still reads its original generation plus its own
+// overlay — content-identical to the new generation — but recycling it
+// would reset to the superseded base state, so pools retire it instead
+// (Gen stays behind SharedBase.Gen).
+//
+// The caller serializes commits per base: concurrent commits from views
+// of the same generation would race Promote, and the loser's durable
+// batch would fail with ErrStaleBase after its log append. The serving
+// layer holds a per-model commit lock across run+commit; batch callers
+// commit sequentially by construction.
+//
+// Commit moves no paper counter. The pool flush writes through the
+// simulated device exactly like the update query's own end-of-run Flush
+// (which the workload has already issued by measurement end, so the pool
+// is clean and the flush a no-op on the benchmark path); log append and
+// promotion never touch the device.
+func (v *View) Commit(log *wal.Log) (CommitResult, error) {
+	eng := v.m.Engine()
+	if err := eng.Pool.FlushAll(); err != nil {
+		return CommitResult{}, fmt.Errorf("store: commit %s: flush: %w", v.base.kind, err)
+	}
+	var patches map[int][]byte
+	if ok := disk.OverlayPages(eng.Dev.Backend(), func(pg int, img []byte) {
+		if patches == nil {
+			patches = make(map[int][]byte)
+		}
+		patches[pg] = img
+	}); !ok {
+		return CommitResult{}, fmt.Errorf("store: commit %s: view engine is not copy-on-write", v.base.kind)
+	}
+	numPages := eng.Dev.NumPages()
+	if len(patches) == 0 && numPages == v.st.numPages {
+		return CommitResult{Gen: v.st.gen}, nil
+	}
+	meta, err := v.m.SnapshotMeta()
+	if err != nil {
+		return CommitResult{}, fmt.Errorf("store: commit %s: meta: %w", v.base.kind, err)
+	}
+	res := CommitResult{Pages: len(patches), Bytes: int64(len(patches)) * int64(v.base.pageSize)}
+	if log != nil {
+		recs := make([]wal.PageRecord, 0, len(patches))
+		for pg, img := range patches {
+			recs = append(recs, wal.PageRecord{Model: byte(v.base.kind), Page: uint32(pg), Image: img})
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Page < recs[j].Page })
+		seq, err := log.Commit(recs, wal.CommitRecord{
+			Model:    byte(v.base.kind),
+			NumPages: uint32(numPages),
+			Meta:     meta,
+		})
+		if err != nil {
+			return CommitResult{}, fmt.Errorf("store: commit %s: %w", v.base.kind, err)
+		}
+		res.Seq = seq
+	}
+	gen, err := v.base.Promote(v.st.gen, numPages, meta, patches)
+	if err != nil {
+		// A durable batch that lost the promote race: the WAL holds it,
+		// replay after a crash would apply it under the winner — the
+		// caller's commit lock exists to prevent exactly this.
+		return CommitResult{}, fmt.Errorf("store: commit %s: %w", v.base.kind, err)
+	}
+	res.Gen = gen
+	return res, nil
+}

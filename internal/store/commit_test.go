@@ -1,0 +1,226 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"complexobj/cobench"
+	"complexobj/internal/wal"
+)
+
+func openTestWAL(t *testing.T, path string) (*wal.Log, func(apply func(wal.CommitRecord, []wal.PageRecord) error) *wal.Log) {
+	t.Helper()
+	open := func(apply func(wal.CommitRecord, []wal.PageRecord) error) *wal.Log {
+		f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { f.Close() })
+		l, err := wal.Open(f, apply)
+		if err != nil {
+			t.Fatalf("wal open: %v", err)
+		}
+		return l
+	}
+	return open(nil), open
+}
+
+// TestViewCommitPromotesGeneration: a committed view's updates become the
+// next base generation — visible to views opened after the commit,
+// invisible to views opened before it (they drain on their generation).
+func TestViewCommitPromotesGeneration(t *testing.T) {
+	stations, err := cobench.Generate(cobench.DefaultConfig().WithN(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range AllKinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			orig := loadModel(t, k, stations)
+			base, err := Freeze(orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig.Engine().Close()
+			defer base.Release()
+			if base.Gen() != 0 {
+				t.Fatalf("fresh base at generation %d", base.Gen())
+			}
+
+			before, err := base.NewView(Options{BufferPages: 200})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer before.Close()
+
+			writer, err := base.NewView(Options{BufferPages: 200})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer writer.Close()
+			if err := writer.UpdateRoots([]int32{5, 11}, func(i int32, r *cobench.RootRecord) {
+				r.Name = "committed update"
+			}); err != nil {
+				t.Fatal(err)
+			}
+			res, err := writer.Commit(nil)
+			if err != nil {
+				t.Fatalf("commit: %v", err)
+			}
+			if res.Gen != 1 || res.Pages == 0 {
+				t.Fatalf("commit result %+v, want generation 1 with pages", res)
+			}
+			if base.Gen() != 1 {
+				t.Fatalf("base at generation %d after commit", base.Gen())
+			}
+			if writer.Gen() != 0 {
+				t.Fatalf("writer moved to generation %d; views stay on their open generation", writer.Gen())
+			}
+
+			after, err := base.NewView(Options{BufferPages: 200})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer after.Close()
+			if after.Gen() != 1 {
+				t.Fatalf("new view at generation %d", after.Gen())
+			}
+			got, err := after.FetchByKey(stations[5].Key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Name != "committed update" {
+				t.Fatal("view of the promoted generation does not observe the commit")
+			}
+			// The pre-commit view still reads the old generation, even
+			// after recycling back to its pristine state.
+			if _, err := before.Recycle(); err != nil {
+				t.Fatal(err)
+			}
+			old, err := before.FetchByKey(stations[5].Key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if old.Name != stations[5].Name {
+				t.Fatal("pre-commit view observes the promoted generation")
+			}
+
+			// An empty commit is a no-op: no promotion, generation stays.
+			idle, err := base.NewView(Options{BufferPages: 200})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer idle.Close()
+			if res, err := idle.Commit(nil); err != nil || res.Gen != 1 || res.Pages != 0 {
+				t.Fatalf("empty commit: %+v, %v", res, err)
+			}
+			if base.Gen() != 1 {
+				t.Fatalf("empty commit moved the base to generation %d", base.Gen())
+			}
+		})
+	}
+}
+
+// TestPromoteStaleGeneration pins the optimistic-concurrency check.
+func TestPromoteStaleGeneration(t *testing.T) {
+	stations, err := cobench.Generate(cobench.DefaultConfig().WithN(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := loadModel(t, NSM, stations)
+	base, err := Freeze(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.Engine().Close()
+	defer base.Release()
+	meta := base.Meta()
+	if _, err := base.Promote(0, base.NumPages(), meta, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.Promote(0, base.NumPages(), meta, nil); !errors.Is(err, ErrStaleBase) {
+		t.Fatalf("stale promote: %v, want ErrStaleBase", err)
+	}
+	if base.Gen() != 1 {
+		t.Fatalf("failed promote moved the generation to %d", base.Gen())
+	}
+}
+
+// TestCommitWALReplayReconstructsGeneration is the tentpole round trip:
+// commits logged through a real file-backed WAL, replayed over a second
+// base frozen from the same original state, must land on a byte-identical
+// arena and generation — the crash-recovery path in miniature.
+func TestCommitWALReplayReconstructsGeneration(t *testing.T) {
+	stations, err := cobench.Generate(cobench.DefaultConfig().WithN(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := loadModel(t, DASDBSNSM, stations)
+	live, err := Freeze(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := Freeze(orig) // same pristine state, separate base
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.Engine().Close()
+	defer live.Release()
+	defer recovered.Release()
+
+	log, reopen := openTestWAL(t, filepath.Join(t.TempDir(), "wal.log"))
+	for round, name := range []string{"first committed name", "second committed name"} {
+		v, err := live.NewView(Options{BufferPages: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.UpdateRoots([]int32{int32(round), 7}, func(i int32, r *cobench.RootRecord) {
+			r.Name = name
+		}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := v.Commit(log)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if res.Seq != uint64(round+1) || res.Gen != uint64(round+1) {
+			t.Fatalf("round %d: result %+v", round, res)
+		}
+		v.Close()
+	}
+
+	// "Crash": reopen the log and replay every committed batch onto the
+	// recovered base.
+	reopen(func(c wal.CommitRecord, pages []wal.PageRecord) error {
+		if Kind(c.Model) != DASDBSNSM {
+			t.Fatalf("replayed model %d", c.Model)
+		}
+		patches := make(map[int][]byte, len(pages))
+		for _, p := range pages {
+			patches[int(p.Page)] = p.Image
+		}
+		_, err := recovered.Promote(recovered.Gen(), int(c.NumPages), c.Meta, patches)
+		return err
+	})
+
+	if recovered.Gen() != live.Gen() {
+		t.Fatalf("recovered generation %d, live %d", recovered.Gen(), live.Gen())
+	}
+	if !bytes.Equal(checksumBase(recovered), checksumBase(live)) {
+		t.Fatal("replayed arena differs from the live promoted arena")
+	}
+	v, err := recovered.NewView(Options{BufferPages: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	got, err := v.FetchByKey(stations[7].Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "second committed name" {
+		t.Fatalf("recovered view reads %q", got.Name)
+	}
+}

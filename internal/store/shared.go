@@ -2,10 +2,17 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"sync"
 
 	"complexobj/internal/disk"
 )
+
+// ErrStaleBase reports a Promote built against a generation the base has
+// already moved past: another commit folded first. The caller's overlay
+// is untouched; it can re-run against a fresh view of the new generation.
+var ErrStaleBase = errors.New("store: shared base generation moved")
 
 // SharedBase is the frozen, immutable state of one loaded storage model:
 // the raw device arena plus the model's directory metadata. Any number of
@@ -16,9 +23,21 @@ import (
 // view starts with a cold cache and zeroed counters and measures
 // bit-identically to a freshly loaded model (the same guarantee the .codb
 // snapshot round-trip pins).
+//
+// A base advances through generations: the arena of any one generation
+// stays immutable forever, but Promote can fold a committed overlay into
+// a new arena and atomically swap it in as generation n+1. Views capture
+// the generation they opened against and keep reading it — their COW
+// backends hold their own arena references, so an old generation's
+// storage drains only when its last view closes — while new views open
+// over the promoted state. Every accessor that touches the swappable
+// state is guarded; a *SharedBase is safe for concurrent use.
 type SharedBase struct {
 	kind     Kind
 	pageSize int
+
+	mu       sync.RWMutex
+	gen      uint64
 	numPages int
 	meta     []byte
 	arena    *disk.BaseArena
@@ -74,22 +93,107 @@ func (b *SharedBase) Kind() Kind { return b.kind }
 // PageSize returns the device page size of the frozen arena.
 func (b *SharedBase) PageSize() int { return b.pageSize }
 
-// NumPages returns the number of frozen pages.
-func (b *SharedBase) NumPages() int { return b.numPages }
+// Gen returns the current generation: 0 for a freshly frozen base,
+// incremented by every Promote. A view compares its captured generation
+// against this to detect that it is reading superseded state.
+func (b *SharedBase) Gen() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.gen
+}
+
+// NumPages returns the number of frozen pages of the current generation.
+func (b *SharedBase) NumPages() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.numPages
+}
 
 // ArenaBytes returns the size of the shared arena in bytes (memory
 // accounting: this is paid once, regardless of how many views are open).
-func (b *SharedBase) ArenaBytes() int { return b.arena.Len() }
+func (b *SharedBase) ArenaBytes() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.arena.Len()
+}
 
 // Mapped reports whether the base arena is an mmap of the snapshot file
-// (paged in on demand) rather than a heap copy.
-func (b *SharedBase) Mapped() bool { return b.arena.Mapped() }
+// (paged in on demand) rather than a heap copy. Promotion always builds
+// heap arenas, so this can flip to false after the first commit.
+func (b *SharedBase) Mapped() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.arena.Mapped()
+}
 
-// Release drops the owner reference on the base arena. Open views hold
+// Meta returns the directory metadata of the current generation (the
+// checkpoint writer persists it alongside the arena). Read-only.
+func (b *SharedBase) Meta() []byte {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.meta
+}
+
+// Release drops the owner reference on the current arena. Open views hold
 // their own references, so the arena storage — heap slice or snapshot
 // file mapping — is released only once the last view closes too; opening
 // new views after Release is a bug (the base may already be gone).
-func (b *SharedBase) Release() error { return b.arena.Release() }
+func (b *SharedBase) Release() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.arena.Release()
+}
+
+// SnapshotState captures one consistent generation for a checkpoint
+// writer: the generation number, its page count and metadata, and the
+// arena holding one extra reference owned by the caller (Release it when
+// the checkpoint is written). A Promote racing this call produces either
+// wholly the old or wholly the new generation, never a mix.
+func (b *SharedBase) SnapshotState() (gen uint64, numPages int, meta []byte, arena *disk.BaseArena) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.gen, b.numPages, b.meta, b.arena.Retain()
+}
+
+// baseState is the consistent snapshot a view captures at open: the
+// generation it reads, and that generation's page count and metadata
+// (Recycle restores these — a recycled view stays on its generation; the
+// pool decides whether a stale view is worth keeping).
+type baseState struct {
+	gen      uint64
+	numPages int
+	meta     []byte
+}
+
+// openState builds a model over a fresh copy-on-write view of the
+// current generation and returns the captured state. The arena reference
+// is taken under the lock so a concurrent Promote cannot release the
+// generation out from under the open.
+func (b *SharedBase) openState(o Options) (Model, baseState, error) {
+	if o.PageSize != 0 && o.PageSize != b.pageSize {
+		return nil, baseState{}, fmt.Errorf("store: page size %d requested, shared base has %d", o.PageSize, b.pageSize)
+	}
+	if o.CountIndexIO {
+		return nil, baseState{}, fmt.Errorf("store: counted index I/O is rebuilt per run and cannot open from a shared base")
+	}
+	b.mu.RLock()
+	st := baseState{gen: b.gen, numPages: b.numPages, meta: b.meta}
+	arena := b.arena.Retain()
+	b.mu.RUnlock()
+	defer arena.Release()
+	o.PageSize = b.pageSize
+	o.Backend = disk.BackendSpec{Kind: disk.COWArena, Base: arena}
+	eng, err := NewEngine(o)
+	if err != nil {
+		return nil, baseState{}, err
+	}
+	m := NewWithEngine(b.kind, eng)
+	if err := m.RestoreMeta(st.meta); err != nil {
+		eng.Close()
+		return nil, baseState{}, fmt.Errorf("store: open shared base %s: %w", b.kind, err)
+	}
+	return m, st, nil
+}
 
 // Open builds a model over a fresh copy-on-write view of the base. The
 // options select the runtime knobs (buffer size, policy); the page size
@@ -97,22 +201,40 @@ func (b *SharedBase) Release() error { return b.arena.Release() }
 // and any configured backend spec is superseded by the COW view. Closing
 // the returned model's engine releases only its private overlay.
 func (b *SharedBase) Open(o Options) (Model, error) {
-	if o.PageSize != 0 && o.PageSize != b.pageSize {
-		return nil, fmt.Errorf("store: page size %d requested, shared base has %d", o.PageSize, b.pageSize)
+	m, _, err := b.openState(o)
+	return m, err
+}
+
+// Promote folds one committed overlay into the base as the next
+// generation: a new arena of numPages pages — the fromGen arena's
+// content with the overlay images applied — and the committed metadata
+// are swapped in atomically, and the generation number advances. The
+// images in pages are copied; the caller keeps ownership. fromGen must
+// be the current generation (the optimistic-concurrency check: a commit
+// is built against the generation its view read) or the promote fails
+// with ErrStaleBase, changing nothing. The superseded arena's owner
+// reference moves to the new one; in-flight views of old generations
+// keep their own references and drain independently.
+//
+// Promotion is pure memory management: it moves no paper counter, like
+// DumpTo/Restore and snapshot writes.
+func (b *SharedBase) Promote(fromGen uint64, numPages int, meta []byte, pages map[int][]byte) (uint64, error) {
+	if numPages < 0 {
+		return 0, fmt.Errorf("store: promote %s to %d pages", b.kind, numPages)
 	}
-	if o.CountIndexIO {
-		return nil, fmt.Errorf("store: counted index I/O is rebuilt per run and cannot open from a shared base")
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.gen != fromGen {
+		return 0, fmt.Errorf("%w: %s at generation %d, commit built on %d", ErrStaleBase, b.kind, b.gen, fromGen)
 	}
-	o.PageSize = b.pageSize
-	o.Backend = disk.BackendSpec{Kind: disk.COWArena, Base: b.arena}
-	eng, err := NewEngine(o)
-	if err != nil {
-		return nil, err
+	next := disk.NewPromotedArena(b.arena, b.pageSize, numPages, pages)
+	old := b.arena
+	b.arena = next
+	b.numPages = numPages
+	b.meta = append([]byte(nil), meta...)
+	b.gen++
+	if err := old.Release(); err != nil {
+		return 0, fmt.Errorf("store: promote %s: release generation %d: %w", b.kind, b.gen-1, err)
 	}
-	m := NewWithEngine(b.kind, eng)
-	if err := m.RestoreMeta(b.meta); err != nil {
-		eng.Close()
-		return nil, fmt.Errorf("store: open shared base %s: %w", b.kind, err)
-	}
-	return m, nil
+	return b.gen, nil
 }

@@ -22,21 +22,28 @@ type View struct {
 	base *SharedBase
 	opts Options
 	m    Model
+	st   baseState // the generation this view opened against
 
 	recycles int64 // successful Recycle calls
 	rebuilds int64 // recycles that had to restore directory metadata
 }
 
-// NewView opens a fresh copy-on-write view of the base, ready for its
-// first request: cold cache, zeroed counters. The options follow the same
-// rules as SharedBase.Open.
+// NewView opens a fresh copy-on-write view of the base's current
+// generation, ready for its first request: cold cache, zeroed counters.
+// The options follow the same rules as SharedBase.Open.
 func (b *SharedBase) NewView(o Options) (*View, error) {
-	m, err := b.Open(o)
+	m, st, err := b.openState(o)
 	if err != nil {
 		return nil, err
 	}
-	return &View{base: b, opts: o, m: m}, nil
+	return &View{base: b, opts: o, m: m, st: st}, nil
 }
+
+// Gen returns the base generation the view reads. A view stays on its
+// generation for its whole life — Recycle resets to it, not to the
+// base's latest — so a pool compares this against SharedBase.Gen to
+// retire views stranded on superseded generations.
+func (v *View) Gen() uint64 { return v.st.gen }
 
 // Model returns the current underlying model (diagnostics; the model
 // identity changes when a recycle has to rebuild metadata).
@@ -61,7 +68,7 @@ func (v *View) dirty() bool {
 	if eng.Pool.DirtyLen() > 0 {
 		return true
 	}
-	return eng.Dev.NumPages() != v.base.NumPages()
+	return eng.Dev.NumPages() != v.st.numPages
 }
 
 // Recycle resets the view to the pristine base state between requests:
@@ -86,7 +93,7 @@ func (v *View) Recycle() (rebuilt bool, err error) {
 	eng.ResetStats()
 	if dirty {
 		m := NewWithEngine(v.base.kind, eng)
-		if err := m.RestoreMeta(v.base.meta); err != nil {
+		if err := m.RestoreMeta(v.st.meta); err != nil {
 			return false, fmt.Errorf("store: recycle %s: %w", v.base.kind, err)
 		}
 		v.m = m

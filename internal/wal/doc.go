@@ -1,0 +1,47 @@
+// Package wal is the write-ahead log behind the durable commit path: a
+// single append-only log shared by every storage model of a serving
+// process, holding checksummed, length-prefixed records — page images
+// keyed by (model kind, page ID) plus commit markers carrying the
+// model's directory metadata — that make a committed base generation
+// reconstructible after a crash.
+//
+// The contract, in the order a commit flows through it:
+//
+//   - Appending. Log.Commit encodes one batch (the dirty overlay pages
+//     of a view plus its commit marker) and appends it under the append
+//     lock. The append offset advances only when the whole batch hit the
+//     device, so a torn or failed write is overwritten by the retry and
+//     can only ever corrupt the tail past the last durable record.
+//
+//   - Group commit. Durability is one fsync per sync wave, not per
+//     committer: concurrent Commit calls pile onto the in-flight sync,
+//     and a single Device.Sync covering their offsets wakes them all.
+//     Commit returns only after a sync covering the batch completed —
+//     an acknowledged commit is on stable storage.
+//
+//   - Replay. Open scans the log sequentially, verifying each record's
+//     length prefix and CRC, buffering page records and applying a batch
+//     only when its commit marker is reached — so a crash between append
+//     and sync can never surface a half-committed batch. The first
+//     malformed record ends the scan: the log is truncated back to the
+//     end of the last committed batch (torn tails from crashes mid-append
+//     are dropped, and replay never proceeds past a bad checksum).
+//     Replaying page images is idempotent; recovering twice lands on the
+//     same generation.
+//
+//   - Checkpointing. Reset truncates the log to empty once its contents
+//     are captured by a checkpoint (per-model arena + meta sidecars,
+//     written by the complexobj facade); commit sequence numbers keep
+//     increasing across resets so acknowledgment accounting survives
+//     compaction.
+//
+// The log talks to storage through the small Device interface.
+// Production uses *os.File directly; tests drive the same code over
+// in-memory devices wrapped in faultdisk torn/short-write injection and
+// a kill-after-N-syncs crash hook, which is how the recovery guarantees
+// are proven.
+//
+// Everything in this package sits outside the paper's I/O accounting:
+// WAL appends, syncs and replay touch no simulated device and move no
+// paper counter, exactly like snapshot writes.
+package wal

@@ -190,6 +190,14 @@ type ViewPool struct {
 	recycled    int64
 	rebuilt     int64
 	quarantined int64
+	stale       int64
+}
+
+// closeAll tears down retired views outside the pool lock.
+func closeAll(svs []*store.View) {
+	for _, sv := range svs {
+		sv.Close()
+	}
 }
 
 // NewViewPool builds a pool over base. maxViews bounds the views alive at
@@ -237,14 +245,27 @@ func (p *ViewPool) AcquireContext(ctx context.Context) (*View, error) {
 		<-p.sem
 		return nil, ErrPoolClosed
 	}
-	if n := len(p.idle); n > 0 {
+	gen := p.base.base.Gen()
+	var stale []*store.View
+	for len(p.idle) > 0 {
+		n := len(p.idle)
 		sv := p.idle[n-1]
 		p.idle = p.idle[:n-1]
+		// An idle view left behind by a commit reads a superseded
+		// generation; retire it and keep looking.
+		if sv.Gen() != gen {
+			stale = append(stale, sv)
+			p.stale++
+			p.destroyed++
+			continue
+		}
 		p.reused++
 		p.mu.Unlock()
+		closeAll(stale)
 		return &View{kind: p.base.kind, sv: sv, pool: p}, nil
 	}
 	p.mu.Unlock()
+	closeAll(stale)
 	v, err := p.base.NewView(p.opts)
 	if err != nil {
 		<-p.sem
@@ -277,6 +298,16 @@ func (p *ViewPool) release(v *View) error {
 			p.rebuilt++
 		}
 	}
+	// A recycled view resets to the generation it opened against; if the
+	// base has been promoted past it (this view committed, or another one
+	// did), keeping it would serve superseded state. Retire it — the next
+	// Acquire builds a view of the current generation.
+	if err == nil && v.sv.Gen() != p.base.base.Gen() {
+		p.stale++
+		p.destroyed++
+		p.mu.Unlock()
+		return v.sv.Close()
+	}
 	if err == nil && !p.closed {
 		p.idle = append(p.idle, v.sv)
 		p.mu.Unlock()
@@ -297,7 +328,8 @@ func (p *ViewPool) release(v *View) error {
 // metadata after a mutating request, Destroyed the views torn down
 // (quarantine, recycle failure or pool shutdown), Quarantined the subset
 // of Destroyed retired via View.Quarantine (panicked request, permanent
-// engine fault).
+// engine fault), Stale the subset retired because a commit promoted the
+// base past their generation.
 type ViewPoolStats struct {
 	MaxViews    int
 	InUse       int
@@ -308,6 +340,7 @@ type ViewPoolStats struct {
 	Recycled    int64
 	Rebuilt     int64
 	Quarantined int64
+	Stale       int64
 }
 
 // Stats returns a snapshot of the pool counters.
@@ -324,6 +357,7 @@ func (p *ViewPool) Stats() ViewPoolStats {
 		Recycled:    p.recycled,
 		Rebuilt:     p.rebuilt,
 		Quarantined: p.quarantined,
+		Stale:       p.stale,
 	}
 }
 
