@@ -1,0 +1,187 @@
+#!/usr/bin/env bash
+# Multi-process scale-out benchmark: aggregate read throughput of the
+# sharded deployment (N coserve backends behind coshard) against a single
+# coserve over the unsplit snapshot, with the aggregate /stats counter
+# cells required to stay bit-identical across topologies.
+#
+# Methodology. The paper's cost model is physical device I/O, so the
+# bench makes wall time proportional to counted I/O: every node arms the
+# fault injector's latency clause (-faults latency=DELAY), which sleeps
+# once per device call and touches no counter. Every node — single or
+# backend — runs the identical per-node configuration: GOMAXPROCS=1, the
+# same injected device latency, and the same admission envelope
+# (-max-inflight CAP), which is the per-node capacity sharding
+# aggregates. The closed-loop client count scales with the deployment's
+# aggregate capacity (CAP x nodes), the standard cluster-scaling drive.
+# Shards are split by measured I/O share (cogen -strategy explicit:...,
+# from the per-model readCalls+writeCalls of a calibration run): model
+# costs differ by factors, so hash/range splits would measure the
+# imbalance, not the scaling.
+#
+# Writes BENCH_10.json (repo root by default; override with $OUT).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT=${OUT:-BENCH_10.json}
+WORK=${WORK:-$(mktemp -d /tmp/multinode-bench.XXXXXX)}
+N=${N:-300}          # generator stations
+LOOPS=${LOOPS:-60}   # query loop count
+REPEAT=${REPEAT:-6}  # matrix passes per drive
+CAP=${CAP:-6}        # per-node admission envelope (-max-inflight)
+DELAY=${DELAY:-200us} # injected device latency per call
+FAULTS="latency=${DELAY}"
+# Service-share-balanced splits, calibrated from the /stats meanMicros
+# of a latency-injected single-node run at these parameters:
+# DSM 40.0%, DASDBS-DSM 28.3%, NSM 16.1%, DASDBS-NSM 8.1%, NSM+index 7.5%.
+SPLIT2="explicit:dsm,dnsm/ddsm,nsm,nsmx"  # 48.1% / 51.9% -> ideal 1.93x
+SPLIT4="explicit:dsm/ddsm/nsm,nsmx/dnsm"  # 40.0/28.3/23.6/8.1 -> ideal 2.5x
+# (model granularity caps N=4: the largest model alone is 40% of the work)
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$WORK/coserve" ./cmd/coserve
+go build -o "$WORK/coshard" ./cmd/coshard
+go build -o "$WORK/cobench" ./cmd/cobench
+
+echo "== snapshots"
+mkdir -p "$WORK/single" "$WORK/n2" "$WORK/n4"
+go run ./cmd/cogen -n "$N" -db "$WORK/single/bench.codb" >/dev/null
+go run ./cmd/cogen -n "$N" -db "$WORK/n2/bench.codb" -split 2 -strategy "$SPLIT2" >/dev/null
+go run ./cmd/cogen -n "$N" -db "$WORK/n4/bench.codb" -split 4 -strategy "$SPLIT4" >/dev/null
+
+wait_health() {
+  for _ in $(seq 1 100); do
+    curl -fs "http://127.0.0.1:$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "port $1 never became healthy" >&2
+  return 1
+}
+
+start_backend() { # port, extra args...
+  local port=$1; shift
+  GOMAXPROCS=1 "$WORK/coserve" -addr "127.0.0.1:$port" -max-inflight "$CAP" \
+    -faults "$FAULTS" "$@" &> "$WORK/serve-$port.log" &
+  PIDS+=($!)
+}
+
+drive() { # url, clients, report
+  "$WORK/cobench" -n "$N" -loops "$LOOPS" -serve-url "$1" -clients "$2" \
+    -repeat "$REPEAT" -report "$3" > "$4" 2> "$WORK/drive.log"
+}
+
+echo "== single node (cap $CAP, 1 core)"
+start_backend 8077 -db "$WORK/single/bench.codb"
+wait_health 8077
+drive http://127.0.0.1:8077 "$CAP" "$WORK/report-single.json" "$WORK/table-single.txt"
+curl -fs http://127.0.0.1:8077/stats > "$WORK/stats-single.json"
+cleanup; PIDS=()
+
+run_cluster() { # n, mapdir, routerport, baseport
+  local n=$1 dir=$2 rport=$3 base=$4 backends=""
+  for i in $(seq 0 $((n - 1))); do
+    start_backend $((base + i)) -shard-map "$dir/bench.shards.json" -shards "$i"
+    backends+="${backends:+,}http://127.0.0.1:$((base + i))"
+  done
+  for i in $(seq 0 $((n - 1))); do wait_health $((base + i)); done
+  "$WORK/coshard" -shard-map "$dir/bench.shards.json" -backends "$backends" \
+    -addr "127.0.0.1:$rport" &> "$WORK/coshard-$rport.log" &
+  PIDS+=($!)
+  wait_health "$rport"
+  drive "http://127.0.0.1:$rport" $((CAP * n)) "$WORK/report-n$n.json" "$WORK/table-n$n.txt"
+  curl -fs "http://127.0.0.1:$rport/stats" > "$WORK/stats-n$n.json"
+  curl -fs "http://127.0.0.1:$rport/metrics" > "$WORK/metrics-n$n.txt"
+  cleanup; PIDS=()
+}
+
+echo "== N=2 (2 backends + router, cap $CAP each)"
+run_cluster 2 "$WORK/n2" 8070 8081
+echo "== N=4 (4 backends + router, cap $CAP each)"
+run_cluster 4 "$WORK/n4" 8071 8083
+
+echo "== verdict"
+diff "$WORK/table-single.txt" "$WORK/table-n2.txt"
+diff "$WORK/table-single.txt" "$WORK/table-n4.txt"
+WORK="$WORK" OUT="$OUT" N="$N" LOOPS="$LOOPS" REPEAT="$REPEAT" CAP="$CAP" DELAY="$DELAY" \
+python3 - <<'EOF'
+import json, os
+
+work, out = os.environ['WORK'], os.environ['OUT']
+
+def strip(path):
+    s = json.load(open(path))
+    s.pop('uptimeSeconds', None)
+    for c in s['cells']:
+        c.pop('meanMicros', None)
+        c.pop('maxMicros', None)
+    return s
+
+single = strip(f'{work}/stats-single.json')
+reports = {1: json.load(open(f'{work}/report-single.json'))}
+identical = {}
+for n in (2, 4):
+    reports[n] = json.load(open(f'{work}/report-n{n}.json'))
+    routed = strip(f'{work}/stats-n{n}.json')
+    identical[n] = routed == single
+    assert identical[n], f'N={n}: aggregate /stats diverge from single node'
+    assert not any(c['divergent'] for c in routed['cells']), f'N={n}: divergent cells'
+assert single['cells'], 'no cells measured'
+
+base = reports[1]['throughputRPS']
+result = {
+    'bench': 'scale-out serving: coshard router over model-granular shards',
+    'methodology': (
+        'wall time is made proportional to counted physical I/O by arming the '
+        'fault injector latency clause (one sleep per device call, counters '
+        'untouched); every node runs GOMAXPROCS=1 with the same admission '
+        'envelope, and closed-loop clients scale with aggregate capacity '
+        '(cap x nodes). Shards are split by measured per-model I/O share '
+        '(cogen -strategy explicit:...). The driven tables and the '
+        'timing-stripped aggregate /stats cells must be bit-identical across '
+        'topologies.'
+    ),
+    'params': {
+        'stations': int(os.environ['N']),
+        'loops': int(os.environ['LOOPS']),
+        'repeat': int(os.environ['REPEAT']),
+        'perNodeMaxInflight': int(os.environ['CAP']),
+        'deviceLatency': os.environ['DELAY'],
+        'gomaxprocsPerNode': 1,
+        'split2': 'DSM,DASDBS-NSM / DASDBS-DSM,NSM,NSM+index',
+        'split4': 'DSM / DASDBS-DSM / NSM,NSM+index / DASDBS-NSM',
+    },
+    'singleNode': {
+        'throughputRPS': base,
+        'requests': reports[1]['requests'],
+        'wallSeconds': reports[1]['wallSeconds'],
+        'p50Micros': reports[1]['latency']['p50Micros'],
+    },
+    'sharded': {},
+}
+for n in (2, 4):
+    r = reports[n]
+    result['sharded'][f'n{n}'] = {
+        'backends': n,
+        'throughputRPS': r['throughputRPS'],
+        'requests': r['requests'],
+        'wallSeconds': r['wallSeconds'],
+        'p50Micros': r['latency']['p50Micros'],
+        'speedupVsSingle': round(r['throughputRPS'] / base, 3),
+        'statsCellsBitIdentical': identical[n],
+    }
+s2 = result['sharded']['n2']['speedupVsSingle']
+s4 = result['sharded']['n4']['speedupVsSingle']
+assert s2 >= 1.7, f'N=2 speedup {s2} < 1.7'
+with open(out, 'w') as f:
+    json.dump(result, f, indent=2)
+    f.write('\n')
+print(f"single {base:.1f} req/s | N=2 {result['sharded']['n2']['throughputRPS']:.1f} req/s "
+      f"({s2}x) | N=4 {result['sharded']['n4']['throughputRPS']:.1f} req/s ({s4}x)")
+print(f'wrote {out}')
+EOF

@@ -46,12 +46,23 @@ type servedClient struct {
 	wcount      atomic.Int64
 	acked       atomic.Int64
 	commitHist  *metrics.Histogram
+
+	// walBefore/walAfter are the server's durability counters sampled
+	// around a write-mode run; report() turns the delta into the
+	// write-amplification block of the RunReport.
+	walBefore, walAfter *server.DurabilityInfo
 }
 
 func newServedClient(baseURL string) *servedClient {
+	// Pool generously: the default transport keeps only two idle
+	// connections per host, so a -clients 32 drive would churn TCP
+	// connections on every wave of completions.
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 256
+	tr.MaxIdleConnsPerHost = 256
 	return &servedClient{
 		base:       trimSlash(baseURL),
-		hc:         &http.Client{Timeout: 10 * time.Minute},
+		hc:         &http.Client{Timeout: 10 * time.Minute, Transport: tr},
 		hist:       metrics.NewHistogram(),
 		commitHist: metrics.NewHistogram(),
 	}
@@ -200,14 +211,15 @@ func measureServed(baseURL string, models []complexobj.ModelKind, queries []cobe
 	c.setWriteFrac(writeFrac)
 	var commitsBefore int64
 	if writeFrac > 0 {
-		n, durable, err := c.serverCommits()
+		d, err := c.serverDurability()
 		if err != nil {
 			return nil, err
 		}
-		if !durable {
+		if d == nil {
 			return nil, fmt.Errorf("-write-frac needs a durable server (start coserve -wal)")
 		}
-		commitsBefore = n
+		commitsBefore = d.Commits
+		c.walBefore = d
 	}
 
 	rows := make([][]string, len(models))
@@ -240,18 +252,28 @@ func measureServed(baseURL string, models []complexobj.ModelKind, queries []cobe
 		// requested client count is actually in flight even when few
 		// models are selected (every cell is an independent cold-cache
 		// measurement; per-client ordering cannot affect the numbers).
+		// Models cycle fastest so concurrent requests spread across
+		// models — and, against a router, across shards — instead of
+		// arriving in single-model bursts.
 		tasks := len(models) * len(queries) * repeat
 		if clients > tasks {
 			clients = tasks
 		}
 		err = fanout.Run(tasks, clients, func(i int) error {
-			mi := (i / len(queries)) % len(models)
-			qi := i % len(queries)
+			mi := i % len(models)
+			qi := (i / len(models)) % len(queries)
 			return cell(mi, models[mi], queries[qi], qi)
 		})
 	}
 	if err != nil {
 		return nil, err
+	}
+	if writeFrac > 0 {
+		d, err := c.serverDurability()
+		if err != nil {
+			return nil, err
+		}
+		c.walAfter = d
 	}
 	if err := c.report(os.Stderr, time.Since(start), clients, rate, reportPath); err != nil {
 		return nil, err
@@ -264,17 +286,45 @@ func measureServed(baseURL string, models []complexobj.ModelKind, queries []cobe
 	return rows, nil
 }
 
+// serverDurability reads the server's durability block from /info (nil
+// when the server runs without a write-ahead log).
+func (c *servedClient) serverDurability() (*server.DurabilityInfo, error) {
+	var info server.InfoResponse
+	if err := c.getJSON("/info", &info); err != nil {
+		return nil, err
+	}
+	return info.Durability, nil
+}
+
+// walDelta is the run's write-ahead-log traffic: the difference between
+// the durability counters sampled before and after the run. Nil outside
+// write mode (or when the samples are missing).
+func (c *servedClient) walDelta() *WALReport {
+	if c.walBefore == nil || c.walAfter == nil {
+		return nil
+	}
+	d := &WALReport{
+		AppendedBytes: c.walAfter.AppendedBytes - c.walBefore.AppendedBytes,
+		PayloadBytes:  c.walAfter.PayloadBytes - c.walBefore.PayloadBytes,
+		Syncs:         c.walAfter.Syncs - c.walBefore.Syncs,
+	}
+	if d.PayloadBytes > 0 {
+		d.WriteAmplification = float64(d.AppendedBytes) / float64(d.PayloadBytes)
+	}
+	return d
+}
+
 // serverCommits reads the server's acknowledged-commit counter from
 // /info (durable=false when the server runs without a write-ahead log).
 func (c *servedClient) serverCommits() (commits int64, durable bool, _ error) {
-	var info server.InfoResponse
-	if err := c.getJSON("/info", &info); err != nil {
+	d, err := c.serverDurability()
+	if err != nil {
 		return 0, false, err
 	}
-	if info.Durability == nil {
+	if d == nil {
 		return 0, false, nil
 	}
-	return info.Durability.Commits, true, nil
+	return d.Commits, true, nil
 }
 
 // commitVerdict prints the write-mode summary and enforces the
@@ -297,6 +347,10 @@ func (c *servedClient) commitVerdict(w io.Writer, commitsBefore int64) error {
 	fmt.Fprintf(w, "commits: %d acknowledged, server delta %d, lost %d, commit latency p50 %s / p99 %s / max %s\n",
 		acked, delta, lost,
 		micros(float64(s.P50Micros)), micros(float64(s.P99Micros)), micros(float64(s.MaxMicros)))
+	if d := c.walDelta(); d != nil && d.PayloadBytes > 0 {
+		fmt.Fprintf(w, "wal: %d B appended for %d B of page payload (%.2fx write amplification, %d syncs)\n",
+			d.AppendedBytes, d.PayloadBytes, d.WriteAmplification, d.Syncs)
+	}
 	if lost > 0 {
 		return fmt.Errorf("lost updates: %d acknowledged commits are missing from the server's counter (%d acked, server delta %d)",
 			lost, acked, delta)
@@ -386,6 +440,9 @@ func (c *servedClient) report(w io.Writer, wall time.Duration, clients int, rate
 		rep.Commits = acked
 		cl := metrics.Summarize(c.commitHist.Snapshot())
 		rep.CommitLatency = &cl
+	}
+	if w := c.walDelta(); w != nil {
+		rep.WAL = w
 	}
 	return writeReport(reportPath, &rep)
 }

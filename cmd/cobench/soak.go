@@ -33,7 +33,23 @@ type RunReport struct {
 	// server-side latency distribution.
 	Commits       int64            `json:"commits,omitempty"`
 	CommitLatency *metrics.Summary `json:"commitLatency,omitempty"`
-	Soak          *SoakReport      `json:"soak,omitempty"`
+	// WAL appears alongside Commits: the server's write-ahead-log append
+	// volume over this run against the dirty-page payload the commits
+	// actually carried — the write-amplification axis.
+	WAL  *WALReport  `json:"wal,omitempty"`
+	Soak *SoakReport `json:"soak,omitempty"`
+}
+
+// WALReport is the write-amplification block of a write-mode run: the
+// delta of the server's durability counters between the start and end of
+// the run. AppendedBytes / PayloadBytes is the amplification — framing,
+// commit markers and full-page write granularity on top of the bytes the
+// commits logically changed.
+type WALReport struct {
+	AppendedBytes      int64   `json:"appendedBytes"`
+	PayloadBytes       int64   `json:"payloadBytes"`
+	Syncs              int64   `json:"syncs"`
+	WriteAmplification float64 `json:"writeAmplification,omitempty"`
 }
 
 // SoakStep is one rung of the soak ramp.

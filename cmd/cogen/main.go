@@ -6,6 +6,7 @@
 //
 //	cogen [-n 1500] [-seed 1993] [-prob 0.8] [-fanout 2] [-maxseeing 15] [-skew]
 //	      [-dump 42] [-db bench.codb] [-wal DIR] [-buffer 1200] [-faults SPEC]
+//	      [-split N] [-strategy range]
 //
 // With -db, the extension is loaded into every storage model and the
 // result is serialized as a .codb snapshot (device arenas + directory
@@ -19,17 +20,28 @@
 // faults and writes a snapshot identical to the fault-free one, or fails
 // with a structured error, never a corrupt snapshot; the injected-fault
 // counters go to stderr.
+//
+// With -split N, the -db snapshot is additionally split into N per-shard
+// .codb segments (bench.s0.codb, …) plus a shard map (bench.shards.json)
+// for the scale-out deployment: N coserve backends each serving their
+// segment (-shard-map + -shards) behind a coshard router. -strategy
+// selects the partition function (range: contiguous slices of the model
+// list; hash: FNV-1a of the model name; explicit:dsm,nsmx/ddsm,nsm,dnsm:
+// an operator-chosen assignment, the only way to balance shards by
+// measured load — per-model costs differ by factors, not percent).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"complexobj"
 	"complexobj/cobench"
 	"complexobj/internal/fanout"
+	"complexobj/internal/shard"
 	"complexobj/report"
 )
 
@@ -47,6 +59,8 @@ func main() {
 		walDir    = flag.String("wal", "", "seed this commit-log directory with checkpoint sidecars of the loaded models (for coserve -wal)")
 		buffer    = flag.Int("buffer", 1200, "buffer pool pages used while loading the snapshot models")
 		faults    = flag.String("faults", "", "fault-injection schedule under the snapshot-loading engines, e.g. seed=7,read=0.02")
+		split     = flag.Int("split", 0, "split the -db snapshot into this many per-shard .codb segments plus a shard map (0: no split)")
+		strategy  = flag.String("strategy", shard.StrategyRange, "shard partition strategy for -split: hash, range, or explicit:dsm,nsmx/ddsm,nsm,dnsm (a load-aware split)")
 	)
 	flag.Parse()
 
@@ -108,6 +122,82 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *split > 0 {
+		if *dbPath == "" {
+			fmt.Fprintln(os.Stderr, "cogen: -split needs -db (segments are extracted from the snapshot)")
+			os.Exit(1)
+		}
+		if err := splitSnapshot(*dbPath, *split, *strategy); err != nil {
+			fmt.Fprintln(os.Stderr, "cogen:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// splitSnapshot partitions the snapshot's models across n shards and
+// extracts one .codb segment per non-empty shard (bench.codb →
+// bench.s0.codb…), writing the shard map next to them (bench.shards.json)
+// with segment paths relative to the map file. Segments copy arena bytes
+// verbatim (complexobj.ExtractSnapshot), so a shard served from its
+// segment measures bit-identically to one served from the full snapshot.
+func splitSnapshot(dbPath string, n int, strategy string) error {
+	info, err := complexobj.StatSnapshot(dbPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(info.Models))
+	byName := make(map[string]complexobj.ModelKind, len(info.Models))
+	for i, k := range info.Models {
+		names[i] = k.String()
+		byName[k.String()] = k
+	}
+	// Explicit specs accept the short model aliases the CLIs use (dsm,
+	// ddsm, …); translate them to the display names the map stores.
+	if rest, ok := strings.CutPrefix(strategy, shard.StrategyExplicit); ok {
+		groups := strings.Split(rest, "/")
+		for i, group := range groups {
+			tokens := strings.Split(group, ",")
+			for j, tok := range tokens {
+				if k, err := complexobj.ModelByName(strings.TrimSpace(tok)); err == nil {
+					tokens[j] = k.String()
+				}
+			}
+			groups[i] = strings.Join(tokens, ",")
+		}
+		strategy = shard.StrategyExplicit + strings.Join(groups, "/")
+	}
+	m, err := shard.Partition(names, n, strategy)
+	if err != nil {
+		return err
+	}
+	for i := range m.Shards {
+		s := &m.Shards[i]
+		if len(s.Models) == 0 {
+			continue // a hash shard may own nothing; it gets no segment
+		}
+		kinds := make([]complexobj.ModelKind, len(s.Models))
+		for j, name := range s.Models {
+			kinds[j] = byName[name]
+		}
+		seg := shard.SegmentName(dbPath, s.ID)
+		if err := complexobj.ExtractSnapshot(dbPath, seg, kinds); err != nil {
+			return err
+		}
+		s.Segment = filepath.Base(seg)
+		st, err := os.Stat(seg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote shard %d segment %s: %s, %.1f MiB\n",
+			s.ID, seg, strings.Join(s.Models, "+"), float64(st.Size())/(1<<20))
+	}
+	mapPath := shard.MapName(dbPath)
+	if err := m.Write(mapPath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote shard map %s: %d shards over %d models (%s, version %d)\n",
+		mapPath, len(m.Shards), len(names), m.Strategy, m.Version)
+	return nil
 }
 
 // buildSnapshot loads the generated extension into every storage model

@@ -10,6 +10,7 @@
 //	        [-model all] [-loops 300] [-samples 40] [-seed 1993]
 //	        [-max-inflight 0] [-request-timeout 0] [-faults SPEC]
 //	        [-wal DIR] [-checkpoint-mb 64]
+//	        [-shard-map bench.shards.json] [-shards 0,1]
 //
 // Endpoints: /run, /stats, /info, /healthz, /metrics (see
 // internal/server; /metrics is Prometheus text exposition — serving
@@ -36,6 +37,17 @@
 // -checkpoint-mb compacts the log whenever it outgrows that size (0:
 // never). Read-path counters are unaffected: a -wal server measures
 // bit-identically to a read-only one.
+//
+// -shard-map makes the process one backend of a scale-out deployment
+// (cogen -split built the map and the per-shard .codb segments): it
+// serves only the models its shards own, out of their segments, and
+// rejects out-of-shard models with 421 Misdirected Request — the signal
+// the coshard router re-routes on. -shards picks the owned shard IDs
+// (default: all of them); ownership moves at runtime through POST
+// /shards/acquire and /shards/release, which is how a segment hands off
+// between two live backends without copying a byte. Counters stay
+// bit-identical to unsharded serving: sharding partitions the model set,
+// and no query crosses models.
 package main
 
 import (
@@ -47,6 +59,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,17 +82,19 @@ func main() {
 		faults     = flag.String("faults", "", "fault-injection schedule for every view engine, e.g. seed=7,read=0.02,latency=0.05:2ms")
 		walDir     = flag.String("wal", "", "write-ahead-log directory arming durable commits (empty: read-only serving)")
 		ckptMB     = flag.Int64("checkpoint-mb", 64, "checkpoint the write-ahead log when it exceeds this many MiB (0: never; needs -wal)")
+		shardMap   = flag.String("shard-map", "", "shard-map file (cogen -split) turning the process into one scale-out backend")
+		shards     = flag.String("shards", "", "comma-separated shard IDs owned at startup (empty with -shard-map: all)")
 	)
 	flag.Parse()
-	if err := run(*dbPath, *addr, *buffer, *views, *model, *loops, *samples, *seed, *maxInFl, *reqTimeout, *faults, *walDir, *ckptMB); err != nil {
+	if err := run(*dbPath, *addr, *buffer, *views, *model, *loops, *samples, *seed, *maxInFl, *reqTimeout, *faults, *walDir, *ckptMB, *shardMap, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "coserve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dbPath, addr string, buffer, views int, model string, loops, samples int, seed uint64,
-	maxInflight int, reqTimeout time.Duration, faults, walDir string, ckptMB int64) error {
-	if dbPath == "" {
+	maxInflight int, reqTimeout time.Duration, faults, walDir string, ckptMB int64, shardMap, shards string) error {
+	if dbPath == "" && shardMap == "" {
 		return fmt.Errorf("-db is required (build one with: cogen -db bench.codb)")
 	}
 	plan, err := complexobj.ParseFaultPlan(faults)
@@ -98,6 +113,7 @@ func run(dbPath, addr string, buffer, views int, model string, loops, samples in
 		Faults:          plan,
 		WALDir:          walDir,
 		CheckpointBytes: ckptMB << 20,
+		ShardMap:        shardMap,
 	}
 	cfg.Workload.Loops = loops
 	cfg.Workload.Samples = samples
@@ -109,6 +125,18 @@ func run(dbPath, addr string, buffer, views int, model string, loops, samples in
 		}
 		cfg.Models = []complexobj.ModelKind{k}
 	}
+	if shards != "" {
+		if shardMap == "" {
+			return fmt.Errorf("-shards needs -shard-map")
+		}
+		for _, f := range strings.Split(shards, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return fmt.Errorf("-shards: bad shard ID %q", f)
+			}
+			cfg.Shards = append(cfg.Shards, id)
+		}
+	}
 
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -117,10 +145,17 @@ func run(dbPath, addr string, buffer, views int, model string, loops, samples in
 	defer srv.Close()
 
 	info := srv.Info()
+	source := dbPath
+	if shardMap != "" {
+		source = shardMap
+	}
 	fmt.Printf("coserve: serving %s (N=%d, seed=%d, page %d B) on %s\n",
-		dbPath, info.Gen.N, info.Gen.Seed, info.PageSize, addr)
+		source, info.Gen.N, info.Gen.Seed, info.PageSize, addr)
 	fmt.Printf("coserve: %d models, %.1f MiB shared arenas, %d views x %d buffer pages per model\n",
 		len(info.Models), float64(srv.TotalArenaBytes())/(1<<20), views, buffer)
+	if shardMap != "" {
+		fmt.Printf("coserve: sharded backend, shards %s of %s\n", shardString(shards), shardMap)
+	}
 	if maxInflight >= 0 || reqTimeout > 0 {
 		fmt.Printf("coserve: admission bound %s, request timeout %s\n",
 			boundString(maxInflight), timeoutString(reqTimeout))
@@ -159,6 +194,14 @@ func boundString(n int) string {
 		return "auto"
 	}
 	return strconv.Itoa(n)
+}
+
+// shardString renders the -shards value ("all" for empty).
+func shardString(s string) string {
+	if s == "" {
+		return "all"
+	}
+	return s
 }
 
 // timeoutString renders the -request-timeout value ("none" for 0).

@@ -1,0 +1,106 @@
+// Command coshard is the scale-out shard router: it fronts N coserve
+// backends, each serving a slice of the storage models out of its own
+// .codb segment (cogen -split built the segments and the shard map), and
+// re-speaks the single-node wire surface — so cobench -serve-url drives a
+// sharded deployment with the exact flags that drive one coserve.
+//
+// Usage:
+//
+//	coshard -shard-map bench.shards.json -backends http://h0:8077,http://h1:8078
+//	        [-addr :8070] [-retries 3] [-fanout 4] [-timeout 60s]
+//	        [-idle-conns 32]
+//
+// Endpoints: /run (routed to the owning backend, with bounded retry over
+// transient transport errors, 503s and 421s), /stats (scatter-gathered
+// and merged cell-wise — aggregate counters are bit-identical to a single
+// node serving the whole snapshot), /info, /healthz (per-backend), and
+// /metrics (router-side counters under the coshard_ prefix: per-shard
+// requests/retries/failures/latency, connection dials, map version).
+//
+// POST /map/assign?shard=N&backend=URL repoints one shard between two
+// live backends — the middle step of the handoff protocol (new owner
+// POST /shards/acquire, router /map/assign, old owner POST
+// /shards/release), under which a segment moves without copying a byte
+// and without losing a request. The router never hedges: a /run is in
+// flight on at most one backend at a time, because a duplicated run would
+// double-count its cell in the backend's /stats aggregate.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"complexobj/internal/router"
+)
+
+func main() {
+	var (
+		mapPath  = flag.String("shard-map", "", "shard-map file written by cogen -split (required)")
+		backends = flag.String("backends", "", "comma-separated backend base URLs, one per shard in map order (default: the map's backend fields)")
+		addr     = flag.String("addr", ":8070", "listen address")
+		retries  = flag.Int("retries", 3, "attempts per routed request across transient failures")
+		fanoutN  = flag.Int("fanout", 4, "concurrent backends per scatter-gather")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-backend request timeout")
+		idle     = flag.Int("idle-conns", 32, "keep-alive connections pooled per backend")
+	)
+	flag.Parse()
+	if err := run(*mapPath, *backends, *addr, *retries, *fanoutN, *timeout, *idle); err != nil {
+		fmt.Fprintln(os.Stderr, "coshard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mapPath, backends, addr string, retries, fanoutN int, timeout time.Duration, idle int) error {
+	if mapPath == "" {
+		return fmt.Errorf("-shard-map is required (build one with: cogen -db bench.codb -split 2)")
+	}
+	cfg := router.Config{
+		MapPath:        mapPath,
+		Retries:        retries,
+		Fanout:         fanoutN,
+		Timeout:        timeout,
+		MaxIdlePerHost: idle,
+	}
+	if backends != "" {
+		for _, b := range strings.Split(backends, ",") {
+			cfg.Backends = append(cfg.Backends, strings.TrimSpace(b))
+		}
+	}
+	rt, err := router.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	fmt.Printf("coshard: routing %s on %s (map version %d)\n", mapPath, addr, rt.Version())
+	for _, sh := range rt.Map() {
+		fmt.Printf("coshard: shard %d -> %s (%s)\n", sh.ID, sh.Backend, strings.Join(sh.Models, "+"))
+	}
+
+	hs := &http.Server{Addr: addr, Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("coshard: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+	return nil
+}

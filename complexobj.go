@@ -235,6 +235,20 @@ func WriteSnapshot(path string, gen cobench.Config, dbs ...*DB) error {
 	return snapshot.Write(path, gen, models...)
 }
 
+// ExtractSnapshot writes a new .codb snapshot at dst holding only the
+// selected models of src, copying their meta and arena bytes verbatim —
+// the segment-split primitive of the scale-out layer (cogen -split).
+// A base opened from the extracted segment is bit-identical to one opened
+// from the full snapshot, so handing a shard to another node is a file
+// move plus an mmap, never a reload.
+func ExtractSnapshot(src, dst string, models []ModelKind) error {
+	kinds := make([]store.Kind, len(models))
+	for i, m := range models {
+		kinds[i] = m.internal()
+	}
+	return snapshot.Extract(src, dst, kinds)
+}
+
 // OpenSnapshot restores one storage model from a .codb snapshot file,
 // skipping generation and loading entirely. The restored database starts
 // with a cold cache and zeroed counters and measures bit-identically to a

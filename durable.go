@@ -342,6 +342,11 @@ type CommitLogStats struct {
 	Syncs int64
 	// AppendedBytes counts bytes appended to the log since open.
 	AppendedBytes int64
+	// PayloadBytes counts the dirty-page image bytes inside those
+	// appends. AppendedBytes over PayloadBytes is the WAL's write
+	// amplification — what framing, commit markers and full-page
+	// granularity cost on top of the payload itself.
+	PayloadBytes int64
 	// SizeBytes is the current log length (drops to 0 at checkpoints).
 	SizeBytes int64
 	// LastSeq is the last acknowledged commit sequence (monotonic across
@@ -365,6 +370,7 @@ func (c *CommitLog) Stats() CommitLogStats {
 		out.Commits = s.Commits
 		out.Syncs = s.Syncs
 		out.AppendedBytes = s.AppendedBytes
+		out.PayloadBytes = s.PayloadBytes
 		out.SizeBytes = s.SizeBytes
 		out.LastSeq = s.LastSeq
 	}

@@ -380,11 +380,17 @@ func (s *Store) scratch(scratch bool, n, total int) ([]Component, []byte) {
 func (s *Store) readAll(ref Ref, scratch bool) ([]Component, error) {
 	if ref.Small {
 		if !scratch {
-			rec, err := s.shared.Get(ref.RID)
-			if err != nil {
-				return nil, err
-			}
-			return decodeInline(rec)
+			// decodeInline copies every component out of the record, so
+			// decoding under the page view is safe and the record-sized
+			// staging copy heap.Get would make disappears. Same single
+			// buffer fix either way — the paper counters cannot move.
+			var comps []Component
+			err := s.shared.View(ref.RID, func(rec []byte) error {
+				var err error
+				comps, err = decodeInline(rec)
+				return err
+			})
+			return comps, err
 		}
 		// Scratch path: decode straight out of the heap page view, so
 		// even the record copy disappears.
@@ -734,12 +740,16 @@ func (s *Store) FreedPages() int { return s.freedPages }
 // written through.
 func (s *Store) ChangeComponent(ref Ref, idx int, data []byte) (int, error) {
 	if ref.Small {
-		rec, err := s.shared.Get(ref.RID)
-		if err != nil {
-			return 0, err
-		}
-		comps, err := decodeInline(rec)
-		if err != nil {
+		// Decode under the page view (decodeInline copies, nothing
+		// aliases the frame) and drop the view before Update re-fixes
+		// the page — the fix count stays identical to the old
+		// Get-then-Update sequence.
+		var comps []Component
+		if err := s.shared.View(ref.RID, func(rec []byte) error {
+			var err error
+			comps, err = decodeInline(rec)
+			return err
+		}); err != nil {
 			return 0, err
 		}
 		if idx < 0 || idx >= len(comps) {

@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// PromWriter accumulates Prometheus text exposition (version 0.0.4),
+// emitting each family's TYPE header once. It is shared by every process
+// with a /metrics endpoint (coserve, coshard), so the scrape format stays
+// uniform across the deployment.
+type PromWriter struct {
+	w     io.Writer
+	typed map[string]bool
+}
+
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, typed: make(map[string]bool)}
+}
+
+func (p *PromWriter) family(name, kind string) {
+	if !p.typed[name] {
+		p.typed[name] = true
+		fmt.Fprintf(p.w, "# TYPE %s %s\n", name, kind)
+	}
+}
+
+func (p *PromWriter) num(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Sample emits one counter or gauge sample; labels come pre-rendered
+// (`model="DSM"`) or empty.
+func (p *PromWriter) Sample(name, kind, labels string, v float64) {
+	p.family(name, kind)
+	if labels == "" {
+		fmt.Fprintf(p.w, "%s %s\n", name, p.num(v))
+	} else {
+		fmt.Fprintf(p.w, "%s{%s} %s\n", name, labels, p.num(v))
+	}
+}
+
+// Summary renders one histogram snapshot as a Prometheus summary in
+// seconds: the four serving quantiles plus _sum and _count.
+func (p *PromWriter) Summary(name, labels string, s *Snapshot) {
+	p.family(name, "summary")
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for _, q := range []struct {
+		label string
+		q     float64
+	}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"0.999", 0.999}} {
+		fmt.Fprintf(p.w, "%s{%s%squantile=\"%s\"} %s\n",
+			name, labels, sep, q.label, p.num(float64(s.Quantile(q.q))/1e9))
+	}
+	if labels == "" {
+		fmt.Fprintf(p.w, "%s_sum %s\n", name, p.num(float64(s.Sum)/1e9))
+		fmt.Fprintf(p.w, "%s_count %d\n", name, s.Count)
+	} else {
+		fmt.Fprintf(p.w, "%s_sum{%s} %s\n", name, labels, p.num(float64(s.Sum)/1e9))
+		fmt.Fprintf(p.w, "%s_count{%s} %d\n", name, labels, s.Count)
+	}
+}

@@ -1,0 +1,33 @@
+// Package router is the scale-out front of the serving path: a shard
+// router that fans benchmark requests out over the coserve backends that
+// own them (internal/shard maps model → shard → backend) and aggregates
+// the deployment's measurements back into the single-node wire format.
+//
+// The router lives entirely outside the paper's counted I/O: it owns no
+// engine, no buffer pool and no device — it only forwards HTTP requests
+// and merges JSON payloads. A /run forwarded through the router returns
+// the owning backend's response byte-for-byte, and the scatter-gathered
+// /stats is the cell-wise union of the backends' aggregates: with
+// model-granular shards no query crosses backends, so the aggregate
+// counter cells are bit-identical to a single node serving the whole
+// snapshot (TestScatterGatherMatchesSingleNode pins this).
+//
+// Mechanics worth naming:
+//
+//   - Connection pooling: one shared keep-alive transport over every
+//     backend, with a dial counter surfaced on /metrics — in steady state
+//     dials stay near the pool size while requests grow without bound.
+//   - Bounded retry, no hedging: a transient transport error, a 503 or a
+//     421 Misdirected Request re-resolves the owner and retries with
+//     backoff a bounded number of times; the router never races duplicate
+//     requests against two backends (a duplicated /run would double-count
+//     a cell in the backend's /stats aggregate).
+//   - Rebalance: POST /map/assign repoints a shard to a new backend at a
+//     bumped map version; in-flight requests that lose the race get a 421
+//     or a closing-pool 503 from the old owner and retry against the new
+//     binding, so a handoff between two live backends loses no requests
+//     (TestRebalanceLosesNoRequests).
+//   - Degradation: when a shard's backend stays unreachable past the
+//     retry budget, only that shard's models fail — with a structured 503
+//     naming the shard — while every other shard keeps serving.
+package router

@@ -124,120 +124,83 @@ func (s *Server) metricsInfo() MetricsInfo {
 	return info
 }
 
-// promWriter accumulates Prometheus text exposition, emitting each
-// family's TYPE header once.
-type promWriter struct {
-	w     http.ResponseWriter
-	typed map[string]bool
-}
-
-func (p *promWriter) family(name, kind string) {
-	if !p.typed[name] {
-		p.typed[name] = true
-		fmt.Fprintf(p.w, "# TYPE %s %s\n", name, kind)
-	}
-}
-
-func (p *promWriter) num(v float64) string {
-	return strconv.FormatFloat(v, 'g', -1, 64)
-}
-
-// counter/gauge emit one sample; labels come pre-rendered (`model="DSM"`)
-// or empty.
-func (p *promWriter) sample(name, kind, labels string, v float64) {
-	p.family(name, kind)
-	if labels == "" {
-		fmt.Fprintf(p.w, "%s %s\n", name, p.num(v))
-	} else {
-		fmt.Fprintf(p.w, "%s{%s} %s\n", name, labels, p.num(v))
-	}
-}
-
-// summary renders one histogram snapshot as a Prometheus summary in
-// seconds: the four serving quantiles plus _sum and _count.
-func (p *promWriter) summary(name, labels string, s *metrics.Snapshot) {
-	p.family(name, "summary")
-	sep := ""
-	if labels != "" {
-		sep = ","
-	}
-	for _, q := range []struct {
-		label string
-		q     float64
-	}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"0.999", 0.999}} {
-		fmt.Fprintf(p.w, "%s{%s%squantile=\"%s\"} %s\n",
-			name, labels, sep, q.label, p.num(float64(s.Quantile(q.q))/1e9))
-	}
-	if labels == "" {
-		fmt.Fprintf(p.w, "%s_sum %s\n", name, p.num(float64(s.Sum)/1e9))
-		fmt.Fprintf(p.w, "%s_count %d\n", name, s.Count)
-	} else {
-		fmt.Fprintf(p.w, "%s_sum{%s} %s\n", name, labels, p.num(float64(s.Sum)/1e9))
-		fmt.Fprintf(p.w, "%s_count{%s} %d\n", name, labels, s.Count)
-	}
-}
-
 // handleMetrics serves the Prometheus text exposition. Everything it
 // reads is observability state (atomics, pool mutexes, the aggregate
 // mutex) — no engine, device or buffer state — so a scrape at any point
 // of a load leaves every paper counter untouched.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	p := &promWriter{w: w, typed: make(map[string]bool)}
+	p := metrics.NewPromWriter(w)
 
-	p.sample("complexobj_uptime_seconds", "gauge", "", time.Since(s.start).Seconds())
-	p.sample("complexobj_requests_total", "counter", "", float64(s.requests.Load()))
-	p.sample("complexobj_requests_shed_total", "counter", `reason="admission"`, float64(s.shedAdmit.Load()))
-	p.sample("complexobj_requests_shed_total", "counter", `reason="deadline"`, float64(s.shedDeadline.Load()))
-	p.sample("complexobj_panics_total", "counter", "", float64(s.panics.Load()))
+	p.Sample("complexobj_uptime_seconds", "gauge", "", time.Since(s.start).Seconds())
+	p.Sample("complexobj_requests_total", "counter", "", float64(s.requests.Load()))
+	p.Sample("complexobj_requests_shed_total", "counter", `reason="admission"`, float64(s.shedAdmit.Load()))
+	p.Sample("complexobj_requests_shed_total", "counter", `reason="deadline"`, float64(s.shedDeadline.Load()))
+	p.Sample("complexobj_panics_total", "counter", "", float64(s.panics.Load()))
 
 	inFlight := 0
 	if s.admit != nil {
 		inFlight = len(s.admit)
 	}
-	p.sample("complexobj_inflight_requests", "gauge", "", float64(inFlight))
-	p.sample("complexobj_max_inflight_requests", "gauge", "", float64(s.maxInflight))
+	p.Sample("complexobj_inflight_requests", "gauge", "", float64(inFlight))
+	p.Sample("complexobj_max_inflight_requests", "gauge", "", float64(s.maxInflight))
 
 	s.mu.Lock()
 	aggCells, aggDropped := len(s.agg), s.aggDropped
 	s.mu.Unlock()
-	p.sample("complexobj_stats_cells", "gauge", "", float64(aggCells))
-	p.sample("complexobj_stats_dropped_cells_total", "counter", "", float64(aggDropped))
+	p.Sample("complexobj_stats_cells", "gauge", "", float64(aggCells))
+	p.Sample("complexobj_stats_dropped_cells_total", "counter", "", float64(aggDropped))
 
 	// Per-model view pools: occupancy gauges plus the lifetime counters
-	// (borrows = acquisitions served = created + reused).
+	// (borrows = acquisitions served = created + reused). The ownership
+	// read lock covers the model walk — on a sharded backend the set
+	// changes as shards move (the owned-shard gauge beside it says which).
+	s.omu.RLock()
+	if s.smap != nil {
+		p.Sample("complexobj_shard_map_version", "gauge", "", float64(s.smap.Version))
+		p.Sample("complexobj_owned_shards", "gauge", "", float64(len(s.owned)))
+		for _, id := range s.owned {
+			p.Sample("complexobj_shard_owned", "gauge", fmt.Sprintf("shard=%q", strconv.Itoa(id)), 1)
+		}
+	}
 	for _, k := range s.models {
 		ps := s.pools[k].Stats()
 		labels := fmt.Sprintf("model=%q", k.String())
-		p.sample("complexobj_viewpool_max_views", "gauge", labels, float64(ps.MaxViews))
-		p.sample("complexobj_viewpool_inuse_views", "gauge", labels, float64(ps.InUse))
-		p.sample("complexobj_viewpool_idle_views", "gauge", labels, float64(ps.Idle))
-		p.sample("complexobj_viewpool_borrows_total", "counter", labels, float64(ps.Created+ps.Reused))
-		p.sample("complexobj_viewpool_created_total", "counter", labels, float64(ps.Created))
-		p.sample("complexobj_viewpool_reused_total", "counter", labels, float64(ps.Reused))
-		p.sample("complexobj_viewpool_recycled_total", "counter", labels, float64(ps.Recycled))
-		p.sample("complexobj_viewpool_rebuilt_total", "counter", labels, float64(ps.Rebuilt))
-		p.sample("complexobj_viewpool_destroyed_total", "counter", labels, float64(ps.Destroyed))
-		p.sample("complexobj_viewpool_quarantined_total", "counter", labels, float64(ps.Quarantined))
-		p.sample("complexobj_viewpool_stale_total", "counter", labels, float64(ps.Stale))
-		p.sample("complexobj_base_generation", "gauge", labels, float64(s.bases[k].Gen()))
+		p.Sample("complexobj_viewpool_max_views", "gauge", labels, float64(ps.MaxViews))
+		p.Sample("complexobj_viewpool_inuse_views", "gauge", labels, float64(ps.InUse))
+		p.Sample("complexobj_viewpool_idle_views", "gauge", labels, float64(ps.Idle))
+		p.Sample("complexobj_viewpool_borrows_total", "counter", labels, float64(ps.Created+ps.Reused))
+		p.Sample("complexobj_viewpool_created_total", "counter", labels, float64(ps.Created))
+		p.Sample("complexobj_viewpool_reused_total", "counter", labels, float64(ps.Reused))
+		p.Sample("complexobj_viewpool_recycled_total", "counter", labels, float64(ps.Recycled))
+		p.Sample("complexobj_viewpool_rebuilt_total", "counter", labels, float64(ps.Rebuilt))
+		p.Sample("complexobj_viewpool_destroyed_total", "counter", labels, float64(ps.Destroyed))
+		p.Sample("complexobj_viewpool_quarantined_total", "counter", labels, float64(ps.Quarantined))
+		p.Sample("complexobj_viewpool_stale_total", "counter", labels, float64(ps.Stale))
+		p.Sample("complexobj_base_generation", "gauge", labels, float64(s.bases[k].Gen()))
 	}
+	s.omu.RUnlock()
 
 	// Durable commit path (only with -wal): write-ahead-log counters plus
 	// the per-model commit-latency summaries. All of it sits outside the
 	// paper's I/O accounting, like the latency histograms above.
 	if s.clog != nil {
 		cs := s.clog.Stats()
-		p.sample("complexobj_commits_total", "counter", "", float64(cs.Commits))
-		p.sample("complexobj_wal_syncs_total", "counter", "", float64(cs.Syncs))
-		p.sample("complexobj_wal_appended_bytes_total", "counter", "", float64(cs.AppendedBytes))
-		p.sample("complexobj_wal_size_bytes", "gauge", "", float64(cs.SizeBytes))
-		p.sample("complexobj_wal_last_seq", "gauge", "", float64(cs.LastSeq))
-		p.sample("complexobj_checkpoints_total", "counter", "", float64(cs.Checkpoints))
-		p.sample("complexobj_wal_recovered_commits", "gauge", "", float64(cs.Recovered))
+		p.Sample("complexobj_commits_total", "counter", "", float64(cs.Commits))
+		p.Sample("complexobj_wal_syncs_total", "counter", "", float64(cs.Syncs))
+		p.Sample("complexobj_wal_appended_bytes_total", "counter", "", float64(cs.AppendedBytes))
+		p.Sample("complexobj_wal_payload_bytes_total", "counter", "", float64(cs.PayloadBytes))
+		if cs.PayloadBytes > 0 {
+			p.Sample("complexobj_wal_write_amplification", "gauge", "",
+				float64(cs.AppendedBytes)/float64(cs.PayloadBytes))
+		}
+		p.Sample("complexobj_wal_size_bytes", "gauge", "", float64(cs.SizeBytes))
+		p.Sample("complexobj_wal_last_seq", "gauge", "", float64(cs.LastSeq))
+		p.Sample("complexobj_checkpoints_total", "counter", "", float64(cs.Checkpoints))
+		p.Sample("complexobj_wal_recovered_commits", "gauge", "", float64(cs.Recovered))
 		for _, key := range s.commitLat.sortedKeys() {
 			c := s.commitLat.get(key.model, key.query)
-			p.summary("complexobj_commit_seconds", fmt.Sprintf("model=%q", key.model), c.service.Snapshot())
+			p.Summary("complexobj_commit_seconds", fmt.Sprintf("model=%q", key.model), c.service.Snapshot())
 		}
 	}
 
@@ -246,7 +209,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// I/O.
 	if s.cfg.Faults != nil {
 		fs := s.cfg.Faults.Stats()
-		p.sample("complexobj_fault_ops_total", "counter", "", float64(fs.Ops))
+		p.Sample("complexobj_fault_ops_total", "counter", "", float64(fs.Ops))
 		for _, f := range []struct {
 			kind string
 			n    int64
@@ -255,29 +218,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			{"permanent", fs.PermFaults}, {"short_read", fs.ShortReads},
 			{"torn_write", fs.TornWrites}, {"panic", fs.Panics},
 		} {
-			p.sample("complexobj_faults_injected_total", "counter", fmt.Sprintf("kind=%q", f.kind), float64(f.n))
+			p.Sample("complexobj_faults_injected_total", "counter", fmt.Sprintf("kind=%q", f.kind), float64(f.n))
 		}
-		p.sample("complexobj_fault_delays_total", "counter", "", float64(fs.Delays))
-		p.sample("complexobj_fault_poisoned_pages", "gauge", "", float64(fs.PoisonedPages))
+		p.Sample("complexobj_fault_delays_total", "counter", "", float64(fs.Delays))
+		p.Sample("complexobj_fault_poisoned_pages", "gauge", "", float64(fs.PoisonedPages))
 	}
 
 	// Process memory: OS resident set next to the Go heap, the figures
 	// cobench's -soak RSS gate samples.
 	ps := metrics.ReadProcStats()
-	p.sample("complexobj_process_resident_memory_bytes", "gauge", "", float64(ps.RSSBytes))
-	p.sample("complexobj_process_peak_resident_memory_bytes", "gauge", "", float64(ps.PeakRSSBytes))
-	p.sample("complexobj_process_heap_alloc_bytes", "gauge", "", float64(ps.HeapAllocBytes))
-	p.sample("complexobj_process_heap_sys_bytes", "gauge", "", float64(ps.HeapSysBytes))
-	p.sample("complexobj_process_heap_inuse_bytes", "gauge", "", float64(ps.HeapInuseBytes))
-	p.sample("complexobj_process_gc_total", "counter", "", float64(ps.GCTotal))
+	p.Sample("complexobj_process_resident_memory_bytes", "gauge", "", float64(ps.RSSBytes))
+	p.Sample("complexobj_process_peak_resident_memory_bytes", "gauge", "", float64(ps.PeakRSSBytes))
+	p.Sample("complexobj_process_heap_alloc_bytes", "gauge", "", float64(ps.HeapAllocBytes))
+	p.Sample("complexobj_process_heap_sys_bytes", "gauge", "", float64(ps.HeapSysBytes))
+	p.Sample("complexobj_process_heap_inuse_bytes", "gauge", "", float64(ps.HeapInuseBytes))
+	p.Sample("complexobj_process_gc_total", "counter", "", float64(ps.GCTotal))
 
 	// Per-(model, query) cells: request counts and the queue/service
 	// latency split, in deterministic cell order.
 	for _, key := range s.lat.sortedKeys() {
 		c := s.lat.get(key.model, key.query)
 		labels := fmt.Sprintf("model=%q,query=%q", key.model, key.query)
-		p.sample("complexobj_cell_requests_total", "counter", labels, float64(c.requests.Load()))
-		p.summary("complexobj_queue_wait_seconds", labels, c.queue.Snapshot())
-		p.summary("complexobj_service_time_seconds", labels, c.service.Snapshot())
+		p.Sample("complexobj_cell_requests_total", "counter", labels, float64(c.requests.Load()))
+		p.Summary("complexobj_queue_wait_seconds", labels, c.queue.Snapshot())
+		p.Summary("complexobj_service_time_seconds", labels, c.service.Snapshot())
 	}
 }

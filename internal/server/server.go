@@ -14,6 +14,7 @@ import (
 
 	"complexobj"
 	"complexobj/cobench"
+	"complexobj/internal/shard"
 )
 
 // Config parameterizes a Server.
@@ -59,16 +60,40 @@ type Config struct {
 	// this size after a commit (0: never checkpoint automatically).
 	// Only meaningful with WALDir.
 	CheckpointBytes int64
+	// ShardMap is the path of a shard-map file (cogen -split): the server
+	// becomes one backend of a scale-out deployment, serving only the
+	// models its shards own — from their per-shard .codb segments — and
+	// rejecting out-of-shard models with 421 Misdirected Request (the
+	// structured signal coshard re-routes on). Empty: classic unsharded
+	// serving from Snapshot. Mutually exclusive with Models.
+	ShardMap string
+	// Shards selects the shard IDs this backend owns at startup (empty
+	// with ShardMap set: every shard in the map). Ownership can change at
+	// runtime through the /shards/acquire and /shards/release endpoints —
+	// the rebalance protocol that makes a segment handoff between two
+	// live backends a file open + mmap, never a copy or a restart.
+	Shards []int
 }
 
 // Server serves benchmark queries from snapshot-backed shared bases. See
 // the package comment for the endpoint list and the measurement contract.
 type Server struct {
-	cfg      Config
-	info     complexobj.SnapshotInfo
+	cfg  Config
+	info complexobj.SnapshotInfo
+
+	// omu guards the ownership state below: which models this server
+	// serves and out of which segment. Static for an unsharded server;
+	// a sharded one mutates it through /shards/acquire and
+	// /shards/release, so every reader (request routing, /info, /metrics)
+	// takes the read lock. Held only for map access, never across a query.
+	omu      sync.RWMutex
 	models   []complexobj.ModelKind
 	bases    map[complexobj.ModelKind]*complexobj.Base
 	pools    map[complexobj.ModelKind]*complexobj.ViewPool
+	segments map[complexobj.ModelKind]string // serving segment per model (info only)
+	smap     *shard.Map                      // nil: unsharded
+	owned    []int                           // sorted shard IDs currently owned
+
 	start    time.Time
 	requests atomic.Int64
 
@@ -98,29 +123,91 @@ type Server struct {
 	commits   atomic.Int64
 }
 
-// New opens one shared base per served model from the snapshot and builds
-// the view pools. Close the server to release them.
+// New opens one shared base per served model from the snapshot (or, for
+// a sharded backend, from its shards' segments) and builds the view
+// pools. Close the server to release them.
 func New(cfg Config) (*Server, error) {
-	info, err := complexobj.StatSnapshot(cfg.Snapshot)
-	if err != nil {
-		return nil, err
-	}
-	models := cfg.Models
-	if len(models) == 0 {
-		models = info.Models
-	} else {
-		// Deduplicate caller-supplied kinds: a duplicate would open a
-		// second base+pool for the kind and leak the first (Close walks
-		// the maps, which only keep the last).
-		seen := make(map[complexobj.ModelKind]bool, len(models))
-		dedup := models[:0:0]
-		for _, k := range models {
-			if !seen[k] {
-				seen[k] = true
-				dedup = append(dedup, k)
+	var (
+		models   []complexobj.ModelKind
+		segments = make(map[complexobj.ModelKind]string)
+		smap     *shard.Map
+		owned    []int
+		info     complexobj.SnapshotInfo
+		err      error
+	)
+	if cfg.ShardMap != "" {
+		if len(cfg.Models) > 0 {
+			return nil, errors.New("server: Models and ShardMap are mutually exclusive (the map decides ownership)")
+		}
+		smap, err = shard.Load(cfg.ShardMap)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		ids := cfg.Shards
+		if len(ids) == 0 {
+			for _, sh := range smap.Shards {
+				ids = append(ids, sh.ID)
 			}
 		}
-		models = dedup
+		for _, id := range ids {
+			sh, ok := smap.Shard(id)
+			if !ok {
+				return nil, fmt.Errorf("server: no shard %d in %s", id, cfg.ShardMap)
+			}
+			seg, err := segmentPath(cfg.ShardMap, cfg.Snapshot, sh)
+			if err != nil {
+				return nil, err
+			}
+			for _, name := range sh.Models {
+				k, err := complexobj.ModelByName(name)
+				if err != nil {
+					return nil, fmt.Errorf("server: shard %d: %w", id, err)
+				}
+				if _, dup := segments[k]; dup {
+					return nil, fmt.Errorf("server: model %s owned twice across -shards", k)
+				}
+				segments[k] = seg
+				models = append(models, k)
+			}
+			owned = append(owned, id)
+		}
+		sort.Ints(owned)
+		// The /info identity (generator config, page size) comes from any
+		// reachable segment: Extract copies the header verbatim, so every
+		// segment of a deployment agrees — including ones this backend
+		// does not own, which covers a standby starting with zero shards.
+		info, err = shardedInfo(cfg, smap, models, segments)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if cfg.Shards != nil {
+			return nil, errors.New("server: Shards needs ShardMap")
+		}
+		info, err = complexobj.StatSnapshot(cfg.Snapshot)
+		if err != nil {
+			return nil, err
+		}
+		models = cfg.Models
+		if len(models) == 0 {
+			models = info.Models
+		} else {
+			// Deduplicate caller-supplied kinds: a duplicate would open a
+			// second base+pool for the kind and leak the first (Close walks
+			// the maps, which only keep the last).
+			seen := make(map[complexobj.ModelKind]bool, len(models))
+			dedup := models[:0:0]
+			for _, k := range models {
+				if !seen[k] {
+					seen[k] = true
+					dedup = append(dedup, k)
+				}
+			}
+			models = dedup
+		}
+		for _, k := range models {
+			segments[k] = cfg.Snapshot
+		}
 	}
 	// Default field by field, so a caller setting only some workload
 	// knobs (just a seed, just loops) keeps them and gets the benchmark
@@ -141,27 +228,36 @@ func New(cfg Config) (*Server, error) {
 		cfg.BufferPages = 1200 // the paper's installation; keeps /info truthful
 	}
 	s := &Server{
-		cfg:    cfg,
-		info:   info,
-		models: models,
-		bases:  make(map[complexobj.ModelKind]*complexobj.Base, len(models)),
-		pools:  make(map[complexobj.ModelKind]*complexobj.ViewPool, len(models)),
-		start:  time.Now(),
-		agg:    make(map[AggKey]*aggregate),
-		lat:    newLatencyCells(),
+		cfg:      cfg,
+		info:     info,
+		models:   models,
+		bases:    make(map[complexobj.ModelKind]*complexobj.Base, len(models)),
+		pools:    make(map[complexobj.ModelKind]*complexobj.ViewPool, len(models)),
+		segments: segments,
+		smap:     smap,
+		owned:    owned,
+		start:    time.Now(),
+		agg:      make(map[AggKey]*aggregate),
+		lat:      newLatencyCells(),
 	}
 	// Admission envelope: by default twice the summed per-model view
 	// bound, so the global gate queues (and sheds) before every pool is
 	// saturated and the memory promise — MaxInflight × (buffer pool +
 	// dirtied overlay) over the shared bases — holds whatever mix of
-	// models the traffic hits.
+	// models the traffic hits. A sharded backend sizes the envelope over
+	// the map's full model set, not its current subset: the bound must not
+	// change when shards move, and a backend can end up owning everything.
 	mv := cfg.MaxViews
 	if mv <= 0 {
 		mv = 8
 	}
+	envelope := len(models)
+	if smap != nil {
+		envelope = len(smap.Models())
+	}
 	s.maxInflight = cfg.MaxInflight
 	if s.maxInflight == 0 {
-		s.maxInflight = 2 * mv * len(models)
+		s.maxInflight = 2 * mv * envelope
 	}
 	if s.maxInflight > 0 {
 		s.admit = make(chan struct{}, s.maxInflight)
@@ -175,28 +271,10 @@ func New(cfg Config) (*Server, error) {
 		s.commitMu = make(map[complexobj.ModelKind]*sync.Mutex, len(models))
 		s.commitLat = newLatencyCells()
 	}
-	opts := complexobj.Options{BufferPages: cfg.BufferPages, Backend: "cow", Faults: cfg.Faults}
 	for _, k := range models {
-		var base *complexobj.Base
-		var err error
-		if s.clog != nil {
-			base, err = s.clog.OpenBase(k, cfg.Snapshot)
-		} else {
-			base, err = complexobj.OpenBase(cfg.Snapshot, k)
-		}
-		if err != nil {
+		if err := s.openModelLocked(k, segments[k]); err != nil {
 			s.Close()
-			return nil, fmt.Errorf("server: open base %s: %w", k, err)
-		}
-		s.bases[k] = base
-		pool, err := complexobj.NewViewPool(base, opts, cfg.MaxViews)
-		if err != nil {
-			s.Close()
-			return nil, fmt.Errorf("server: pool %s: %w", k, err)
-		}
-		s.pools[k] = pool
-		if s.clog != nil {
-			s.commitMu[k] = new(sync.Mutex)
+			return nil, err
 		}
 	}
 	if s.clog != nil {
@@ -213,6 +291,8 @@ func New(cfg Config) (*Server, error) {
 // Close releases the view pools and then the shared bases (dropping the
 // snapshot file mappings).
 func (s *Server) Close() error {
+	s.omu.Lock()
+	defer s.omu.Unlock()
 	var first error
 	for k, p := range s.pools {
 		if err := p.Close(); err != nil && first == nil {
@@ -243,6 +323,8 @@ func (s *Server) Info() complexobj.SnapshotInfo { return s.info }
 // count (the RSS smoke bounds the serving process against a multiple of
 // this).
 func (s *Server) TotalArenaBytes() int {
+	s.omu.RLock()
+	defer s.omu.RUnlock()
 	n := 0
 	for _, b := range s.bases {
 		n += b.ArenaBytes()
@@ -449,15 +531,20 @@ type ResilienceInfo struct {
 // counts acknowledged commit batches — cobench's write-mode lost-update
 // gate compares it against the client-side acknowledgment count.
 type DurabilityInfo struct {
-	WALDir          string `json:"walDir"`
-	Commits         int64  `json:"commits"`
-	Syncs           int64  `json:"syncs"`
-	AppendedBytes   int64  `json:"appendedBytes"`
-	WALSizeBytes    int64  `json:"walSizeBytes"`
-	LastSeq         uint64 `json:"lastSeq"`
-	Checkpoints     int64  `json:"checkpoints"`
-	Recovered       int64  `json:"recovered"`
-	CheckpointBytes int64  `json:"checkpointBytes"`
+	WALDir        string `json:"walDir"`
+	Commits       int64  `json:"commits"`
+	Syncs         int64  `json:"syncs"`
+	AppendedBytes int64  `json:"appendedBytes"`
+	// PayloadBytes is the dirty-page image portion of AppendedBytes;
+	// WriteAmplification is their ratio (0 until the first payload byte)
+	// — the report axis cobench -report carries per write-mode run.
+	PayloadBytes       int64   `json:"payloadBytes"`
+	WriteAmplification float64 `json:"writeAmplification"`
+	WALSizeBytes       int64   `json:"walSizeBytes"`
+	LastSeq            uint64  `json:"lastSeq"`
+	Checkpoints        int64   `json:"checkpoints"`
+	Recovered          int64   `json:"recovered"`
+	CheckpointBytes    int64   `json:"checkpointBytes"`
 }
 
 // InfoResponse is the /info payload.
@@ -475,6 +562,10 @@ type InfoResponse struct {
 	// memory plus the per-cell latency split (queue wait vs service
 	// time). Latency sits outside the paper's counter accounting.
 	Metrics MetricsInfo `json:"metrics"`
+	// Sharding reports the backend's place in a scale-out deployment
+	// (absent without -shard-map): the map it loaded and the shards —
+	// and so models — it currently owns.
+	Sharding *ShardingInfo `json:"sharding,omitempty"`
 }
 
 // Handler returns the HTTP handler serving the package's endpoints.
@@ -485,6 +576,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/info", s.handleInfo)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/shards/acquire", s.handleShardAcquire)
+	mux.HandleFunc("/shards/release", s.handleShardRelease)
 	return mux
 }
 
@@ -511,9 +604,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "degraded"
 	}
 	var quarantined int64
+	s.omu.RLock()
 	for _, p := range s.pools {
 		quarantined += p.Stats().Quarantined
 	}
+	s.omu.RUnlock()
 	writeJSON(w, HealthResponse{
 		Status:      status,
 		InFlight:    inFlight,
@@ -558,8 +653,31 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "commit requested but the server has no write-ahead log (-wal)")
 		return
 	}
+	// One read-locked snapshot of the ownership state: the pool, the
+	// model's commit lock and — for the 421 payload — the shard view. The
+	// pool pointer stays valid after the unlock (a released pool fails
+	// AcquireContext with ErrPoolClosed, which the 503 below turns into a
+	// router retry against the new owner); the lock is never held across
+	// the query.
+	s.omu.RLock()
 	pool, ok := s.pools[kind]
+	cmu := s.commitMu[kind]
+	sharded := s.smap != nil
+	var mapVer uint64
+	var ownedIDs []int
+	if !ok && sharded {
+		mapVer = s.smap.Version
+		ownedIDs = append([]int(nil), s.owned...)
+	}
+	s.omu.RUnlock()
 	if !ok {
+		if sharded {
+			// 421 Misdirected Request: the model exists but lives on another
+			// backend — the structured signal coshard re-resolves on, kept
+			// distinct from 400 (bad request) and 503 (retry here later).
+			misdirected(w, kind, mapVer, ownedIDs)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "model %s is not served", kind)
 		return
 	}
@@ -596,9 +714,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// fail one of them after its durable log append). Read-only requests
 	// never touch the lock.
 	if commitReq {
-		mu := s.commitMu[kind]
-		mu.Lock()
-		defer mu.Unlock()
+		cmu.Lock()
+		defer cmu.Unlock()
 	}
 
 	start := time.Now()
@@ -798,6 +915,8 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		},
 	}
 	var quarantined int64
+	s.omu.RLock()
+	resp.Sharding = s.shardingInfoLocked()
 	for _, k := range s.models {
 		base, pool := s.bases[k], s.pools[k]
 		ps := pool.Stats()
@@ -820,6 +939,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 			Gen:         base.Gen(),
 		})
 	}
+	s.omu.RUnlock()
 	if s.clog != nil {
 		cs := s.clog.Stats()
 		resp.Durability = &DurabilityInfo{
@@ -827,11 +947,15 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 			Commits:         cs.Commits,
 			Syncs:           cs.Syncs,
 			AppendedBytes:   cs.AppendedBytes,
+			PayloadBytes:    cs.PayloadBytes,
 			WALSizeBytes:    cs.SizeBytes,
 			LastSeq:         cs.LastSeq,
 			Checkpoints:     cs.Checkpoints,
 			Recovered:       cs.Recovered,
 			CheckpointBytes: s.cfg.CheckpointBytes,
+		}
+		if cs.PayloadBytes > 0 {
+			resp.Durability.WriteAmplification = float64(cs.AppendedBytes) / float64(cs.PayloadBytes)
 		}
 	}
 	resp.Resilience = ResilienceInfo{

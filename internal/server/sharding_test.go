@@ -1,0 +1,283 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"complexobj"
+	"complexobj/cobench"
+	"complexobj/internal/shard"
+)
+
+// splitForTest partitions a snapshot range-wise into n segments plus a
+// shard map, the way cogen -split does.
+func splitForTest(t *testing.T, dbPath string, n int) string {
+	t.Helper()
+	info, err := complexobj.StatSnapshot(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(info.Models))
+	byName := make(map[string]complexobj.ModelKind, len(info.Models))
+	for i, k := range info.Models {
+		names[i] = k.String()
+		byName[k.String()] = k
+	}
+	m, err := shard.Partition(names, n, shard.StrategyRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Shards {
+		s := &m.Shards[i]
+		if len(s.Models) == 0 {
+			continue
+		}
+		kinds := make([]complexobj.ModelKind, len(s.Models))
+		for j, name := range s.Models {
+			kinds[j] = byName[name]
+		}
+		seg := shard.SegmentName(dbPath, s.ID)
+		if err := complexobj.ExtractSnapshot(dbPath, seg, kinds); err != nil {
+			t.Fatal(err)
+		}
+		s.Segment = filepath.Base(seg)
+	}
+	mapPath := shard.MapName(dbPath)
+	if err := m.Write(mapPath); err != nil {
+		t.Fatal(err)
+	}
+	return mapPath
+}
+
+// TestShardedBackendBitIdenticalAnd421 pins the scale-out measurement
+// contract: a backend serving one shard out of its segment produces
+// counters bit-identical to the unsharded batch baseline for the models
+// it owns, and rejects the ones it does not with a structured 421
+// Misdirected Request (never a 400 or 503 — the router keys off the
+// distinction).
+func TestShardedBackendBitIdenticalAnd421(t *testing.T) {
+	path, _ := buildSnapshot(t, 60)
+	w := cobench.Workload{Loops: 15, Samples: 5, Seed: 1993}
+	want := batchBaseline(t, path, w)
+	mapPath := splitForTest(t, path, 2)
+	m, err := shard.Load(mapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := New(Config{ShardMap: mapPath, Shards: []int{0}, BufferPages: 256, MaxViews: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	hc := hs.Client()
+
+	sh0, _ := m.Shard(0)
+	for _, name := range sh0.Models {
+		for _, q := range cobench.AllQueries() {
+			var got RunResponse
+			getJSON(t, hc, runURL(hs.URL, name, q.String(), w), &got)
+			got.ElapsedUS = 0
+			key := AggKey{Model: name, Query: q.String(), Workload: got.Workload}
+			if got != want[key] {
+				t.Errorf("sharded %s %s = %+v, want %+v", name, q, got, want[key])
+			}
+		}
+	}
+
+	sh1, _ := m.Shard(1)
+	for _, name := range sh1.Models {
+		resp, err := hc.Get(runURL(hs.URL, name, "1a", w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusMisdirectedRequest {
+			t.Fatalf("unowned model %s: %s, want 421", name, resp.Status)
+		}
+		var no NotOwnedResponse
+		if err := json.NewDecoder(resp.Body).Decode(&no); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if !no.NotOwned || no.Model != name || no.MapVersion != m.Version {
+			t.Errorf("421 payload %+v, want notOwned for %s at map version %d", no, name, m.Version)
+		}
+		if len(no.OwnedShards) != 1 || no.OwnedShards[0] != 0 {
+			t.Errorf("421 payload owns %v, want [0]", no.OwnedShards)
+		}
+	}
+
+	// A model name that exists in no shard is still a plain bad request.
+	resp, err := hc.Get(hs.URL + "/run?model=nope&query=1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown model: %s, want 400", resp.Status)
+	}
+
+	var info InfoResponse
+	getJSON(t, hc, hs.URL+"/info", &info)
+	if info.Sharding == nil {
+		t.Fatal("/info has no sharding block")
+	}
+	if info.Sharding.MapVersion != m.Version || len(info.Sharding.Shards) != 1 || info.Sharding.Shards[0] != 0 {
+		t.Errorf("/info sharding %+v, want shard 0 at version %d", info.Sharding, m.Version)
+	}
+	if len(info.Models) != len(sh0.Models) {
+		t.Errorf("/info lists %d models, want the %d of shard 0", len(info.Models), len(sh0.Models))
+	}
+}
+
+// TestShardAcquireRelease walks the handoff protocol on one backend: it
+// starts owning shard 0, acquires shard 1 (serving both), then releases
+// shard 0 — after which shard 0's models 421 and shard 1's still measure
+// bit-identically to the batch baseline.
+func TestShardAcquireRelease(t *testing.T) {
+	path, _ := buildSnapshot(t, 60)
+	w := cobench.Workload{Loops: 15, Samples: 5, Seed: 1993}
+	want := batchBaseline(t, path, w)
+	mapPath := splitForTest(t, path, 2)
+	m, err := shard.Load(mapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh0, _ := m.Shard(0)
+	sh1, _ := m.Shard(1)
+
+	srv, err := New(Config{ShardMap: mapPath, Shards: []int{0}, BufferPages: 256, MaxViews: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	hc := hs.Client()
+
+	post := func(path string, wantCode int) ShardChangeResponse {
+		t.Helper()
+		resp, err := hc.Post(hs.URL+path, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("POST %s: %s, want %d", path, resp.Status, wantCode)
+		}
+		var out ShardChangeResponse
+		if wantCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+
+	// GET must never mutate ownership.
+	resp, err := hc.Get(hs.URL + "/shards/acquire?shard=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET acquire: %s, want 405", resp.Status)
+	}
+
+	if got := post("/shards/acquire?shard=1", http.StatusOK); len(got.Shards) != 2 {
+		t.Fatalf("after acquire: owned %v, want [0 1]", got.Shards)
+	}
+	// Acquire is idempotent: re-acquiring an owned shard is a no-op.
+	post("/shards/acquire?shard=1", http.StatusOK)
+	post("/shards/acquire?shard=9", http.StatusConflict)
+
+	// Both shards' models measure while co-owned.
+	for _, name := range append(append([]string(nil), sh0.Models...), sh1.Models...) {
+		var got RunResponse
+		getJSON(t, hc, runURL(hs.URL, name, "2a", w), &got)
+		got.ElapsedUS = 0
+		key := AggKey{Model: name, Query: "2a", Workload: got.Workload}
+		if got != want[key] {
+			t.Errorf("co-owned %s 2a diverges from batch baseline", name)
+		}
+	}
+
+	if got := post("/shards/release?shard=0", http.StatusOK); len(got.Shards) != 1 || got.Shards[0] != 1 {
+		t.Fatalf("after release: owned %v, want [1]", got.Shards)
+	}
+	post("/shards/release?shard=0", http.StatusConflict) // already gone
+
+	for _, name := range sh0.Models {
+		resp, err := hc.Get(runURL(hs.URL, name, "1a", w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMisdirectedRequest {
+			t.Errorf("released model %s: %s, want 421", name, resp.Status)
+		}
+	}
+	for _, name := range sh1.Models {
+		var got RunResponse
+		getJSON(t, hc, runURL(hs.URL, name, "1a", w), &got)
+		got.ElapsedUS = 0
+		key := AggKey{Model: name, Query: "1a", Workload: got.Workload}
+		if got != want[key] {
+			t.Errorf("retained model %s diverges after release of shard 0", name)
+		}
+	}
+
+	var info InfoResponse
+	getJSON(t, hc, hs.URL+"/info", &info)
+	if len(info.Sharding.Shards) != 1 || info.Sharding.Shards[0] != 1 {
+		t.Errorf("/info sharding after handoff: %+v, want shard 1 only", info.Sharding)
+	}
+}
+
+// TestShardConfigErrors pins the config surface: Models+ShardMap conflict,
+// Shards without ShardMap, unknown shard IDs, and the durable-rebalance
+// rejection.
+func TestShardConfigErrors(t *testing.T) {
+	path, _ := buildSnapshot(t, 40)
+	mapPath := splitForTest(t, path, 2)
+
+	if _, err := New(Config{ShardMap: mapPath, Models: []complexobj.ModelKind{complexobj.DSM}}); err == nil {
+		t.Error("Models+ShardMap accepted")
+	}
+	if _, err := New(Config{Snapshot: path, Shards: []int{0}}); err == nil {
+		t.Error("Shards without ShardMap accepted")
+	}
+	if _, err := New(Config{ShardMap: mapPath, Shards: []int{7}}); err == nil {
+		t.Error("unknown shard ID accepted")
+	}
+
+	srv, err := New(Config{Snapshot: path, BufferPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.AcquireShard(0, ""); err == nil {
+		t.Error("acquire on an unsharded server accepted")
+	}
+	if _, err := srv.ReleaseShard(0); err == nil {
+		t.Error("release on an unsharded server accepted")
+	}
+
+	wdir := t.TempDir()
+	dsrv, err := New(Config{ShardMap: mapPath, Shards: []int{0}, BufferPages: 256, WALDir: wdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dsrv.Close()
+	if _, err := dsrv.AcquireShard(1, ""); err == nil {
+		t.Error("rebalance of a durable backend accepted")
+	}
+	if _, err := dsrv.ReleaseShard(0); err == nil {
+		t.Error("durable release accepted")
+	}
+}

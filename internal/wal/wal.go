@@ -28,6 +28,12 @@ type Stats struct {
 	// AppendedBytes counts bytes appended over the log's lifetime
 	// (monotonic across Reset).
 	AppendedBytes int64
+	// PayloadBytes counts the dirty-page image bytes inside those
+	// appends (monotonic across Reset). AppendedBytes / PayloadBytes is
+	// the log's write amplification: framing, commit markers and the
+	// full-page write granularity on top of the payload the commits
+	// actually carried.
+	PayloadBytes int64
 	// Syncs counts device sync waves; with group commit this is the
 	// interesting ratio against Commits.
 	Syncs int64
@@ -64,6 +70,7 @@ type Log struct {
 	}
 
 	appended atomic.Int64
+	payload  atomic.Int64
 	syncs    atomic.Int64
 	commits  atomic.Int64
 	lastSeq  atomic.Uint64
@@ -187,8 +194,10 @@ func (l *Log) Commit(pages []PageRecord, c CommitRecord) (uint64, error) {
 	l.seq++
 	c.Seq = l.seq
 	buf := l.enc[:0]
+	var payload int64
 	for _, p := range pages {
 		buf = appendPage(buf, p)
+		payload += int64(len(p.Image))
 	}
 	buf = appendCommit(buf, c)
 	l.enc = buf
@@ -201,6 +210,7 @@ func (l *Log) Commit(pages []PageRecord, c CommitRecord) (uint64, error) {
 	l.endDurable.Store(l.end)
 	l.mu.Unlock()
 	l.appended.Add(int64(len(buf)))
+	l.payload.Add(payload)
 
 	if err := l.syncTo(want); err != nil {
 		return 0, err
@@ -291,6 +301,7 @@ func (l *Log) Reset() error {
 func (l *Log) Stats() Stats {
 	return Stats{
 		AppendedBytes: l.appended.Load(),
+		PayloadBytes:  l.payload.Load(),
 		Syncs:         l.syncs.Load(),
 		Commits:       l.commits.Load(),
 		LastSeq:       l.lastSeq.Load(),

@@ -73,6 +73,13 @@ func TestCommitReplayRoundTrip(t *testing.T) {
 	if s := l.Stats(); s.Commits != 3 || s.LastSeq != 3 || s.SizeBytes == 0 {
 		t.Fatalf("stats after 3 commits: %+v", s)
 	}
+	// The three batches carried 1+2+3 pages of 64 bytes each; everything
+	// appended on top of that payload is framing — the amplification the
+	// serving layer reports.
+	if s := l.Stats(); s.PayloadBytes != 6*64 || s.AppendedBytes <= s.PayloadBytes {
+		t.Fatalf("payload accounting: appended %d, payload %d (want payload %d and appended > payload)",
+			s.AppendedBytes, s.PayloadBytes, 6*64)
+	}
 
 	// Recover from the durable (synced-only) crash image: every
 	// acknowledged commit must be there.
